@@ -1,0 +1,218 @@
+// Package agg implements hash aggregation (GROUP BY) on top of the tables:
+// the paper's §4 argues that its indexing workload "resembles very closely
+// other important operations such as ... aggregate operations like AVERAGE,
+// SUM, MIN, MAX, and COUNT", and reports that experiments simulating these
+// operations matched the WORM results. This package provides those
+// operators, and bench_test.go's BenchmarkAggregateVsWORM reproduces the
+// equivalence claim.
+//
+// The aggregation table maps group key -> index into a dense state array,
+// the layout vectorized engines use: the hash table stays a pure 64->64
+// map (so every scheme of package table is usable), while the per-group
+// accumulators live contiguously.
+package agg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/hashfn"
+	"repro/table"
+)
+
+// Func identifies an aggregate function.
+type Func int
+
+// The aggregate functions named by the paper (§4).
+const (
+	Count Func = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+// String returns the SQL name.
+func (f Func) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Avg:
+		return "AVG"
+	}
+	return fmt.Sprintf("Func(%d)", int(f))
+}
+
+// State accumulates one group.
+type State struct {
+	Key   uint64
+	Count uint64
+	Sum   uint64
+	Min   uint64
+	Max   uint64
+}
+
+// Avg returns the mean of the accumulated values.
+func (s *State) Avg() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Value returns the aggregate under f.
+func (s *State) Value(f Func) float64 {
+	switch f {
+	case Count:
+		return float64(s.Count)
+	case Sum:
+		return float64(s.Sum)
+	case Min:
+		return float64(s.Min)
+	case Max:
+		return float64(s.Max)
+	case Avg:
+		return s.Avg()
+	}
+	return math.NaN()
+}
+
+// Config parameterizes a GroupBy.
+type Config struct {
+	// Scheme selects the group-index table (default QP, the paper's pick
+	// for write-heavy workloads — an aggregation build is one).
+	Scheme table.Scheme
+	// Family is the hash-function class (default Mult).
+	Family hashfn.Family
+	// ExpectedGroups pre-sizes the table; 0 starts small and grows.
+	ExpectedGroups int
+	Seed           uint64
+}
+
+// GroupBy is a streaming hash aggregation operator.
+type GroupBy struct {
+	idx    table.Map
+	states []State
+}
+
+// NewGroupBy builds an empty aggregation operator.
+func NewGroupBy(cfg Config) (*GroupBy, error) {
+	if cfg.Scheme == "" {
+		cfg.Scheme = table.SchemeQP
+	}
+	if cfg.Family == nil {
+		cfg.Family = hashfn.MultFamily{}
+	}
+	capacity := 1 << 10
+	for float64(cfg.ExpectedGroups) > 0.7*float64(capacity) {
+		capacity *= 2
+	}
+	idx, err := table.New(cfg.Scheme, table.Config{
+		InitialCapacity: capacity,
+		MaxLoadFactor:   0.7,
+		Family:          cfg.Family,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GroupBy{idx: idx}, nil
+}
+
+// MustNewGroupBy is NewGroupBy that panics on error.
+func MustNewGroupBy(cfg Config) *GroupBy {
+	g, err := NewGroupBy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Add folds one (group, value) observation into the aggregation.
+func (g *GroupBy) Add(group, value uint64) {
+	if i, ok := g.idx.Get(group); ok {
+		st := &g.states[i]
+		st.Count++
+		st.Sum += value
+		if value < st.Min {
+			st.Min = value
+		}
+		if value > st.Max {
+			st.Max = value
+		}
+		return
+	}
+	g.idx.Put(group, uint64(len(g.states)))
+	g.states = append(g.states, State{
+		Key: group, Count: 1, Sum: value, Min: value, Max: value,
+	})
+}
+
+// AddAll folds a column pair.
+func (g *GroupBy) AddAll(groups, values []uint64) {
+	if len(groups) != len(values) {
+		panic("agg: AddAll column length mismatch")
+	}
+	for i, grp := range groups {
+		g.Add(grp, values[i])
+	}
+}
+
+// Groups returns the number of distinct groups seen.
+func (g *GroupBy) Groups() int { return len(g.states) }
+
+// Get returns the state of one group.
+func (g *GroupBy) Get(group uint64) (*State, bool) {
+	i, ok := g.idx.Get(group)
+	if !ok {
+		return nil, false
+	}
+	return &g.states[i], true
+}
+
+// Range iterates group states in first-seen order until fn returns false.
+func (g *GroupBy) Range(fn func(*State) bool) {
+	for i := range g.states {
+		if !fn(&g.states[i]) {
+			return
+		}
+	}
+}
+
+// Merge folds other into g (for partition-parallel aggregation: aggregate
+// partitions independently, then merge).
+func (g *GroupBy) Merge(other *GroupBy) {
+	other.Range(func(s *State) bool {
+		if i, ok := g.idx.Get(s.Key); ok {
+			dst := &g.states[i]
+			dst.Count += s.Count
+			dst.Sum += s.Sum
+			if s.Min < dst.Min {
+				dst.Min = s.Min
+			}
+			if s.Max > dst.Max {
+				dst.Max = s.Max
+			}
+		} else {
+			g.idx.Put(s.Key, uint64(len(g.states)))
+			g.states = append(g.states, *s)
+		}
+		return true
+	})
+}
+
+// TableName reports the underlying scheme and function, e.g. "QPMult".
+func (g *GroupBy) TableName() string {
+	type hashNamer interface{ HashName() string }
+	name := g.idx.Name()
+	if hn, ok := g.idx.(hashNamer); ok {
+		name += hn.HashName()
+	}
+	return name
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/dist"
+	"repro/table"
+	"repro/workload"
+)
+
+// RWSeries is one curve of Figure 5: a labelled table across the
+// update-percentage sweep at one grow-at threshold.
+type RWSeries struct {
+	Label string
+	// Mops maps update percent -> overall stream throughput.
+	Mops map[int]float64
+	// MemoryBytes maps update percent -> final footprint.
+	MemoryBytes map[int]uint64
+}
+
+// RWExperiment groups the series of one grow-at panel.
+type RWExperiment struct {
+	GrowAtPct int
+	Series    []*RWSeries
+}
+
+// RunFig5 regenerates Figure 5: 1000M-ops-scaled RW streams over sparse
+// keys, sweeping the update percentage {0,5,25,50,75,100} at rehash
+// thresholds {50,70,90}%. ChainedH24 participates only at the 50%
+// threshold, the only configuration where its memory stays comparable
+// (§6). One op tape per update percentage is generated once and replayed
+// against every scheme.
+func RunFig5(opt Options) ([]RWExperiment, error) {
+	opt = opt.withDefaults()
+	contenders := opt.contendersFor(
+		table.SchemeCuckooH4, table.SchemeLP, table.SchemeQP, table.SchemeRH,
+		table.SchemeChained24,
+	)
+	// One repeat = one data seed: a fresh set of tapes replayed against
+	// every scheme (within-repeat fairness), throughputs averaged across
+	// repeats (the paper's three-seed methodology). The tape's key
+	// generator seed and the replaying table's seed must agree, since the
+	// tape encodes the distribution's concrete keys.
+	var exps []RWExperiment
+	for _, grow := range GrowAtPcts {
+		exps = append(exps, RWExperiment{GrowAtPct: grow})
+	}
+	series := map[int]map[string]*RWSeries{} // grow -> label -> series
+	for gi, grow := range GrowAtPcts {
+		series[grow] = map[string]*RWSeries{}
+		for _, c := range contenders {
+			if c.scheme == table.SchemeChained24 && grow != 50 {
+				continue
+			}
+			s := &RWSeries{
+				Label:       c.label(),
+				Mops:        map[int]float64{},
+				MemoryBytes: map[int]uint64{},
+			}
+			series[grow][c.label()] = s
+			exps[gi].Series = append(exps[gi].Series, s)
+		}
+	}
+	for r := 0; r < opt.Repeats; r++ {
+		seed := opt.Seed + uint64(r)*0x9e3779b9
+		gen := dist.New(dist.Sparse, seed)
+		tapes := make(map[int]*workload.Tape, len(UpdatePcts))
+		for _, up := range UpdatePcts {
+			tapes[up] = workload.GenRWTape(gen, opt.RWInitial, opt.RWOps, up, seed+uint64(up))
+		}
+		for _, grow := range GrowAtPcts {
+			for _, c := range contenders {
+				s, ok := series[grow][c.label()]
+				if !ok {
+					continue
+				}
+				for _, up := range UpdatePcts {
+					res, err := workload.RunRW(workload.RWConfig{
+						Scheme:      c.scheme,
+						Family:      c.family,
+						Dist:        dist.Sparse,
+						InitialKeys: opt.RWInitial,
+						Ops:         opt.RWOps,
+						UpdatePct:   up,
+						GrowAt:      float64(grow) / 100,
+						Seed:        seed,
+						Tape:        tapes[up],
+					})
+					if err != nil {
+						return nil, fmt.Errorf("bench: fig5 %s grow=%d up=%d: %w", c.label(), grow, up, err)
+					}
+					s.Mops[up] += res.Mops / float64(opt.Repeats)
+					s.MemoryBytes[up] = res.MemoryBytes
+					opt.logf("fig5[r%d] %-18s grow=%2d%% updates=%3d%%: %6.1f Mops, mem %d MB",
+						r, c.label(), grow, up, res.Mops, res.MemoryBytes>>20)
+				}
+			}
+		}
+	}
+	return exps, nil
+}
+
+// RenderFig5 prints the Figure 5 panels.
+func RenderFig5(w io.Writer, exps []RWExperiment) {
+	fmt.Fprintln(w, "=== Figure 5: RW workload, sparse keys (throughput and memory) ===")
+	for _, e := range exps {
+		fmt.Fprintf(w, "\n--- growing at %d%% load factor ---\n", e.GrowAtPct)
+		fmt.Fprintf(w, "%-22s", "Throughput [Mops]")
+		for _, up := range UpdatePcts {
+			fmt.Fprintf(w, "  up=%3d%%", up)
+		}
+		fmt.Fprintln(w)
+		for _, s := range e.Series {
+			fmt.Fprintf(w, "%-22s", s.Label)
+			for _, up := range UpdatePcts {
+				fmt.Fprintf(w, "  %7.1f", s.Mops[up])
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%-22s", "Memory [MB]")
+		for _, up := range UpdatePcts {
+			fmt.Fprintf(w, "  up=%3d%%", up)
+		}
+		fmt.Fprintln(w)
+		for _, s := range e.Series {
+			fmt.Fprintf(w, "%-22s", s.Label)
+			for _, up := range UpdatePcts {
+				fmt.Fprintf(w, "  %7.0f", float64(s.MemoryBytes[up])/(1<<20))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/dist"
+	"repro/hashfn"
+	"repro/table"
+)
+
+// Fig7Series is one curve of Figure 7: a layout/SIMD variant of LPMult
+// across load factors and lookup mixes.
+type Fig7Series struct {
+	Label string
+	// InsertMops maps load-factor percent -> build throughput.
+	InsertMops map[int]float64
+	// LookupMops maps load-factor percent -> unsuccessful percent ->
+	// probe throughput.
+	LookupMops map[int]map[int]float64
+}
+
+// fig7Variant abstracts over the four table variants so one runner covers
+// AoS/SoA with scalar and vectorized probing. "SIMD" here means the
+// portable 4-lane kernels of internal/vec — see DESIGN.md's substitution
+// table.
+type fig7Variant struct {
+	label string
+	build func(cfg table.Config) (put func(k, v uint64) bool, get func(k uint64) (uint64, bool), m table.Map)
+}
+
+func fig7Variants() []fig7Variant {
+	return []fig7Variant{
+		{"LPAoSMult", func(cfg table.Config) (func(uint64, uint64) bool, func(uint64) (uint64, bool), table.Map) {
+			t := table.NewLinearProbing(cfg)
+			return t.Put, t.Get, t
+		}},
+		{"LPAoSMultSIMD", func(cfg table.Config) (func(uint64, uint64) bool, func(uint64) (uint64, bool), table.Map) {
+			t := table.NewLinearProbing(cfg)
+			return t.PutVec, t.GetVec, t
+		}},
+		{"LPSoAMult", func(cfg table.Config) (func(uint64, uint64) bool, func(uint64) (uint64, bool), table.Map) {
+			t := table.NewLinearProbingSoA(cfg)
+			return t.Put, t.Get, t
+		}},
+		{"LPSoAMultSIMD", func(cfg table.Config) (func(uint64, uint64) bool, func(uint64) (uint64, bool), table.Map) {
+			t := table.NewLinearProbingSoA(cfg)
+			return t.PutVec, t.GetVec, t
+		}},
+	}
+}
+
+// RunFig7 regenerates Figure 7: the effect of table layout (AoS vs SoA)
+// and vectorized probing on LPMult over sparse keys at load factors
+// 50/70/90%.
+func RunFig7(opt Options) ([]*Fig7Series, error) {
+	opt = opt.withDefaults()
+	gen := dist.New(dist.Sparse, opt.Seed)
+	var out []*Fig7Series
+	for _, v := range fig7Variants() {
+		out = append(out, &Fig7Series{
+			Label:      v.label,
+			InsertMops: map[int]float64{},
+			LookupMops: map[int]map[int]float64{},
+		})
+	}
+	for _, lf := range HighLoadFactors {
+		n := opt.Capacity * lf / 100
+		insertKeys := dist.Shuffled(gen.Keys(n), opt.Seed+1)
+		lookups := opt.Lookups
+		if lookups <= 0 {
+			lookups = n
+		}
+		for vi, v := range fig7Variants() {
+			out[vi].LookupMops[lf] = map[int]float64{}
+			for r := 0; r < opt.Repeats; r++ {
+				put, get, m := v.build(table.Config{
+					InitialCapacity: opt.Capacity,
+					MaxLoadFactor:   0,
+					Family:          hashfn.MultFamily{},
+					Seed:            opt.Seed + uint64(r)*0x9e3779b9,
+				})
+				start := time.Now()
+				for i, k := range insertKeys {
+					put(k, uint64(i))
+				}
+				insertSecs := time.Since(start).Seconds()
+				if m.Len() != n {
+					return nil, fmt.Errorf("bench: fig7 %s lf=%d built %d entries, want %d", v.label, lf, m.Len(), n)
+				}
+				out[vi].InsertMops[lf] += float64(n) / 1e6 / insertSecs
+				for _, u := range Mixes {
+					miss := lookups * u / 100
+					hit := lookups - miss
+					probes := make([]uint64, 0, lookups)
+					for i := 0; i < hit; i++ {
+						probes = append(probes, insertKeys[i%len(insertKeys)])
+					}
+					probes = append(probes, gen.AbsentKeys(n, miss)...)
+					probes = dist.Shuffled(probes, opt.Seed+uint64(u)+2)
+					hits := 0
+					var sink uint64
+					start = time.Now()
+					for _, k := range probes {
+						if val, ok := get(k); ok {
+							hits++
+							sink ^= val
+						}
+					}
+					secs := time.Since(start).Seconds()
+					_ = sink
+					if hits != hit {
+						return nil, fmt.Errorf("bench: fig7 %s lf=%d u=%d: %d hits, want %d", v.label, lf, u, hits, hit)
+					}
+					out[vi].LookupMops[lf][u] += float64(len(probes)) / 1e6 / secs
+				}
+			}
+			out[vi].InsertMops[lf] /= float64(opt.Repeats)
+			for _, u := range Mixes {
+				out[vi].LookupMops[lf][u] /= float64(opt.Repeats)
+			}
+			opt.logf("fig7 %-16s lf=%2d%%: insert %6.1f Mops, lookups %v",
+				v.label, lf, out[vi].InsertMops[lf], out[vi].LookupMops[lf])
+		}
+	}
+	return out, nil
+}
+
+// RenderFig7 prints the Figure 7 panels.
+func RenderFig7(w io.Writer, series []*Fig7Series) {
+	fmt.Fprintln(w, "=== Figure 7: layout (AoS vs SoA) and vectorized probing, LPMult, sparse ===")
+	fmt.Fprintf(w, "%-18s", "Insertions [Mops]")
+	for _, lf := range HighLoadFactors {
+		fmt.Fprintf(w, "  lf=%2d%%", lf)
+	}
+	fmt.Fprintln(w)
+	for _, s := range series {
+		fmt.Fprintf(w, "%-18s", s.Label)
+		for _, lf := range HighLoadFactors {
+			fmt.Fprintf(w, "  %6.1f", s.InsertMops[lf])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, lf := range HighLoadFactors {
+		fmt.Fprintf(w, "\nLookups at %d%% load factor [Mops], by %% unsuccessful\n", lf)
+		fmt.Fprintf(w, "%-18s", "")
+		for _, u := range Mixes {
+			fmt.Fprintf(w, "  u=%3d%%", u)
+		}
+		fmt.Fprintln(w)
+		for _, s := range series {
+			fmt.Fprintf(w, "%-18s", s.Label)
+			for _, u := range Mixes {
+				fmt.Fprintf(w, "  %6.1f", s.LookupMops[lf][u])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Benchmarks regenerating the paper's tables and figures, plus per-operation
+// micro-benchmarks of every ⟨scheme, hash function⟩ combination.
+//
+// The figure benchmarks (BenchmarkFig2 ... BenchmarkFig7) wrap the bench
+// package's runners at a laptop-friendly scale and report the paper's
+// metric — millions of operations per second — via b.ReportMetric. Run the
+// full-size sweeps with cmd/hashbench (-slots 24 and up).
+//
+// The micro-benchmarks (BenchmarkPut, BenchmarkLookupHit, ...) measure
+// single operations the conventional testing.B way and are the right tool
+// for comparing scheme/function inner-loop costs.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/agg"
+	"repro/bench"
+	"repro/dist"
+	"repro/hashfn"
+	"repro/internal/prng"
+	"repro/internal/slab"
+	"repro/join"
+	"repro/table"
+	"repro/workload"
+)
+
+// benchOpts returns harness options sized for the Go benchmark runner: the
+// WORM figures use 2^16 slots, the RW figure a 2^15-initial/2^19-op stream.
+func benchOpts() bench.Options {
+	return bench.Options{
+		Capacity:  1 << 16,
+		RWInitial: 1 << 13,
+		RWOps:     1 << 19,
+		Fig6Caps:  []int{1 << 12, 1 << 14, 1 << 16},
+		Seed:      42,
+	}
+}
+
+// reportBest surfaces a few representative numbers from a WORM figure so
+// `go test -bench` output is directly comparable to the paper's panels.
+func reportWORM(b *testing.B, exps []bench.WORMExperiment, lf int) {
+	b.Helper()
+	for _, e := range exps {
+		for _, s := range e.Series {
+			if v, ok := s.InsertMops[lf]; ok {
+				b.ReportMetric(v, fmt.Sprintf("%s/%s:insert:Mops", e.Dist, s.Label))
+			}
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2 (WORM, low load factors: chained
+// variants vs linear probing) once per iteration.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exps, err := bench.RunFig2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportWORM(b, exps, 45)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (memory footprints at low load
+// factors, dense distribution).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exps, err := bench.RunFig2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := bench.Fig3FromFig2(exps)
+		if i == 0 {
+			for _, r := range rows {
+				if r.LoadFactor == 45 {
+					b.ReportMetric(float64(r.MemoryBytes)/(1<<20), r.Label+":MB")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 (WORM, high load factors: all
+// open-addressing schemes plus ChainedH24 at 50%).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exps, err := bench.RunFig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportWORM(b, exps, 90)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (the RW workload sweep over sparse
+// keys).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exps, err := bench.RunFig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, e := range exps {
+				if e.GrowAtPct != 70 {
+					continue
+				}
+				for _, s := range e.Series {
+					b.ReportMetric(s.Mops[50], fmt.Sprintf("grow70/%s:up50:Mops", s.Label))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (the best-performer matrix).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Surface the large-capacity sparse winners at 90% as a probe.
+			lf := 90
+			cells := res.Lookup[dist.Sparse][lf]
+			last := len(res.Capacities) - 1
+			for mi, u := range bench.Mixes {
+				c := cells[last][mi]
+				b.ReportMetric(c.Mops, fmt.Sprintf("sparse/L/lf90/u%d:%s:Mops", u, c.Label))
+			}
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (AoS vs SoA layout, scalar vs
+// vectorized probing).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.RunFig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range series {
+				b.ReportMetric(s.InsertMops[90], s.Label+":insert90:Mops")
+				b.ReportMetric(s.LookupMops[90][100], s.Label+":lookup90u100:Mops")
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: single operations per scheme and function
+// ---------------------------------------------------------------------------
+
+var microSchemes = []table.Scheme{
+	table.SchemeChained8, table.SchemeChained24,
+	table.SchemeLP, table.SchemeLPSoA, table.SchemeQP, table.SchemeRH,
+	table.SchemeCuckooH4,
+}
+
+var microFamilies = []hashfn.Family{hashfn.MultFamily{}, hashfn.MurmurFamily{}}
+
+// BenchmarkPut measures growing inserts of sparse keys.
+func BenchmarkPut(b *testing.B) {
+	for _, s := range microSchemes {
+		for _, f := range microFamilies {
+			b.Run(string(s)+"/"+f.Name(), func(b *testing.B) {
+				gen := dist.New(dist.Sparse, 1)
+				keys := gen.Keys(b.N)
+				m := table.MustNew(s, table.Config{
+					InitialCapacity: 1 << 10,
+					MaxLoadFactor:   0.7,
+					Family:          f,
+					Seed:            42,
+				})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Put(keys[i], uint64(i))
+				}
+			})
+		}
+	}
+}
+
+// lookupBench builds a 70%-full fixed table and probes it with the given
+// hit ratio.
+func lookupBench(b *testing.B, s table.Scheme, f hashfn.Family, unsuccessfulPct int) {
+	const capacity = 1 << 16
+	n := capacity * 7 / 10
+	m, err := workload.NewWORMTable(s, f, capacity, 0.7, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := dist.New(dist.Sparse, 1)
+	keys := dist.Shuffled(gen.Keys(n), 2)
+	for i, k := range keys {
+		m.Put(k, uint64(i))
+	}
+	miss := n * unsuccessfulPct / 100
+	probes := make([]uint64, 0, n)
+	probes = append(probes, keys[:n-miss]...)
+	probes = append(probes, gen.AbsentKeys(n, miss)...)
+	probes = dist.Shuffled(probes, 3)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _ := m.Get(probes[i%len(probes)])
+		sink ^= v
+	}
+	_ = sink
+}
+
+// BenchmarkLookupHit measures all-successful probes at 70% load factor.
+func BenchmarkLookupHit(b *testing.B) {
+	for _, s := range microSchemes {
+		for _, f := range microFamilies {
+			b.Run(string(s)+"/"+f.Name(), func(b *testing.B) { lookupBench(b, s, f, 0) })
+		}
+	}
+}
+
+// BenchmarkLookupMiss measures all-unsuccessful probes at 70% load factor —
+// linear probing's worst case and Robin Hood's showcase.
+func BenchmarkLookupMiss(b *testing.B) {
+	for _, s := range microSchemes {
+		for _, f := range microFamilies {
+			b.Run(string(s)+"/"+f.Name(), func(b *testing.B) { lookupBench(b, s, f, 100) })
+		}
+	}
+}
+
+// BenchmarkHashFn measures raw hash-code computation for the four families
+// (§4.4: "we could observe the effect of even one more instruction per hash
+// code computation") plus the FNV and MultAdd32 extensions — the latter is
+// the paper's predicted Mult-class MultAdd for 32-bit keys.
+func BenchmarkHashFn(b *testing.B) {
+	for _, f := range hashfn.ExtendedFamilies() {
+		b.Run(f.Name(), func(b *testing.B) {
+			fn := f.New(42)
+			var sink uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink ^= fn.Hash(uint64(i) * 0x9e3779b97f4a7c15)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkSlabVsNaive quantifies the §2.1 claim that slab allocation beats
+// one-allocation-per-entry for chained hash tables. "build" is the WORM
+// case (size known in advance, one bump-allocated arena); "churn" is the
+// RW case (delete/insert pairs, where the slab free list recycles entries
+// the naive variant keeps handing to the garbage collector). Go's runtime
+// allocator is itself slab-like, so the paper's 10x (over C malloc/free)
+// compresses here — the shape, slab >= naive, still holds.
+func BenchmarkSlabVsNaive(b *testing.B) {
+	b.Run("build/slab", func(b *testing.B) {
+		a := slab.NewWithCapacity(b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := a.Alloc()
+			e.Key = uint64(i)
+		}
+	})
+	b.Run("build/naive", func(b *testing.B) {
+		keep := make([]*slab.Entry, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := &slab.Entry{Key: uint64(i)} // one heap allocation per entry
+			keep = append(keep, e)
+		}
+		_ = keep
+	})
+	b.Run("churn/slab", func(b *testing.B) {
+		a := slab.New(1024)
+		for i := 0; i < b.N; i++ {
+			e := a.Alloc()
+			e.Key = uint64(i)
+			a.Free(e)
+		}
+	})
+	b.Run("churn/naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := &slab.Entry{Key: uint64(i)}
+			escapeSink = e // forces a heap allocation; garbage next iteration
+		}
+	})
+}
+
+// BenchmarkVecLookup compares scalar and vectorized probe paths on both
+// layouts (Figure 7's four variants) at 90% load factor, all-unsuccessful
+// probes — where probe sequences are longest and vectorization matters
+// most.
+func BenchmarkVecLookup(b *testing.B) {
+	const capacity = 1 << 16
+	n := capacity * 9 / 10
+	gen := dist.New(dist.Sparse, 1)
+	keys := dist.Shuffled(gen.Keys(n), 2)
+	probes := dist.Shuffled(gen.AbsentKeys(n, n), 3)
+
+	aos := table.NewLinearProbing(table.Config{InitialCapacity: capacity, Seed: 42})
+	soa := table.NewLinearProbingSoA(table.Config{InitialCapacity: capacity, Seed: 42})
+	for i, k := range keys {
+		aos.Put(k, uint64(i))
+		soa.Put(k, uint64(i))
+	}
+	variants := []struct {
+		name string
+		get  func(uint64) (uint64, bool)
+	}{
+		{"AoS/scalar", aos.Get},
+		{"AoS/vec", aos.GetVec},
+		{"SoA/scalar", soa.Get},
+		{"SoA/vec", soa.GetVec},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				val, _ := v.get(probes[i%len(probes)])
+				sink ^= val
+			}
+			_ = sink
+		})
+	}
+}
+
+// escapeSink defeats escape analysis in the naive allocation benchmarks.
+var escapeSink *slab.Entry
+
+// BenchmarkHashJoin measures the classic build/probe equi-join per scheme:
+// the paper's motivating query-processing use (§1).
+func BenchmarkHashJoin(b *testing.B) {
+	const buildN, probeN = 1 << 16, 1 << 18
+	gen := dist.New(dist.Sparse, 1)
+	buildKeys := gen.Keys(buildN)
+	build := make(join.Relation, buildN)
+	for i, k := range buildKeys {
+		build[i] = join.Row{Key: k, Payload: uint64(i)}
+	}
+	rng := prng.NewXoshiro256(2)
+	probe := make(join.Relation, probeN)
+	for i := range probe {
+		if rng.Uint64n(10) == 0 { // 10% dangling foreign keys
+			probe[i] = join.Row{Key: gen.Key(uint64(buildN) + rng.Uint64n(1<<20)), Payload: uint64(i)}
+		} else {
+			probe[i] = join.Row{Key: buildKeys[rng.Intn(buildN)], Payload: uint64(i)}
+		}
+	}
+	for _, s := range []table.Scheme{table.SchemeLP, table.SchemeRH, table.SchemeCuckooH4, table.SchemeChained24} {
+		b.Run(string(s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n, err := join.HashJoin(build, probe, join.Config{Scheme: s, Seed: 42}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+	b.Run("Partitioned8xRH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := join.PartitionedHashJoin(build, probe, 8, join.Config{Scheme: table.SchemeRH, Seed: 42}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAggregateVsWORM reproduces the paper's §4 equivalence claim:
+// aggregation throughput tracks the WORM numbers, because a GROUP BY over G
+// groups is G inserts followed by (rows-G) successful lookups. The two
+// sub-benchmarks run the same table at the same load factor; their ns/op
+// should be of the same order.
+func BenchmarkAggregateVsWORM(b *testing.B) {
+	const groups = 1 << 14
+	rng := prng.NewXoshiro256(3)
+	b.Run("aggregate", func(b *testing.B) {
+		g := agg.MustNewGroupBy(agg.Config{ExpectedGroups: groups, Seed: 42})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Add(rng.Uint64n(groups), uint64(i))
+		}
+	})
+	b.Run("worm-lookup", func(b *testing.B) {
+		m := table.NewQuadraticProbing(table.Config{InitialCapacity: groups * 2, MaxLoadFactor: 0.7, Seed: 42})
+		for i := uint64(0); i < groups; i++ {
+			m.Put(i, i)
+		}
+		var sink uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, _ := m.Get(rng.Uint64n(groups))
+			sink ^= v
+		}
+		_ = sink
+	})
+}

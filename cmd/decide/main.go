@@ -1,0 +1,47 @@
+// Command decide answers "which hash table should I use?" by walking the
+// paper's Figure 8 decision graph for a workload described on the command
+// line.
+//
+// Usage:
+//
+//	decide -load-factor 0.9 -unsuccessful 25 -write-heavy=false -dynamic=false -dense=false
+//
+// The output names the recommended ⟨scheme, hash function⟩ and prints the
+// decision path with the paper sections supporting each edge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/decision"
+)
+
+func main() {
+	var (
+		loadFactor   = flag.Float64("load-factor", 0.5, "expected operating load factor in (0,1)")
+		unsuccessful = flag.Int("unsuccessful", 0, "expected percentage of lookups probing absent keys [0,100]")
+		writeHeavy   = flag.Bool("write-heavy", false, "more writes (inserts+deletes) than reads")
+		dynamic      = flag.Bool("dynamic", false, "table grows/shrinks over its lifetime (OLTP-like)")
+		dense        = flag.Bool("dense", false, "keys are densely distributed integers (e.g. generated primary keys)")
+	)
+	flag.Parse()
+
+	choice, err := decision.Recommend(decision.Workload{
+		LoadFactor:      *loadFactor,
+		UnsuccessfulPct: *unsuccessful,
+		WriteHeavy:      *writeHeavy,
+		Dynamic:         *dynamic,
+		Dense:           *dense,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decide: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("Recommendation: %s\n", choice.Label())
+	fmt.Println("Decision path:")
+	for i, step := range choice.Path {
+		fmt.Printf("  %d. %s\n", i+1, step)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/bench"
+)
+
+func tinyOpts() bench.Options {
+	return bench.Options{
+		Capacity:  1 << 10,
+		Lookups:   256,
+		RWInitial: 1 << 8,
+		RWOps:     1 << 11,
+		Fig6Caps:  []int{1 << 9, 1 << 10, 1 << 11},
+		Seed:      3,
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	cases := map[string]string{
+		"fig2":   "Figure 2",
+		"fig3":   "Figure 3",
+		"fig4":   "Figure 4",
+		"fig5":   "Figure 5",
+		"fig6":   "Figure 6",
+		"fig7":   "Figure 7",
+		"layout": "layout cache-line analysis",
+	}
+	for exp, marker := range cases {
+		var sb strings.Builder
+		if err := run(exp, tinyOpts(), &sb); err != nil {
+			t.Fatalf("run(%s): %v", exp, err)
+		}
+		if !strings.Contains(sb.String(), marker) {
+			t.Fatalf("run(%s) output missing %q", exp, marker)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var sb strings.Builder
+	if err := run("all", tinyOpts(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7"} {
+		if !strings.Contains(sb.String(), marker) {
+			t.Fatalf("run(all) output missing %q", marker)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := run("fig9", tinyOpts(), &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

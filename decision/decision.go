@@ -1,0 +1,171 @@
+// Package decision implements the paper's Figure 8: the suggested decision
+// graph that maps a workload description to a concrete ⟨hashing scheme,
+// hash function⟩ choice.
+//
+// The graph below is reconstructed from Figure 8's nodes and the paper's
+// inline conclusions (the figure's terminals are ChainedH24, LPMult,
+// QPMult, RHMult and CH4Mult, all with Mult as the function — §5.2: "no
+// hash table is the absolute best using Murmur"):
+//
+//   - Load factor < 50% (§5.1): "LPMult is the way to go if most queries
+//     are successful (>= 50%), and ChainedH24 must be considered
+//     otherwise."
+//   - Write-heavy workloads (§6): "quadratic probing looks as the best
+//     option in general"; chained and Cuckoo hashing "should be avoided
+//     for write-heavy workloads". For a static build over densely
+//     distributed keys, LPMult wins inserts instead (§5.2, Figure 4(a):
+//     45M vs 35M inserts/second at 90% load factor).
+//   - Read-mostly at high load factors (§5.2): "RH is always among the top
+//     performers ... an excellent all-rounder unless the hash table is
+//     expected to be very full, or the amount of unsuccessful queries is
+//     rather large. In such cases, CuckooH4 and ChainedH24 would be better
+//     options, respectively, if their slow insertion times are
+//     acceptable." CuckooH4 clearly surpasses the probing schemes from
+//     ~80% load factor on (§5.2); at very high unsuccessful-lookup rates
+//     ChainedH24 wins but only fits the §4.5 memory budget up to ~50–70%
+//     load factor.
+//
+// Every recommendation carries the path of decisions taken, so the choice
+// is auditable against the paper.
+package decision
+
+import (
+	"fmt"
+
+	"repro/table"
+)
+
+// Workload describes the anticipated usage of the hash table: the subset
+// of the paper's seven dimensions that the *user* controls (scheme and
+// function being the two outputs).
+type Workload struct {
+	// LoadFactor is the expected operating load factor (0,1): entries
+	// divided by the slots the memory budget allows.
+	LoadFactor float64
+	// UnsuccessfulPct is the expected percentage of lookups probing keys
+	// that are absent (0–100).
+	UnsuccessfulPct int
+	// WriteHeavy indicates more writes (inserts+deletes) than reads.
+	WriteHeavy bool
+	// Dynamic indicates the table grows/shrinks over its lifetime (OLTP);
+	// false means a static build-then-probe use (OLAP/WORM).
+	Dynamic bool
+	// Dense indicates densely distributed integer keys (e.g. generated
+	// primary keys, [1:n] or an arithmetic progression).
+	Dense bool
+}
+
+// Choice is a recommendation: a scheme, a hash-function family name, and
+// the audit trail of decisions that led there.
+type Choice struct {
+	Scheme table.Scheme
+	Family string // always "Mult" per the paper's Figure 8
+	Path   []string
+}
+
+// Label returns the paper-style table label, e.g. "RHMult".
+func (c Choice) Label() string {
+	if c.Scheme == table.SchemeCuckooH4 {
+		return "CH4" + c.Family // Figure 8 abbreviates CuckooH4 as CH4
+	}
+	return string(c.Scheme) + c.Family
+}
+
+// String returns the label and the decision path.
+func (c Choice) String() string {
+	return fmt.Sprintf("%s (path: %v)", c.Label(), c.Path)
+}
+
+// Validate reports whether the workload's fields are in range.
+func (w Workload) Validate() error {
+	if w.LoadFactor <= 0 || w.LoadFactor >= 1 {
+		return fmt.Errorf("decision: load factor %v outside (0,1)", w.LoadFactor)
+	}
+	if w.UnsuccessfulPct < 0 || w.UnsuccessfulPct > 100 {
+		return fmt.Errorf("decision: unsuccessful-lookup percentage %d outside [0,100]", w.UnsuccessfulPct)
+	}
+	return nil
+}
+
+// Recommend walks the Figure 8 decision graph for w.
+func Recommend(w Workload) (Choice, error) {
+	if err := w.Validate(); err != nil {
+		return Choice{}, err
+	}
+	c := Choice{Family: "Mult"}
+	trace := func(format string, args ...any) {
+		c.Path = append(c.Path, fmt.Sprintf(format, args...))
+	}
+
+	if w.LoadFactor < 0.5 {
+		trace("load factor %.0f%% < 50%%", w.LoadFactor*100)
+		if w.UnsuccessfulPct <= 50 {
+			trace("lookups mostly successful (%d%% unsuccessful <= 50%%) -> LPMult", w.UnsuccessfulPct)
+			c.Scheme = table.SchemeLP
+			return c, nil
+		}
+		trace("lookups mostly unsuccessful (%d%% > 50%%) -> ChainedH24", w.UnsuccessfulPct)
+		c.Scheme = table.SchemeChained24
+		return c, nil
+	}
+	trace("load factor %.0f%% >= 50%%", w.LoadFactor*100)
+
+	if w.WriteHeavy {
+		trace("writes > reads")
+		if w.Dynamic {
+			trace("dynamic (growing) table -> QPMult (best RW performer, §6)")
+			c.Scheme = table.SchemeQP
+			return c, nil
+		}
+		if w.Dense {
+			trace("static build over dense keys -> LPMult (dense+Mult is LP's best case, §5.2)")
+			c.Scheme = table.SchemeLP
+			return c, nil
+		}
+		trace("static build, non-dense keys -> QPMult (best inserts at high load factors, §5.2)")
+		c.Scheme = table.SchemeQP
+		return c, nil
+	}
+	trace("reads >= writes")
+
+	if w.UnsuccessfulPct > 50 {
+		trace("unsuccessful lookups dominate (%d%% > 50%%)", w.UnsuccessfulPct)
+		if w.LoadFactor >= 0.9 {
+			trace("load factor >= 90%% -> CH4Mult (lookups insensitive to load factor and misses)")
+			c.Scheme = table.SchemeCuckooH4
+			return c, nil
+		}
+		if w.LoadFactor <= 0.7 {
+			trace("load factor <= 70%% -> ChainedH24 (wins degenerate miss-heavy probes and fits the §4.5 budget)")
+			c.Scheme = table.SchemeChained24
+			return c, nil
+		}
+		trace("load factor in (70%%, 90%%) -> RHMult (early abort tames misses, up to 4x over LP)")
+		c.Scheme = table.SchemeRH
+		return c, nil
+	}
+	trace("lookups mostly successful (%d%% unsuccessful <= 50%%)", w.UnsuccessfulPct)
+
+	if w.LoadFactor >= 0.8 {
+		trace("table very full (load factor >= 80%%) -> CH4Mult (surpasses probing schemes from ~80%%, §5.2)")
+		c.Scheme = table.SchemeCuckooH4
+		return c, nil
+	}
+	if w.Dense {
+		trace("dense keys at moderate load factor -> LPMult (approximate arithmetic progression, optimal locality)")
+		c.Scheme = table.SchemeLP
+		return c, nil
+	}
+	trace("general case -> RHMult (the paper's all-rounder: top performer in most cells of Figure 6)")
+	c.Scheme = table.SchemeRH
+	return c, nil
+}
+
+// MustRecommend is Recommend that panics on invalid input.
+func MustRecommend(w Workload) Choice {
+	c, err := Recommend(w)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

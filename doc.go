@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "A Seven-Dimensional
+// Analysis of Hashing Methods and its Implications on Query Processing"
+// (Richter, Alvarez, Dittrich; PVLDB 9(3), 2015).
+//
+// The library lives in the subpackages:
+//
+//	table    — the five hashing schemes (+ SoA layout variant)
+//	hashfn   — the four hash-function classes
+//	dist     — the three key distributions
+//	workload — the WORM and RW workload drivers
+//	stats    — displacement/cluster/chain analysis and Knuth's formulas
+//	bench    — the harness regenerating every figure of the evaluation
+//	decision — the Figure 8 practitioner decision graph
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate each figure via "go test -bench Fig -benchmem".
+package repro

@@ -1,0 +1,103 @@
+package hashfn
+
+import "repro/internal/prng"
+
+// This file contains the extensions the paper points at but does not
+// evaluate in its main matrix:
+//
+//   - FNV: footnote 6 lists FNV among the engineered hash functions
+//     (with CRC, DJB, CityHash) that Murmur represents in the study. FNV-1a
+//     is provided so the "engineered function" axis has a second member to
+//     compare against.
+//   - MultAdd32: §4.4 observes that multiply-add-shift over 32-bit keys
+//     needs only native 64-bit arithmetic — "one multiplication, one
+//     addition, and one right bit shift. In that case we could use MultAdd
+//     instead of Murmur for the benefit of proven theoretical properties."
+//     MultAdd32 is that function; BenchmarkHashFn lets you verify it
+//     reaches Mult-class speed.
+
+// FNV is the FNV-1a hash folded over the eight bytes of the key. Like
+// Murmur it is an engineered function without independence guarantees; it
+// is noticeably weaker on structured input (each step mixes only one byte)
+// and cheaper designs exist, which is why the paper picked Murmur as the
+// class representative.
+type FNV struct {
+	seed uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// NewFNV returns an FNV-1a hash pre-seeded with seed (a zero seed gives
+// textbook FNV-1a over the key's little-endian bytes).
+func NewFNV(seed uint64) FNV { return FNV{seed: seed} }
+
+// Hash folds the key's eight bytes through FNV-1a.
+func (f FNV) Hash(x uint64) uint64 {
+	h := uint64(fnvOffset) ^ f.seed
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+// Name implements Function.
+func (FNV) Name() string { return "FNV" }
+
+// FNVFamily draws seeded FNV-1a functions.
+type FNVFamily struct{}
+
+// New implements Family.
+func (FNVFamily) New(seed uint64) Function { return NewFNV(prng.Mix(seed)) }
+
+// Name implements Family.
+func (FNVFamily) Name() string { return "FNV" }
+
+// MultAdd32 is multiply-add-shift for 32-bit keys evaluated in native
+// 64-bit arithmetic:
+//
+//	h_{a,b}(x) = ((a*x + b) mod 2^64) div 2^(64-d)
+//
+// with a, b random 64-bit integers (a odd) and x a 32-bit key. This is
+// 2-independent on the 32-bit universe and costs one multiplication, one
+// addition and (at the consumer) one shift — the §4.4 configuration where
+// MultAdd displaces Murmur. Hash accepts a uint64 but only the low 32 bits
+// participate; keys above 2^32-1 are truncated by design.
+type MultAdd32 struct {
+	a uint64
+	b uint64
+}
+
+// NewMultAdd32 returns the function with the given parameters; a is forced
+// odd.
+func NewMultAdd32(a, b uint64) MultAdd32 { return MultAdd32{a: a | 1, b: b} }
+
+// Hash returns (a*x32 + b) mod 2^64; consumers take the top d bits.
+func (m MultAdd32) Hash(x uint64) uint64 {
+	return m.a*uint64(uint32(x)) + m.b
+}
+
+// Name implements Function.
+func (MultAdd32) Name() string { return "MultAdd32" }
+
+// MultAdd32Family draws MultAdd32 functions with random parameters.
+type MultAdd32Family struct{}
+
+// New implements Family.
+func (MultAdd32Family) New(seed uint64) Function {
+	sm := prng.NewSplitMix64(seed)
+	return NewMultAdd32(sm.Next(), sm.Next())
+}
+
+// Name implements Family.
+func (MultAdd32Family) Name() string { return "MultAdd32" }
+
+// ExtendedFamilies returns the paper's four families plus the extensions in
+// this file.
+func ExtendedFamilies() []Family {
+	return append(Families(), FNVFamily{}, MultAdd32Family{})
+}

@@ -1,0 +1,100 @@
+package hashfn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFNVKnownValues pins textbook FNV-1a (seed 0) over little-endian
+// bytes of the key.
+func TestFNVKnownValues(t *testing.T) {
+	f := NewFNV(0)
+	// Independently computed: fold bytes 01 00 00 00 00 00 00 00.
+	ref := func(x uint64) uint64 {
+		h := uint64(fnvOffset)
+		for i := 0; i < 8; i++ {
+			h ^= (x >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+		return h
+	}
+	for _, x := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		if got, want := f.Hash(x), ref(x); got != want {
+			t.Fatalf("FNV(%#x) = %#x, want %#x", x, got, want)
+		}
+	}
+}
+
+func TestFNVFamilySeeding(t *testing.T) {
+	a := FNVFamily{}.New(1)
+	b := FNVFamily{}.New(2)
+	if a.Name() != "FNV" {
+		t.Fatalf("name %s", a.Name())
+	}
+	same := 0
+	for x := uint64(0); x < 100; x++ {
+		if a.Hash(x) == b.Hash(x) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds ignored: %d/100 collisions", same)
+	}
+}
+
+// TestMultAdd32Definition pins the §4.4 construction.
+func TestMultAdd32Definition(t *testing.T) {
+	m := NewMultAdd32(42, 99) // a becomes 43
+	if m.a != 43 {
+		t.Fatalf("a = %d, want odd 43", m.a)
+	}
+	x := uint64(0x1234_5678)
+	if got, want := m.Hash(x), uint64(43)*x+99; got != want {
+		t.Fatalf("Hash = %d, want %d", got, want)
+	}
+	// Keys are truncated to 32 bits by design.
+	if m.Hash(x) != m.Hash(x|0xffff_ffff_0000_0000) {
+		t.Fatal("high key bits should be ignored")
+	}
+}
+
+// TestMultAdd32TwoIndependenceSample samples the pairwise collision bound
+// on the 32-bit universe: for fixed x != y and a table of 2^d slots,
+// Pr[h(x) == h(y)] ~= 1/2^d over random (a, b).
+func TestMultAdd32TwoIndependenceSample(t *testing.T) {
+	const d = 8
+	const trials = 20000
+	x, y := uint64(123456), uint64(987654)
+	coll := 0
+	for s := uint64(0); s < trials; s++ {
+		f := MultAdd32Family{}.New(s)
+		if TopBits(f.Hash(x), d) == TopBits(f.Hash(y), d) {
+			coll++
+		}
+	}
+	bound := 1.0 / (1 << d)
+	if got := float64(coll) / trials; got > 2*bound {
+		t.Fatalf("collision rate %.5f exceeds 2x the 2-independent bound %.5f", got, bound)
+	}
+}
+
+func TestExtendedFamilies(t *testing.T) {
+	fams := ExtendedFamilies()
+	if len(fams) != 6 {
+		t.Fatalf("%d families", len(fams))
+	}
+	names := map[string]bool{}
+	for _, f := range fams {
+		names[f.Name()] = true
+		fn := f.New(7)
+		prop := func(x uint64) bool { return fn.Hash(x) == fn.Hash(x) }
+		if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s not deterministic: %v", f.Name(), err)
+		}
+	}
+	for _, want := range []string{"Mult", "MultAdd", "Tab", "Murmur", "FNV", "MultAdd32"} {
+		if !names[want] {
+			t.Errorf("missing family %s", want)
+		}
+	}
+}

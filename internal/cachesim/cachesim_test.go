@@ -1,0 +1,128 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := New(0, 8, 64); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New(1000, 8, 64); err == nil {
+		t.Error("non-divisible size accepted")
+	}
+	if _, err := New(3*8*64, 8, 64); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	if c := MustNew(32<<10, 8, 64); c.LineBytes() != 64 {
+		t.Error("line size lost")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(-1, 1, 1)
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := MustNew(1<<10, 2, 64)
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) || !c.Access(63) {
+		t.Fatal("same line missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next line hit cold")
+	}
+	if c.Accesses() != 4 || c.Misses() != 2 {
+		t.Fatalf("accesses=%d misses=%d", c.Accesses(), c.Misses())
+	}
+	if c.MissRate() != 0.5 {
+		t.Fatalf("miss rate %v", c.MissRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 ways, 1 set: capacity 2 lines.
+	c := MustNew(2*64, 2, 64)
+	c.Access(0 * 64) // A
+	c.Access(1 * 64) // B     (LRU: A)
+	c.Access(0 * 64) // A hit (LRU: B)
+	if c.Access(2 * 64) {
+		t.Fatal("C should miss")
+	} // evicts B
+	if !c.Access(0 * 64) {
+		t.Fatal("A should survive (was MRU)")
+	}
+	if c.Access(1 * 64) {
+		t.Fatal("B should have been evicted")
+	}
+}
+
+func TestSetMapping(t *testing.T) {
+	// 2 sets: lines alternate sets; filling one set must not evict the
+	// other.
+	c := MustNew(2*2*64, 2, 64) // 2 sets x 2 ways
+	c.Access(0 * 64)            // set 0
+	c.Access(2 * 64)            // set 0
+	c.Access(4 * 64)            // set 0 -> evicts line 0
+	if !c.Access(1*64) == false {
+		t.Fatal("set 1 unexpectedly warm")
+	}
+	if c.Access(0 * 64) {
+		t.Fatal("line 0 should have been evicted from set 0")
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	c := MustNew(1<<12, 4, 64)
+	if m := c.AccessRange(0, 64); m != 1 {
+		t.Fatalf("one-line range missed %d", m)
+	}
+	if m := c.AccessRange(60, 8); m != 1 { // crosses into line 1
+		t.Fatalf("straddling range missed %d (line 0 warm, line 1 cold)", m)
+	}
+	if m := c.AccessRange(0, 256); m != 2 { // lines 0,1 warm; 2,3 cold
+		t.Fatalf("4-line range missed %d, want 2", m)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(1<<10, 2, 64)
+	c.Access(0)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 || c.MissRate() != 0 {
+		t.Fatal("counters survived reset")
+	}
+	if c.Access(0) {
+		t.Fatal("contents survived reset")
+	}
+}
+
+// TestWorkingSetProperty: any working set that fits the cache has no
+// misses after the first pass.
+func TestWorkingSetProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		c := MustNew(1<<12, 4, 64) // 64 lines
+		lines := 32
+		// First pass: all cold.
+		for i := 0; i < lines; i++ {
+			c.Access(uint64(i) * 64)
+		}
+		// Steady state: everything hits.
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < lines; i++ {
+				if !c.Access(uint64(i) * 64) {
+					return false
+				}
+			}
+		}
+		return c.Misses() == uint64(lines)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}

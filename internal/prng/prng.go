@@ -1,0 +1,133 @@
+// Package prng provides small, fast, deterministic pseudo-random number
+// generators used throughout the repository for seed derivation, key
+// generation and shuffling.
+//
+// Two generators are provided:
+//
+//   - SplitMix64: a tiny 64-bit generator with a single u64 of state. It is
+//     primarily used to derive independent seeds and to fill tabulation
+//     tables, mirroring the role of the "truly random" bits the paper
+//     assumes for Tab.
+//   - Xoshiro256: xoshiro256** by Blackman and Vigna, used for bulk key
+//     generation where a longer period and better equidistribution matter.
+//
+// Neither generator is cryptographically secure; they are experiment
+// infrastructure. Both are fully deterministic given a seed, which makes
+// every experiment in this repository reproducible bit-for-bit.
+package prng
+
+import "math/bits"
+
+// SplitMix64 is a 64-bit state pseudo-random generator. The zero value is a
+// valid generator (seeded with 0). It is the generator recommended for
+// seeding xoshiro-family generators.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next pseudo-random 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix applies the SplitMix64 output function to x without advancing any
+// state. It is a convenient stateless 64-bit mixer.
+func Mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Xoshiro256 implements the xoshiro256** generator. Use NewXoshiro256 to
+// obtain a correctly seeded instance; the zero value is invalid (all-zero
+// state is a fixed point) and is repaired lazily to a fixed nonzero state.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a xoshiro256** generator seeded from seed via
+// SplitMix64, as recommended by the algorithm's authors.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	x := &Xoshiro256{}
+	x.s[0] = sm.Next()
+	x.s[1] = sm.Next()
+	x.s[2] = sm.Next()
+	x.s[3] = sm.Next()
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return x
+}
+
+// Next returns the next pseudo-random 64-bit value.
+func (x *Xoshiro256) Next() uint64 {
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	result := bits.RotateLeft64(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = bits.RotateLeft64(x.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniformly distributed value in [0, n). It panics if n is
+// zero. It uses Lemire's multiply-shift rejection method, which avoids the
+// modulo bias of naive `Next() % n` while performing a single multiplication
+// in the common case.
+func (x *Xoshiro256) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n with n == 0")
+	}
+	for {
+		v := x.Next()
+		hi, lo := bits.Mul64(v, n)
+		if lo >= n || lo >= -n%n {
+			return hi
+		}
+	}
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with n <= 0")
+	}
+	return int(x.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Next()>>11) / (1 << 53)
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using the
+// Fisher-Yates algorithm, calling swap(i, j) for each exchange.
+func (x *Xoshiro256) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// ShuffleUint64 permutes the slice in place.
+func (x *Xoshiro256) ShuffleUint64(keys []uint64) {
+	x.Shuffle(len(keys), func(i, j int) {
+		keys[i], keys[j] = keys[j], keys[i]
+	})
+}

@@ -1,0 +1,147 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values from the canonical splitmix64.c with seed 0:
+	// successive outputs.
+	sm := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := sm.Next(); got != w {
+			t.Fatalf("SplitMix64(0) output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestMixMatchesStatelessApplication(t *testing.T) {
+	prop := func(x uint64) bool {
+		sm := NewSplitMix64(x)
+		return sm.Next() == Mix(x)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXoshiroDeterminism(t *testing.T) {
+	a, b := NewXoshiro256(99), NewXoshiro256(99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed xoshiro diverged")
+		}
+	}
+	c := NewXoshiro256(100)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if b.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds agreed %d/1000 times", same)
+	}
+}
+
+func TestXoshiroZeroStateRepair(t *testing.T) {
+	var x Xoshiro256 // all-zero state is a fixed point if not repaired
+	if x.Next() == 0 && x.Next() == 0 && x.Next() == 0 {
+		t.Fatal("zero-state xoshiro emitted zeros; repair failed")
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	x := NewXoshiro256(1)
+	for _, n := range []uint64{1, 2, 3, 10, 1000, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			if v := x.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	x.Uint64n(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	x := NewXoshiro256(2)
+	const n = 10
+	const draws = 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[x.Uint64n(n)]++
+	}
+	want := draws / n
+	for v, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("value %d drawn %d times, want ~%d", v, c, want)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	x := NewXoshiro256(3)
+	for i := 0; i < 1000; i++ {
+		if v := x.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	x.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := NewXoshiro256(4)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestShuffleUint64IsPermutation(t *testing.T) {
+	x := NewXoshiro256(5)
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	x.ShuffleUint64(keys)
+	seen := make([]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("key %d appears twice after shuffle", k)
+		}
+		seen[k] = true
+	}
+	moved := 0
+	for i, k := range keys {
+		if uint64(i) != k {
+			moved++
+		}
+	}
+	if moved < len(keys)/2 {
+		t.Fatalf("shuffle moved only %d/%d elements", moved, len(keys))
+	}
+}

@@ -1,0 +1,130 @@
+package vec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCmpEq4Masks(t *testing.T) {
+	cases := []struct {
+		l    [4]uint64
+		n    uint64
+		want Mask4
+	}{
+		{[4]uint64{1, 2, 3, 4}, 5, 0b0000},
+		{[4]uint64{1, 2, 3, 4}, 1, 0b0001},
+		{[4]uint64{1, 2, 3, 4}, 4, 0b1000},
+		{[4]uint64{7, 7, 7, 7}, 7, 0b1111},
+		{[4]uint64{0, 9, 0, 9}, 0, 0b0101},
+	}
+	for _, c := range cases {
+		if got := CmpEq4(c.l[0], c.l[1], c.l[2], c.l[3], c.n); got != c.want {
+			t.Errorf("CmpEq4(%v, %d) = %04b, want %04b", c.l, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMask4FirstAndNone(t *testing.T) {
+	if !Mask4(0).None() {
+		t.Error("Mask4(0).None() = false")
+	}
+	if Mask4(0b0100).None() {
+		t.Error("nonzero mask reported None")
+	}
+	firsts := map[Mask4]int{
+		0b0001: 0, 0b0010: 1, 0b0100: 2, 0b1000: 3,
+		0b1010: 1, 0b1111: 0, 0b1100: 2,
+	}
+	for m, want := range firsts {
+		if got := m.First(); got != want {
+			t.Errorf("Mask4(%04b).First() = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestLoadSoA4(t *testing.T) {
+	keys := []uint64{10, 11, 12, 13, 14, 15, 16, 17}
+	a, b, c, d := LoadSoA4(keys, 4)
+	if a != 14 || b != 15 || c != 16 || d != 17 {
+		t.Fatalf("LoadSoA4 = %d,%d,%d,%d", a, b, c, d)
+	}
+}
+
+func TestGatherAoS4(t *testing.T) {
+	// Interleaved key/value: keys at even indexes.
+	kv := []uint64{1, 100, 2, 200, 3, 300, 4, 400, 5, 500, 6, 600, 7, 700, 8, 800}
+	a, b, c, d := GatherAoS4(kv, 2) // slots 2..5 -> keys 3,4,5,6
+	if a != 3 || b != 4 || c != 5 || d != 6 {
+		t.Fatalf("GatherAoS4 = %d,%d,%d,%d", a, b, c, d)
+	}
+}
+
+func TestFindEqHelpers(t *testing.T) {
+	keys := []uint64{9, 8, 7, 6, 5, 4, 3, 2}
+	if m := FindEqSoA4(keys, 0, 7); m != 0b0100 {
+		t.Fatalf("FindEqSoA4 = %04b", m)
+	}
+	if m := FindEqSoA4(keys, 4, 2); m != 0b1000 {
+		t.Fatalf("FindEqSoA4 tail = %04b", m)
+	}
+	kv := []uint64{9, 0, 8, 0, 7, 0, 6, 0}
+	if m := FindEqAoS4(kv, 0, 8); m != 0b0010 {
+		t.Fatalf("FindEqAoS4 = %04b", m)
+	}
+}
+
+func TestFindEqOrEmpty(t *testing.T) {
+	const empty = 0
+	keys := []uint64{5, 0, 6, 0}
+	hit, stop := FindEqOrEmptySoA4(keys, 0, 6, empty)
+	if hit != 0b0100 {
+		t.Fatalf("hit = %04b", hit)
+	}
+	if stop != 0b1010 {
+		t.Fatalf("stop = %04b", stop)
+	}
+	kv := []uint64{5, 50, 0, 0, 6, 60, 0, 0}
+	hit, stop = FindEqOrEmptyAoS4(kv, 0, 5, empty)
+	if hit != 0b0001 {
+		t.Fatalf("AoS hit = %04b", hit)
+	}
+	if stop != 0b1010 {
+		t.Fatalf("AoS stop = %04b", stop)
+	}
+}
+
+// TestCmpEq4MatchesScalar property-tests the kernel against the scalar
+// definition.
+func TestCmpEq4MatchesScalar(t *testing.T) {
+	prop := func(l0, l1, l2, l3, n uint64, pick uint8) bool {
+		// Sometimes force matches so the all-different case doesn't
+		// dominate the sample.
+		switch pick % 5 {
+		case 0:
+			l0 = n
+		case 1:
+			l1 = n
+		case 2:
+			l2 = n
+		case 3:
+			l3 = n
+		}
+		got := CmpEq4(l0, l1, l2, l3, n)
+		var want Mask4
+		for i, l := range [4]uint64{l0, l1, l2, l3} {
+			if l == n {
+				want |= 1 << i
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidthConstant(t *testing.T) {
+	if Width != 4 {
+		t.Fatalf("Width = %d, want 4 (256-bit registers of 64-bit keys)", Width)
+	}
+}

@@ -1,0 +1,207 @@
+// Package join implements in-memory equi-joins on top of the hash tables —
+// the query-processing use case that motivates the paper (§1: "hashing has
+// plenty of applications in modern database systems, including join
+// processing"). Three operators are provided:
+//
+//   - HashJoin: the classic two-phase build/probe join over one
+//     single-threaded table. The build phase is a WORM write phase, the
+//     probe phase a read phase with whatever unsuccessful-probe ratio the
+//     outer relation induces — exactly the workload the paper measures, so
+//     its scheme recommendations apply verbatim.
+//   - PartitionedHashJoin: the partition-based parallel variant the paper
+//     cites (Balkesen et al., Barber et al., Lang et al.): radix-partition
+//     both inputs, then run one independent single-threaded join per
+//     partition.
+//   - NestedLoopJoin: the O(n*m) reference implementation used by the test
+//     suite as a correctness oracle.
+//
+// Joins here are primary-key / foreign-key joins: build-side keys are
+// unique (duplicate build keys keep the last value, map semantics). Each
+// match invokes a caller-supplied emit function, so callers can
+// materialize, count, or aggregate without intermediate allocation.
+package join
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/decision"
+	"repro/hashfn"
+	"repro/partition"
+	"repro/table"
+)
+
+// Row is one tuple of a relation: a join key and a payload.
+type Row struct {
+	Key     uint64
+	Payload uint64
+}
+
+// Relation is a slice of rows.
+type Relation []Row
+
+// Keys returns the keys of the relation (for partitioning and probing).
+func (r Relation) Keys() []uint64 {
+	out := make([]uint64, len(r))
+	for i := range r {
+		out[i] = r[i].Key
+	}
+	return out
+}
+
+// Emit receives one join match: the key and both payloads.
+type Emit func(key, buildPayload, probePayload uint64)
+
+// Config parameterizes a hash join.
+type Config struct {
+	// Scheme selects the build-side table; empty lets the paper's Figure 8
+	// decision graph pick based on the join's shape.
+	Scheme table.Scheme
+	// Family is the hash-function class (default Mult, per the paper).
+	Family hashfn.Family
+	// LoadFactor is the build-side occupancy target (default 0.5: joins
+	// are usually memory-rich and probe-bound).
+	LoadFactor float64
+	Seed       uint64
+}
+
+func (c Config) withDefaults(buildRows, probeRows int) Config {
+	if c.Family == nil {
+		c.Family = hashfn.MultFamily{}
+	}
+	if c.LoadFactor <= 0 || c.LoadFactor >= 1 {
+		c.LoadFactor = 0.5
+	}
+	if c.Scheme == "" {
+		// Ask the decision graph: a join build is a static (WORM) table;
+		// reads dominate when the probe side is larger.
+		choice := decision.MustRecommend(decision.Workload{
+			LoadFactor:      c.LoadFactor,
+			UnsuccessfulPct: 25, // unknowable upfront; assume a moderate miss rate
+			WriteHeavy:      buildRows > probeRows,
+			Dynamic:         false,
+			Dense:           false,
+		})
+		c.Scheme = choice.Scheme
+		if c.Scheme == table.SchemeChained24 {
+			// Chained needs the §4.5 budget machinery; prefer RH for the
+			// automatic path.
+			c.Scheme = table.SchemeRH
+		}
+	}
+	return c
+}
+
+// capacityFor returns a power-of-two capacity placing n keys at the target
+// load factor.
+func capacityFor(n int, lf float64) int {
+	c := 8
+	for float64(n) > lf*float64(c) {
+		c *= 2
+	}
+	return c
+}
+
+// HashJoin joins build ⋈ probe on Key, calling emit for every match. It
+// returns the number of matches. Duplicate keys on the build side follow
+// map semantics (last payload wins); the probe side may repeat keys freely.
+func HashJoin(build, probe Relation, cfg Config, emit Emit) (int, error) {
+	cfg = cfg.withDefaults(len(build), len(probe))
+	m, err := table.New(cfg.Scheme, table.Config{
+		InitialCapacity: capacityFor(len(build), cfg.LoadFactor),
+		MaxLoadFactor:   0,
+		Family:          cfg.Family,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range build {
+		m.Put(r.Key, r.Payload)
+	}
+	matches := 0
+	for _, r := range probe {
+		if v, ok := m.Get(r.Key); ok {
+			matches++
+			if emit != nil {
+				emit(r.Key, v, r.Payload)
+			}
+		}
+	}
+	return matches, nil
+}
+
+// PartitionedHashJoin is the partition-parallel build/probe join: both
+// relations are radix-partitioned by a shared routing hash, then each
+// partition joins independently in its own goroutine. emit may be called
+// concurrently from different partitions and must be safe for that (or
+// nil). It returns the total number of matches.
+func PartitionedHashJoin(build, probe Relation, partitions int, cfg Config, emit Emit) (int, error) {
+	cfg = cfg.withDefaults(len(build), len(probe))
+	pm, err := partition.New(partition.Config{
+		Partitions: partitions,
+		Scheme:     cfg.Scheme,
+		Table: table.Config{
+			InitialCapacity: capacityFor(len(build), cfg.LoadFactor),
+			MaxLoadFactor:   0,
+			Family:          cfg.Family,
+			Seed:            cfg.Seed,
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	p := pm.Partitions()
+	// Partition both inputs with the shared router.
+	buildParts := make([]Relation, p)
+	probeParts := make([]Relation, p)
+	for _, r := range build {
+		j := pm.Partition(r.Key)
+		buildParts[j] = append(buildParts[j], r)
+	}
+	for _, r := range probe {
+		j := pm.Partition(r.Key)
+		probeParts[j] = append(probeParts[j], r)
+	}
+	// One goroutine per partition: build then probe, no shared state.
+	matches := make([]int, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for j := 0; j < p; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			sub := cfg
+			sub.Seed = cfg.Seed + uint64(j)*0x9e3779b97f4a7c15
+			matches[j], errs[j] = HashJoin(buildParts[j], probeParts[j], sub, emit)
+		}(j)
+	}
+	wg.Wait()
+	total := 0
+	for j := 0; j < p; j++ {
+		if errs[j] != nil {
+			return 0, fmt.Errorf("join: partition %d: %w", j, errs[j])
+		}
+		total += matches[j]
+	}
+	return total, nil
+}
+
+// NestedLoopJoin is the quadratic reference join used as a test oracle.
+func NestedLoopJoin(build, probe Relation, emit Emit) int {
+	// Respect map semantics on the build side: last payload per key wins.
+	last := make(map[uint64]uint64, len(build))
+	for _, b := range build {
+		last[b.Key] = b.Payload
+	}
+	matches := 0
+	for _, p := range probe {
+		if v, ok := last[p.Key]; ok {
+			matches++
+			if emit != nil {
+				emit(p.Key, v, p.Payload)
+			}
+		}
+	}
+	return matches
+}

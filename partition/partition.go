@@ -1,0 +1,283 @@
+// Package partition provides the two multi-threading strategies the paper
+// names for taking its single-threaded hash tables parallel (§1):
+//
+//   - Partitioned: radix-partition the key space by hash bits into P
+//     independent single-threaded tables, one owner goroutine each during
+//     parallel phases. This is the paper's preferred argument — "each
+//     partition can be considered an isolated unit of work that is only
+//     accessed by exactly one thread at a time, and therefore concurrency
+//     control inside the hash tables is not needed" — and the substrate of
+//     the partition-based hash joins it cites (Balkesen et al., Barber et
+//     al., Lang et al.).
+//   - Striped: wrap any table.Map per-partition with a mutex (the paper's
+//     "striped locking"), for callers that need shared-memory concurrent
+//     access rather than phase-parallel ownership.
+//
+// Partitioning is by the TOP bits of a dedicated partition hash, which are
+// disjoint from the bits the inner tables consume only if different
+// functions are used; Partitioned therefore draws a separate hash function
+// for routing, seeded independently of the per-partition tables.
+package partition
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/hashfn"
+	"repro/table"
+)
+
+// Config parameterizes a partitioned map.
+type Config struct {
+	// Partitions is the number of partitions P, rounded up to a power of
+	// two (minimum 1).
+	Partitions int
+	// Scheme selects the per-partition table implementation.
+	Scheme table.Scheme
+	// Table configures each inner table; Table.InitialCapacity is the
+	// TOTAL capacity, split evenly across partitions.
+	Table table.Config
+}
+
+// Partitioned is a hash map split into P independent single-threaded
+// tables. Point operations (Put/Get/Delete) are single-threaded like the
+// underlying tables; the *Parallel methods fan work out with one goroutine
+// per partition, which is safe because each goroutine touches only its own
+// partition.
+type Partitioned struct {
+	parts  []table.Map
+	router hashfn.Function
+	shift  uint // 64 - log2(P)
+}
+
+// New builds a partitioned map.
+func New(cfg Config) (*Partitioned, error) {
+	p := cfg.Partitions
+	if p < 1 {
+		p = 1
+	}
+	p = 1 << uint(bits.Len(uint(p-1)))
+	if cfg.Scheme == "" {
+		cfg.Scheme = table.SchemeRH
+	}
+	inner := cfg.Table
+	if inner.Family == nil {
+		inner.Family = hashfn.MultFamily{}
+	}
+	if inner.InitialCapacity > p {
+		inner.InitialCapacity /= p
+	}
+	pm := &Partitioned{
+		parts: make([]table.Map, p),
+		// The router must be independent of the per-partition functions;
+		// derive it from a distinct seed stream.
+		router: inner.Family.New(inner.Seed ^ 0x9a77_e4b0_0f00_d001),
+		shift:  uint(64 - bits.TrailingZeros(uint(p))),
+	}
+	for i := range pm.parts {
+		c := inner
+		c.Seed = inner.Seed + uint64(i)*0x9e3779b97f4a7c15
+		m, err := table.New(cfg.Scheme, c)
+		if err != nil {
+			return nil, err
+		}
+		pm.parts[i] = m
+	}
+	return pm, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Partitioned {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Partitions returns P.
+func (m *Partitioned) Partitions() int { return len(m.parts) }
+
+// Partition returns the index of the partition owning key.
+func (m *Partitioned) Partition(key uint64) int {
+	if len(m.parts) == 1 {
+		return 0
+	}
+	return int(m.router.Hash(key) >> m.shift)
+}
+
+// Put inserts or updates key in its partition.
+func (m *Partitioned) Put(key, val uint64) bool {
+	return m.parts[m.Partition(key)].Put(key, val)
+}
+
+// Get looks key up in its partition.
+func (m *Partitioned) Get(key uint64) (uint64, bool) {
+	return m.parts[m.Partition(key)].Get(key)
+}
+
+// Delete removes key from its partition.
+func (m *Partitioned) Delete(key uint64) bool {
+	return m.parts[m.Partition(key)].Delete(key)
+}
+
+// Len sums the partition sizes.
+func (m *Partitioned) Len() int {
+	n := 0
+	for _, p := range m.parts {
+		n += p.Len()
+	}
+	return n
+}
+
+// Capacity sums the partition capacities.
+func (m *Partitioned) Capacity() int {
+	n := 0
+	for _, p := range m.parts {
+		n += p.Capacity()
+	}
+	return n
+}
+
+// LoadFactor returns Len/Capacity across all partitions.
+func (m *Partitioned) LoadFactor() float64 {
+	return float64(m.Len()) / float64(m.Capacity())
+}
+
+// MemoryFootprint sums the partition footprints.
+func (m *Partitioned) MemoryFootprint() uint64 {
+	var n uint64
+	for _, p := range m.parts {
+		n += p.MemoryFootprint()
+	}
+	return n
+}
+
+// Range iterates every partition in order.
+func (m *Partitioned) Range(fn func(key, val uint64) bool) {
+	for _, p := range m.parts {
+		stopped := false
+		p.Range(func(k, v uint64) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// Name identifies the composite.
+func (m *Partitioned) Name() string {
+	return fmt.Sprintf("Partitioned[%dx%s]", len(m.parts), m.parts[0].Name())
+}
+
+var _ table.Map = (*Partitioned)(nil)
+
+// Skew reports the imbalance across partitions: max partition size divided
+// by the mean (1.0 = perfectly balanced). Partition-based parallelism is
+// only as fast as its fullest partition.
+func (m *Partitioned) Skew() float64 {
+	if m.Len() == 0 {
+		return 1
+	}
+	max := 0
+	for _, p := range m.parts {
+		if p.Len() > max {
+			max = p.Len()
+		}
+	}
+	mean := float64(m.Len()) / float64(len(m.parts))
+	return float64(max) / mean
+}
+
+// BuildParallel radix-partitions keys/vals and inserts each partition's
+// slice with its own goroutine — the build phase of a partition-based hash
+// join. keys and vals must have equal length. It returns the number of
+// newly inserted keys.
+func (m *Partitioned) BuildParallel(keys, vals []uint64) int {
+	if len(keys) != len(vals) {
+		panic("partition: BuildParallel keys/vals length mismatch")
+	}
+	p := len(m.parts)
+	// Partitioning pass (single-threaded scatter, as in the cited joins'
+	// partition phase).
+	bucketKeys := make([][]uint64, p)
+	bucketVals := make([][]uint64, p)
+	approx := len(keys)/p + 16
+	for i := range bucketKeys {
+		bucketKeys[i] = make([]uint64, 0, approx)
+		bucketVals[i] = make([]uint64, 0, approx)
+	}
+	for i, k := range keys {
+		j := m.Partition(k)
+		bucketKeys[j] = append(bucketKeys[j], k)
+		bucketVals[j] = append(bucketVals[j], vals[i])
+	}
+	// Parallel build: one owner goroutine per partition, no locks.
+	inserted := make([]int, p)
+	var wg sync.WaitGroup
+	for j := 0; j < p; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			t := m.parts[j]
+			for i, k := range bucketKeys[j] {
+				if t.Put(k, bucketVals[j][i]) {
+					inserted[j]++
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range inserted {
+		total += n
+	}
+	return total
+}
+
+// ProbeParallel looks up every probe key, writing results into out (values)
+// and found, with one goroutine per partition. out and found must be the
+// same length as probes. It returns the number of hits.
+func (m *Partitioned) ProbeParallel(probes []uint64, out []uint64, found []bool) int {
+	if len(out) != len(probes) || len(found) != len(probes) {
+		panic("partition: ProbeParallel output length mismatch")
+	}
+	p := len(m.parts)
+	// Scatter probe indexes per partition.
+	idx := make([][]int32, p)
+	approx := len(probes)/p + 16
+	for i := range idx {
+		idx[i] = make([]int32, 0, approx)
+	}
+	for i, k := range probes {
+		idx[m.Partition(k)] = append(idx[m.Partition(k)], int32(i))
+	}
+	hits := make([]int, p)
+	var wg sync.WaitGroup
+	for j := 0; j < p; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			t := m.parts[j]
+			for _, i := range idx[j] {
+				v, ok := t.Get(probes[i])
+				out[i], found[i] = v, ok
+				if ok {
+					hits[j]++
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	return total
+}

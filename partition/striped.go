@@ -1,0 +1,113 @@
+package partition
+
+import (
+	"sync"
+
+	"repro/table"
+)
+
+// Striped wraps P inner tables with one mutex per partition — the paper's
+// "striped locking" extension for thread safety (§1). Unlike Partitioned's
+// phase-parallel ownership model, Striped is safe for arbitrary concurrent
+// use; the price is a lock acquisition per operation and contention when
+// goroutines collide on a stripe.
+type Striped struct {
+	inner *Partitioned
+	locks []sync.Mutex
+}
+
+// NewStriped builds a striped-locking map over the same configuration as
+// New.
+func NewStriped(cfg Config) (*Striped, error) {
+	inner, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Striped{
+		inner: inner,
+		locks: make([]sync.Mutex, inner.Partitions()),
+	}, nil
+}
+
+// MustNewStriped is NewStriped that panics on error.
+func MustNewStriped(cfg Config) *Striped {
+	m, err := NewStriped(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Put inserts or updates key under its stripe lock.
+func (m *Striped) Put(key, val uint64) bool {
+	j := m.inner.Partition(key)
+	m.locks[j].Lock()
+	defer m.locks[j].Unlock()
+	return m.inner.parts[j].Put(key, val)
+}
+
+// Get looks key up under its stripe lock.
+func (m *Striped) Get(key uint64) (uint64, bool) {
+	j := m.inner.Partition(key)
+	m.locks[j].Lock()
+	defer m.locks[j].Unlock()
+	return m.inner.parts[j].Get(key)
+}
+
+// Delete removes key under its stripe lock.
+func (m *Striped) Delete(key uint64) bool {
+	j := m.inner.Partition(key)
+	m.locks[j].Lock()
+	defer m.locks[j].Unlock()
+	return m.inner.parts[j].Delete(key)
+}
+
+// Len sums partition sizes, locking each stripe in turn. The result is a
+// consistent sum only when no writers run concurrently.
+func (m *Striped) Len() int {
+	n := 0
+	for j := range m.locks {
+		m.locks[j].Lock()
+		n += m.inner.parts[j].Len()
+		m.locks[j].Unlock()
+	}
+	return n
+}
+
+// Partitions returns the stripe count.
+func (m *Striped) Partitions() int { return m.inner.Partitions() }
+
+// MemoryFootprint sums the partition footprints.
+func (m *Striped) MemoryFootprint() uint64 { return m.inner.MemoryFootprint() }
+
+// Range iterates all stripes, holding one stripe lock at a time.
+func (m *Striped) Range(fn func(key, val uint64) bool) {
+	for j := range m.locks {
+		m.locks[j].Lock()
+		stopped := false
+		m.inner.parts[j].Range(func(k, v uint64) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		m.locks[j].Unlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+var _ table.Map = (*Striped)(nil)
+
+// Name identifies the composite.
+func (m *Striped) Name() string { return "Striped[" + m.inner.Name() + "]" }
+
+// Capacity sums the partition capacities.
+func (m *Striped) Capacity() int { return m.inner.Capacity() }
+
+// LoadFactor returns Len/Capacity.
+func (m *Striped) LoadFactor() float64 {
+	return float64(m.Len()) / float64(m.Capacity())
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]int{1, 2, 3, 4})
+	if s.Count != 4 || s.Total != 10 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if math.Abs(s.Variance-1.25) > 1e-12 {
+		t.Fatalf("Variance = %v, want 1.25", s.Variance)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEmptyAndSingleton(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty Summarize = %+v", s)
+	}
+	s := Summarize([]int{7})
+	if s.Count != 1 || s.Mean != 7 || s.Variance != 0 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("singleton Summarize = %+v", s)
+	}
+}
+
+func TestSummarizeQuick(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		xs := make([]int, len(raw))
+		total := 0
+		for i, r := range raw {
+			xs[i] = int(r)
+			total += int(r)
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.Count == 0
+		}
+		if s.Total != uint64(total) || s.Count != len(xs) {
+			return false
+		}
+		return s.Min <= int(s.Mean+1) && s.Max >= int(s.Mean)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{0, 1, 1, 5, 99}, 4)
+	if h[0] != 1 || h[1] != 2 || h[2] != 0 || h[3] != 2 {
+		t.Fatalf("Histogram = %v", h)
+	}
+	if h := Histogram(nil, 0); len(h) != 1 {
+		t.Fatalf("degenerate Histogram = %v", h)
+	}
+}
+
+// TestKnuthFormulas pins the §7 arithmetic: at alpha=0.9 the expected
+// unsuccessful probe length is ~50.5.
+func TestKnuthFormulas(t *testing.T) {
+	if got := LPExpectedProbesUnsuccessful(0.9); math.Abs(got-50.5) > 0.01 {
+		t.Fatalf("unsuccessful probes at 0.9 = %v, want 50.5", got)
+	}
+	if got := LPExpectedProbesSuccessful(0.9); math.Abs(got-5.5) > 0.01 {
+		t.Fatalf("successful probes at 0.9 = %v, want 5.5", got)
+	}
+	if got := LPExpectedProbesSuccessful(0.5); math.Abs(got-1.5) > 0.01 {
+		t.Fatalf("successful probes at 0.5 = %v, want 1.5", got)
+	}
+	if got := LPExpectedDisplacement(0.9); math.Abs(got-4.5) > 0.01 {
+		t.Fatalf("displacement at 0.9 = %v, want 4.5", got)
+	}
+	// Monotonicity in alpha.
+	prev := 0.0
+	for a := 0.1; a < 0.95; a += 0.05 {
+		cur := LPExpectedProbesUnsuccessful(a)
+		if cur <= prev {
+			t.Fatalf("unsuccessful probe length not increasing at alpha=%v", a)
+		}
+		prev = cur
+	}
+}
+
+// TestLayoutModel pins the paper's cache-line counting: ceil(50.5/4)=13 vs
+// ceil(50.5/8)=7 and the resulting ~1.85 ratio at alpha=0.9.
+func TestLayoutModel(t *testing.T) {
+	p := LPExpectedProbesUnsuccessful(0.9)
+	if got := CacheLinesAoS(p); got != 13 {
+		t.Fatalf("AoS lines = %v, want 13", got)
+	}
+	if got := CacheLinesSoA(p); got != 7 {
+		t.Fatalf("SoA lines = %v, want 7", got)
+	}
+	ratio := LayoutLineRatio(0.9)
+	if math.Abs(ratio-13.0/7.0) > 1e-9 {
+		t.Fatalf("ratio = %v, want 13/7", ratio)
+	}
+	if ratio >= 2 {
+		t.Fatal("the paper's point is that the ratio is below the naive 2x")
+	}
+}
+
+func TestExpectedCollisionRate(t *testing.T) {
+	// n << m: collisions vanish.
+	if r := ExpectedCollisionRate(10, 1<<20); r > 0.001 {
+		t.Fatalf("tiny load collision rate = %v", r)
+	}
+	// The paper's §4.5/§5.1 data point: sparse keys at 45% load factor,
+	// directory of l/2 slots -> n/m = 0.9, observed collision rate ~34%.
+	rate := ExpectedCollisionRate(9*(1<<20)/10, 1<<20)
+	if math.Abs(rate-0.34) > 0.02 {
+		t.Fatalf("collision rate at n/m=0.9 = %v, want ~0.34", rate)
+	}
+	if ExpectedCollisionRate(0, 100) != 0 {
+		t.Fatal("no keys, no collisions")
+	}
+}
+
+func TestExpectedChainLength(t *testing.T) {
+	if ExpectedChainLength(0, 10) != 0 {
+		t.Fatal("empty chain length should be 0")
+	}
+	// The paper's §5.1 argument: at low load factors chains average < 2.
+	l := ExpectedChainLength(1<<19, 1<<20) // n/m = 0.5
+	if l < 1 || l >= 1.5 {
+		t.Fatalf("chain length at n/m=0.5 = %v, want in [1,1.5)", l)
+	}
+	// Chain length grows with load.
+	if ExpectedChainLength(1<<21, 1<<20) <= l {
+		t.Fatal("chain length must grow with n/m")
+	}
+}

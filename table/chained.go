@@ -1,0 +1,487 @@
+package table
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/hashfn"
+	"repro/internal/slab"
+)
+
+// chunkEntriesFor sizes slab chunks proportionally to the directory so that
+// small tables do not pay a fixed multi-megabyte arena (which would wreck
+// the §4.5 memory-budget comparison at small capacities) while large tables
+// still allocate in big, cheap strides.
+func chunkEntriesFor(dirSlots int) int {
+	c := dirSlots / 8
+	if c < 256 {
+		c = 256
+	}
+	if c > slab.DefaultChunkEntries {
+		c = slab.DefaultChunkEntries
+	}
+	return c
+}
+
+// Chained8 is classic chained hashing (§2.1): the directory is an array of
+// 8-byte pointers to linked lists of 24-byte entries. Entries are allocated
+// from a slab allocator — the paper found malloc-per-insert costs up to an
+// order of magnitude in insert throughput. Every lookup, even in a
+// collision-free bucket, must follow one pointer, which is the structural
+// disadvantage the widened Chained24 variant removes.
+type Chained8 struct {
+	dir    []*slab.Entry
+	shift  uint
+	size   int
+	fn     hashfn.Function
+	family hashfn.Family
+	seed   uint64
+	maxLF  float64
+	alloc  *slab.Allocator
+}
+
+var _ Map = (*Chained8)(nil)
+
+// NewChained8 returns an empty pointer-directory chained table.
+func NewChained8(cfg Config) *Chained8 {
+	cfg = cfg.withDefaults()
+	t := &Chained8{
+		family: cfg.Family,
+		seed:   cfg.Seed,
+		maxLF:  cfg.MaxLoadFactor,
+		alloc:  slab.New(chunkEntriesFor(cfg.InitialCapacity)),
+	}
+	t.fn = cfg.Family.New(cfg.Seed)
+	t.dir = make([]*slab.Entry, cfg.InitialCapacity)
+	t.shift = 64 - log2(cfg.InitialCapacity)
+	return t
+}
+
+func (t *Chained8) home(key uint64) uint64 { return t.fn.Hash(key) >> t.shift }
+
+// Name implements Map.
+func (t *Chained8) Name() string { return "ChainedH8" }
+
+// HashName returns the hash-function family name.
+func (t *Chained8) HashName() string { return t.fn.Name() }
+
+// Len implements Map.
+func (t *Chained8) Len() int { return t.size }
+
+// Capacity implements Map (directory slots).
+func (t *Chained8) Capacity() int { return len(t.dir) }
+
+// LoadFactor implements Map; for chained tables this is entries per
+// directory slot and may exceed 1 (§4.5).
+func (t *Chained8) LoadFactor() float64 { return float64(t.size) / float64(len(t.dir)) }
+
+// MemoryFootprint implements Map: 8 bytes per directory slot plus the slab
+// arena holding the 24-byte entries.
+func (t *Chained8) MemoryFootprint() uint64 {
+	return uint64(len(t.dir))*8 + t.alloc.FootprintBytes()
+}
+
+// Get implements Map.
+func (t *Chained8) Get(key uint64) (uint64, bool) {
+	for e := t.dir[t.home(key)]; e != nil; e = e.Next {
+		if e.Key == key {
+			return e.Val, true
+		}
+	}
+	return 0, false
+}
+
+// Put implements Map. New entries are pushed at the head of their chain
+// (order within a chain is immaterial; head insertion avoids walking the
+// list twice).
+func (t *Chained8) Put(key, val uint64) bool {
+	t.maybeGrow()
+	i := t.home(key)
+	for e := t.dir[i]; e != nil; e = e.Next {
+		if e.Key == key {
+			e.Val = val
+			return false
+		}
+	}
+	e := t.alloc.Alloc()
+	e.Key, e.Val = key, val
+	e.Next = t.dir[i]
+	t.dir[i] = e
+	t.size++
+	return true
+}
+
+// Delete implements Map; the removed entry returns to the slab free list.
+func (t *Chained8) Delete(key uint64) bool {
+	i := t.home(key)
+	var prev *slab.Entry
+	for e := t.dir[i]; e != nil; e = e.Next {
+		if e.Key == key {
+			if prev == nil {
+				t.dir[i] = e.Next
+			} else {
+				prev.Next = e.Next
+			}
+			t.alloc.Free(e)
+			t.size--
+			return true
+		}
+		prev = e
+	}
+	return false
+}
+
+func (t *Chained8) maybeGrow() {
+	if t.maxLF == 0 {
+		return
+	}
+	if t.size+1 <= int(t.maxLF*float64(len(t.dir))) {
+		return
+	}
+	// Double the directory and relink existing entries in place; no entry
+	// is reallocated.
+	old := t.dir
+	t.dir = make([]*slab.Entry, len(old)*2)
+	t.shift--
+	for i := range old {
+		e := old[i]
+		for e != nil {
+			next := e.Next
+			j := t.home(e.Key)
+			e.Next = t.dir[j]
+			t.dir[j] = e
+			e = next
+		}
+	}
+}
+
+// Range implements Map.
+func (t *Chained8) Range(fn func(key, val uint64) bool) {
+	for i := range t.dir {
+		for e := t.dir[i]; e != nil; e = e.Next {
+			if !fn(e.Key, e.Val) {
+				return
+			}
+		}
+	}
+}
+
+// ChainLengths returns the length of every non-empty chain; the paper's
+// argument that chains under Mult average below length 2 is checkable here.
+func (t *Chained8) ChainLengths() []int {
+	var out []int
+	for i := range t.dir {
+		n := 0
+		for e := t.dir[i]; e != nil; e = e.Next {
+			n++
+		}
+		if n > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Chained24
+// ---------------------------------------------------------------------------
+
+// bucket24 is Chained24's widened directory slot: a full 24-byte
+// key/value/pointer triplet, so the first entry of every bucket lives
+// inline and collision-free lookups touch no linked list at all (§2.1).
+//
+// Invariants: if next != nil the inline entry is occupied; an unoccupied
+// inline slot has key == emptyKey (real key 0 is kept in a side field).
+type bucket24 struct {
+	key  uint64
+	val  uint64
+	next *slab.Entry
+}
+
+// Chained24 is the paper's widened-directory chained hash table: 24-byte
+// directory slots inline the first entry, trading space for open-addressing
+// latency whenever collisions are rare.
+type Chained24 struct {
+	dir    []bucket24
+	shift  uint
+	size   int
+	fn     hashfn.Function
+	family hashfn.Family
+	seed   uint64
+	maxLF  float64
+	alloc  *slab.Allocator
+
+	hasZero bool   // inline sentinel escape for real key 0
+	zeroVal uint64 // stored out-of-line like open addressing's sentinels
+}
+
+var _ Map = (*Chained24)(nil)
+
+// NewChained24 returns an empty inline-directory chained table.
+func NewChained24(cfg Config) *Chained24 {
+	cfg = cfg.withDefaults()
+	t := &Chained24{
+		family: cfg.Family,
+		seed:   cfg.Seed,
+		maxLF:  cfg.MaxLoadFactor,
+		alloc:  slab.New(chunkEntriesFor(cfg.InitialCapacity)),
+	}
+	t.fn = cfg.Family.New(cfg.Seed)
+	t.dir = make([]bucket24, cfg.InitialCapacity)
+	t.shift = 64 - log2(cfg.InitialCapacity)
+	return t
+}
+
+func (t *Chained24) home(key uint64) uint64 { return t.fn.Hash(key) >> t.shift }
+
+// Name implements Map.
+func (t *Chained24) Name() string { return "ChainedH24" }
+
+// HashName returns the hash-function family name.
+func (t *Chained24) HashName() string { return t.fn.Name() }
+
+// Len implements Map.
+func (t *Chained24) Len() int {
+	if t.hasZero {
+		return t.size + 1
+	}
+	return t.size
+}
+
+// Capacity implements Map (directory slots).
+func (t *Chained24) Capacity() int { return len(t.dir) }
+
+// LoadFactor implements Map.
+func (t *Chained24) LoadFactor() float64 { return float64(t.Len()) / float64(len(t.dir)) }
+
+// MemoryFootprint implements Map: 24 bytes per directory slot plus the slab
+// arena holding overflow entries.
+func (t *Chained24) MemoryFootprint() uint64 {
+	return uint64(len(t.dir))*24 + t.alloc.FootprintBytes()
+}
+
+// Overflow returns the number of entries living in chains rather than
+// inline: the "collisions" of the paper's Figure 3 footprint analysis.
+func (t *Chained24) Overflow() int { return t.alloc.Live() }
+
+// inlineOccupied reports whether b's inline entry holds a live entry.
+func inlineOccupied(b *bucket24) bool { return b.key != emptyKey || b.next != nil }
+
+// Get implements Map.
+func (t *Chained24) Get(key uint64) (uint64, bool) {
+	if key == emptyKey {
+		return t.zeroVal, t.hasZero
+	}
+	b := &t.dir[t.home(key)]
+	if b.key == key {
+		return b.val, true
+	}
+	for e := b.next; e != nil; e = e.Next {
+		if e.Key == key {
+			return e.Val, true
+		}
+	}
+	return 0, false
+}
+
+// Put implements Map: the inline slot is used first; collisions go to the
+// slab-backed chain.
+func (t *Chained24) Put(key, val uint64) bool {
+	if key == emptyKey {
+		inserted := !t.hasZero
+		t.hasZero, t.zeroVal = true, val
+		return inserted
+	}
+	t.maybeGrow()
+	b := &t.dir[t.home(key)]
+	if b.key == key {
+		b.val = val
+		return false
+	}
+	if !inlineOccupied(b) {
+		b.key, b.val = key, val
+		t.size++
+		return true
+	}
+	for e := b.next; e != nil; e = e.Next {
+		if e.Key == key {
+			e.Val = val
+			return false
+		}
+	}
+	e := t.alloc.Alloc()
+	e.Key, e.Val = key, val
+	e.Next = b.next
+	b.next = e
+	t.size++
+	return true
+}
+
+// Delete implements Map. Deleting the inline entry promotes the chain head
+// into the directory so the invariant "chain non-empty => inline occupied"
+// is preserved.
+func (t *Chained24) Delete(key uint64) bool {
+	if key == emptyKey {
+		had := t.hasZero
+		t.hasZero, t.zeroVal = false, 0
+		return had
+	}
+	b := &t.dir[t.home(key)]
+	if b.key == key {
+		if head := b.next; head != nil {
+			b.key, b.val, b.next = head.Key, head.Val, head.Next
+			t.alloc.Free(head)
+		} else {
+			b.key, b.val = emptyKey, 0
+		}
+		t.size--
+		return true
+	}
+	var prev *slab.Entry
+	for e := b.next; e != nil; e = e.Next {
+		if e.Key == key {
+			if prev == nil {
+				b.next = e.Next
+			} else {
+				prev.Next = e.Next
+			}
+			t.alloc.Free(e)
+			t.size--
+			return true
+		}
+		prev = e
+	}
+	return false
+}
+
+func (t *Chained24) maybeGrow() {
+	if t.maxLF == 0 {
+		return
+	}
+	if t.size+1 <= int(t.maxLF*float64(len(t.dir))) {
+		return
+	}
+	// Collect, reset the slab, rebuild with a doubled directory.
+	entries := make([]pair, 0, t.size)
+	for i := range t.dir {
+		b := &t.dir[i]
+		if inlineOccupied(b) {
+			entries = append(entries, pair{b.key, b.val})
+		}
+		for e := b.next; e != nil; e = e.Next {
+			entries = append(entries, pair{e.Key, e.Val})
+		}
+	}
+	t.alloc.Reset()
+	t.dir = make([]bucket24, len(t.dir)*2)
+	t.shift--
+	t.size = 0
+	for _, p := range entries {
+		b := &t.dir[t.home(p.key)]
+		if !inlineOccupied(b) {
+			b.key, b.val = p.key, p.val
+		} else {
+			e := t.alloc.Alloc()
+			e.Key, e.Val = p.key, p.val
+			e.Next = b.next
+			b.next = e
+		}
+		t.size++
+	}
+}
+
+// Range implements Map.
+func (t *Chained24) Range(fn func(key, val uint64) bool) {
+	if t.hasZero && !fn(emptyKey, t.zeroVal) {
+		return
+	}
+	for i := range t.dir {
+		b := &t.dir[i]
+		if inlineOccupied(b) && !fn(b.key, b.val) {
+			return
+		}
+		for e := b.next; e != nil; e = e.Next {
+			if !fn(e.Key, e.Val) {
+				return
+			}
+		}
+	}
+}
+
+// ChainLengths returns, for every non-empty bucket, the number of entries
+// in it (inline entry included).
+func (t *Chained24) ChainLengths() []int {
+	var out []int
+	for i := range t.dir {
+		b := &t.dir[i]
+		n := 0
+		if inlineOccupied(b) {
+			n++
+		}
+		for e := b.next; e != nil; e = e.Next {
+			n++
+		}
+		if n > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// §4.5 memory-budget directory sizing
+// ---------------------------------------------------------------------------
+
+// ChainedBudgetFactor is the paper's memory allowance for chained tables:
+// their footprint may exceed the open-addressing footprint by at most 10%.
+const ChainedBudgetFactor = 1.10
+
+// floorPow2 returns the largest power of two <= x (minimum 8).
+func floorPow2(x float64) int {
+	if x < 8 {
+		return 8
+	}
+	return 1 << uint(bits.Len64(uint64(x))-1)
+}
+
+// Chained8DirectorySlots returns the largest power-of-two directory size
+// such that a Chained8 table holding n = alpha*oaCapacity entries stays
+// within 110% of the open-addressing footprint 16*oaCapacity (§4.5). Every
+// Chained8 entry lives in the slab (24 bytes), so the directory gets what
+// remains of the budget at 8 bytes per slot.
+func Chained8DirectorySlots(alpha float64, oaCapacity int) int {
+	budget := ChainedBudgetFactor * 16 * float64(oaCapacity)
+	n := alpha * float64(oaCapacity)
+	remaining := budget - 24*n
+	return floorPow2(remaining / 8)
+}
+
+// Chained24DirectorySlots returns the largest power-of-two directory size
+// whose 24-byte slots alone fit the §4.5 budget; overflow chains must fit
+// in the remaining slack, which FitsChained24Budget estimates.
+func Chained24DirectorySlots(alpha float64, oaCapacity int) int {
+	budget := ChainedBudgetFactor * 16 * float64(oaCapacity)
+	return floorPow2(budget / 24)
+}
+
+// ExpectedChained24Overflow estimates, for n entries hashed uniformly into
+// dirSlots buckets, how many entries overflow into chains: n minus the
+// expected number of occupied buckets m*(1 - (1-1/m)^n) ~= m*(1-e^(-n/m)).
+func ExpectedChained24Overflow(n, dirSlots int) float64 {
+	m := float64(dirSlots)
+	lam := float64(n) / m
+	occupied := m * (1 - math.Exp(-lam))
+	return float64(n) - occupied
+}
+
+// FitsChained24Budget reports whether a Chained24 table with the §4.5
+// directory sizing is expected to hold n = alpha*oaCapacity entries within
+// the 110% budget. At alpha >= ~0.7 this returns false — the paper's reason
+// for dropping chained hashing from the high-load-factor experiments.
+func FitsChained24Budget(alpha float64, oaCapacity int) bool {
+	budget := ChainedBudgetFactor * 16 * float64(oaCapacity)
+	dir := Chained24DirectorySlots(alpha, oaCapacity)
+	n := int(alpha * float64(oaCapacity))
+	overflow := ExpectedChained24Overflow(n, dir)
+	return float64(dir)*24+overflow*24 <= budget
+}

@@ -1,0 +1,326 @@
+package table
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/hashfn"
+	"repro/internal/prng"
+)
+
+// DefaultCuckooWays is the number of subtables (and hash functions) used by
+// NewCuckoo: the paper's CuckooH4, the only traditional Cuckoo variant whose
+// achievable load factor (~96.7%) covers the paper's sweep up to 90% (§2.5,
+// §5.2).
+const DefaultCuckooWays = 4
+
+// DefaultMaxKicks bounds the displacement chain of one insertion before the
+// table gives up and rehashes with freshly drawn hash functions.
+const DefaultMaxKicks = 500
+
+// Cuckoo is k-ary Cuckoo hashing (§2.5): k subtables T_0..T_{k-1}, each with
+// its own hash function; every key resides in exactly one of its k candidate
+// slots, so lookups probe at most k locations regardless of load factor.
+// Inserts may trigger chains of displacements ("kicks"); a chain longer than
+// maxKicks aborts into a full rehash with new hash functions, exactly as the
+// paper describes. Cuckoo hashing is sensitive to weak hash functions during
+// construction, but once built, its lookups are insensitive to both load
+// factor and unsuccessful-probe ratio — the behaviour the paper observes at
+// load factors >= 80%.
+type Cuckoo struct {
+	slots    []pair // k contiguous subtables of subCap slots each
+	ways     int
+	subCap   uint64
+	size     int
+	fns      []hashfn.Function
+	family   hashfn.Family
+	seed     uint64
+	gen      uint64 // function generation; bumped on every redraw
+	maxLF    float64
+	maxKicks int
+	rng      prng.SplitMix64
+	sent     sentinels
+
+	rehashes   int
+	totalKicks uint64
+}
+
+var _ Map = (*Cuckoo)(nil)
+
+// NewCuckoo returns an empty 4-ary Cuckoo table configured by cfg.
+func NewCuckoo(cfg Config) *Cuckoo { return NewCuckooK(cfg, DefaultCuckooWays) }
+
+// NewCuckooK returns an empty k-ary Cuckoo table, k in [2, 8]. Subtables
+// need not have power-of-two capacity: candidate slots are derived with
+// multiply-shift range reduction, so k = 3 (the paper's ~88%-load-factor
+// variant) works too.
+func NewCuckooK(cfg Config, k int) *Cuckoo {
+	if k < 2 || k > 8 {
+		panic(fmt.Sprintf("table: cuckoo ways must be in [2, 8]; got %d", k))
+	}
+	cfg = cfg.withDefaults()
+	if cfg.InitialCapacity < 8*k {
+		cfg.InitialCapacity = 8 * k
+	}
+	t := &Cuckoo{
+		ways:     k,
+		family:   cfg.Family,
+		seed:     cfg.Seed,
+		maxLF:    cfg.MaxLoadFactor,
+		maxKicks: DefaultMaxKicks,
+		rng:      *prng.NewSplitMix64(cfg.Seed ^ 0xc0c0c0c0c0c0c0c0),
+	}
+	t.drawFunctions()
+	t.init(cfg.InitialCapacity)
+	return t
+}
+
+// drawFunctions draws the current generation of k hash functions.
+func (t *Cuckoo) drawFunctions() {
+	t.fns = make([]hashfn.Function, t.ways)
+	for j := range t.fns {
+		t.fns[j] = t.family.New(prng.Mix(t.seed ^ (t.gen*uint64(t.ways) + uint64(j) + 1)))
+	}
+}
+
+func (t *Cuckoo) init(capacity int) {
+	// Round the requested total down to a multiple of k so the flat array
+	// splits into k equal subtables (for power-of-two k this is exact).
+	sub := capacity / t.ways
+	if sub < 2 {
+		sub = 2
+	}
+	t.subCap = uint64(sub)
+	t.slots = make([]pair, sub*t.ways)
+	t.size = 0
+}
+
+// pos returns the flat index of key's candidate slot in subtable j. The
+// in-subtable index is derived with Lemire's multiply-shift reduction
+// (high 64 bits of hash x subCap), which maps the full hash uniformly onto
+// [0, subCap) for any subtable size — this is what lets k = 3 work — and
+// for the multiplicative families weights exactly the high-quality top
+// bits.
+func (t *Cuckoo) pos(j int, key uint64) int {
+	hi, _ := bits.Mul64(t.fns[j].Hash(key), t.subCap)
+	return j*int(t.subCap) + int(hi)
+}
+
+// Name implements Map.
+func (t *Cuckoo) Name() string { return fmt.Sprintf("CuckooH%d", t.ways) }
+
+// HashName returns the hash-function family name.
+func (t *Cuckoo) HashName() string { return t.family.Name() }
+
+// Ways returns the number of subtables k.
+func (t *Cuckoo) Ways() int { return t.ways }
+
+// Len implements Map.
+func (t *Cuckoo) Len() int { return t.size + t.sent.len() }
+
+// Capacity implements Map.
+func (t *Cuckoo) Capacity() int { return len(t.slots) }
+
+// LoadFactor implements Map.
+func (t *Cuckoo) LoadFactor() float64 {
+	return float64(t.Len()) / float64(len(t.slots))
+}
+
+// MemoryFootprint implements Map.
+func (t *Cuckoo) MemoryFootprint() uint64 {
+	return uint64(len(t.slots)) * pairBytes
+}
+
+// Rehashes returns how many full rehashes (function redraws) construction
+// has needed so far; the paper's construction-failure discussion (§2.5).
+func (t *Cuckoo) Rehashes() int { return t.rehashes }
+
+// TotalKicks returns the total number of displacement steps performed by
+// all inserts, the cost driver behind Cuckoo's slow writes (§5.2).
+func (t *Cuckoo) TotalKicks() uint64 { return t.totalKicks }
+
+// Get implements Map: at most k probes, one per subtable.
+func (t *Cuckoo) Get(key uint64) (uint64, bool) {
+	if isSentinelKey(key) {
+		return t.sent.get(key)
+	}
+	for j := 0; j < t.ways; j++ {
+		s := &t.slots[t.pos(j, key)]
+		if s.key == key {
+			return s.val, true
+		}
+	}
+	return 0, false
+}
+
+// Put implements Map.
+func (t *Cuckoo) Put(key, val uint64) bool {
+	if isSentinelKey(key) {
+		return t.sent.put(key, val)
+	}
+	// Update in place if present.
+	for j := 0; j < t.ways; j++ {
+		s := &t.slots[t.pos(j, key)]
+		if s.key == key {
+			s.val = val
+			return false
+		}
+	}
+	t.maybeGrow()
+	if t.maxLF == 0 {
+		checkGrowable(t.Name(), t.size, len(t.slots))
+	}
+	t.insertFresh(pair{key, val})
+	return true
+}
+
+// insertFresh inserts an entry known to be absent, rehashing (and as a last
+// resort growing) until it fits.
+func (t *Cuckoo) insertFresh(cur pair) {
+	left, ok := t.kickInsert(cur)
+	if ok {
+		t.size++
+		return
+	}
+	// Kick chain exceeded maxKicks: redraw functions and rebuild with the
+	// homeless entry carried along (rehashAll places it and fixes size).
+	t.rehashAll(&left)
+}
+
+// kickInsert runs the displacement loop for cur. On success it returns
+// (zero, true); on failure it returns the entry left homeless and false.
+func (t *Cuckoo) kickInsert(cur pair) (pair, bool) {
+	for kicks := 0; kicks <= t.maxKicks; kicks++ {
+		// First give cur a chance at any empty candidate slot.
+		for j := 0; j < t.ways; j++ {
+			s := &t.slots[t.pos(j, cur.key)]
+			if s.key == emptyKey {
+				*s = cur
+				return pair{}, true
+			}
+		}
+		// All candidates occupied: evict from a randomly chosen subtable
+		// (a random walk avoids the short cycles a fixed rotation can
+		// fall into on k-ary tables).
+		j := int(t.rng.Next() % uint64(t.ways))
+		p := t.pos(j, cur.key)
+		cur, t.slots[p] = t.slots[p], cur
+		t.totalKicks++
+	}
+	return cur, false
+}
+
+// rehashAll redraws the hash functions and rebuilds the table, carrying the
+// homeless entry pending. After several failed attempts at the same
+// capacity it doubles the table as a last resort so that construction
+// always terminates.
+func (t *Cuckoo) rehashAll(pending *pair) {
+	entries := make([]pair, 0, t.size+1)
+	for i := range t.slots {
+		if t.slots[i].key != emptyKey {
+			entries = append(entries, t.slots[i])
+		}
+	}
+	if pending.key != emptyKey {
+		entries = append(entries, *pending)
+		pending.key = emptyKey
+	}
+	capacity := len(t.slots)
+	const attemptsPerCapacity = 16
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && attempt%attemptsPerCapacity == 0 {
+			capacity *= 2
+		}
+		t.gen++
+		t.rehashes++
+		t.drawFunctions()
+		t.init(capacity)
+		if t.buildFrom(entries) {
+			t.size = len(entries)
+			return
+		}
+	}
+}
+
+// buildFrom inserts all entries, reporting failure instead of recursing
+// into another rehash.
+func (t *Cuckoo) buildFrom(entries []pair) bool {
+	for _, e := range entries {
+		if _, ok := t.kickInsert(e); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Delete implements Map: Cuckoo needs no tombstones, slots are simply
+// cleared.
+func (t *Cuckoo) Delete(key uint64) bool {
+	if isSentinelKey(key) {
+		return t.sent.delete(key)
+	}
+	for j := 0; j < t.ways; j++ {
+		s := &t.slots[t.pos(j, key)]
+		if s.key == key {
+			*s = pair{}
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Cuckoo) maybeGrow() {
+	if t.maxLF == 0 {
+		return
+	}
+	if t.size+1 <= int(t.maxLF*float64(len(t.slots))) {
+		return
+	}
+	entries := make([]pair, 0, t.size)
+	for i := range t.slots {
+		if t.slots[i].key != emptyKey {
+			entries = append(entries, t.slots[i])
+		}
+	}
+	capacity := len(t.slots) * 2
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			t.gen++
+			t.rehashes++
+			t.drawFunctions()
+		}
+		t.init(capacity)
+		if t.buildFrom(entries) {
+			t.size = len(entries)
+			return
+		}
+	}
+}
+
+// Range implements Map.
+func (t *Cuckoo) Range(fn func(key, val uint64) bool) {
+	if !t.sent.rng(fn) {
+		return
+	}
+	for i := range t.slots {
+		if t.slots[i].key == emptyKey {
+			continue
+		}
+		if !fn(t.slots[i].key, t.slots[i].val) {
+			return
+		}
+	}
+}
+
+// SubtableOccupancy returns the number of live entries per subtable, useful
+// for verifying that the k functions spread load evenly.
+func (t *Cuckoo) SubtableOccupancy() []int {
+	occ := make([]int, t.ways)
+	for i := range t.slots {
+		if t.slots[i].key != emptyKey {
+			occ[uint64(i)/t.subCap]++
+		}
+	}
+	return occ
+}

@@ -1,0 +1,97 @@
+package table
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// TestCuckooAchievableLoadFactors reproduces the §2.5 discussion: the load
+// factors at which traditional k-ary Cuckoo construction works without
+// rehashing are ~<50% for k=2, ~88% for k=3 and ~96.7% for k=4. We build to
+// a "safe" load factor (comfortably below each threshold) and require zero
+// rehashes, then build past the threshold and require that construction had
+// to rehash (or grow) to cope.
+func TestCuckooAchievableLoadFactors(t *testing.T) {
+	const capacity = 1 << 13
+	cases := []struct {
+		ways     int
+		safePct  int // build must succeed with zero rehashes
+		breakPct int // build must trigger rehashing/growth
+	}{
+		{2, 42, 60},
+		{3, 80, 95},
+		{4, 93, 99},
+	}
+	rng := prng.NewXoshiro256(123)
+	keys := make([]uint64, capacity)
+	for i := range keys {
+		keys[i] = rng.Next() | 1
+	}
+	for _, c := range cases {
+		m := NewCuckooK(Config{InitialCapacity: capacity, Seed: 9}, c.ways)
+		nSafe := m.Capacity() * c.safePct / 100
+		for i := 0; i < nSafe; i++ {
+			m.Put(keys[i], uint64(i))
+		}
+		if m.Rehashes() != 0 {
+			t.Errorf("k=%d: %d rehashes while building to %d%% (should be achievable)",
+				c.ways, m.Rehashes(), c.safePct)
+		}
+		if m.Len() != nSafe {
+			t.Fatalf("k=%d: built %d entries, want %d", c.ways, m.Len(), nSafe)
+		}
+
+		m2 := NewCuckooK(Config{InitialCapacity: capacity, Seed: 9}, c.ways)
+		nBreak := m2.Capacity() * c.breakPct / 100
+		for i := 0; i < nBreak; i++ {
+			m2.Put(keys[i], uint64(i))
+		}
+		if m2.Rehashes() == 0 && m2.Capacity() == m.Capacity() {
+			t.Errorf("k=%d: built to %d%% with no rehash; threshold should forbid it",
+				c.ways, c.breakPct)
+		}
+		// Whatever it took, the table must end correct.
+		for i := 0; i < nBreak; i++ {
+			if v, ok := m2.Get(keys[i]); !ok || v != uint64(i) {
+				t.Fatalf("k=%d: key %d lost after stress build", c.ways, i)
+			}
+		}
+	}
+}
+
+// TestCuckoo3Ways exercises the non-power-of-two subtable path end to end.
+func TestCuckoo3Ways(t *testing.T) {
+	m := NewCuckooK(Config{InitialCapacity: 1 << 10, MaxLoadFactor: 0.8, Seed: 4}, 3)
+	if m.Ways() != 3 {
+		t.Fatalf("Ways = %d", m.Ways())
+	}
+	if m.Capacity()%3 != 0 {
+		t.Fatalf("capacity %d not divisible into 3 subtables", m.Capacity())
+	}
+	rng := prng.NewXoshiro256(5)
+	oracle := map[uint64]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64n(4000)
+		switch rng.Uint64n(4) {
+		case 0:
+			m.Delete(k)
+			delete(oracle, k)
+		default:
+			m.Put(k, k*3)
+			oracle[k] = k * 3
+		}
+	}
+	if m.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", m.Len(), len(oracle))
+	}
+	for k, v := range oracle {
+		if got, ok := m.Get(k); !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v", k, got, ok)
+		}
+	}
+	occ := m.SubtableOccupancy()
+	if len(occ) != 3 {
+		t.Fatalf("occupancy %v", occ)
+	}
+}

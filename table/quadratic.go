@@ -1,0 +1,258 @@
+package table
+
+import "repro/hashfn"
+
+// QuadraticProbing is an open-addressing hash table with quadratic probing
+// (§2.3 of the paper): the i-th probe lands at
+//
+//	h(k, i) = (h'(k) + c1*i + c2*i^2) mod l, with c1 = c2 = 1/2,
+//
+// i.e. the probe offsets are the triangular numbers 0, 1, 3, 6, 10, ...
+// With a power-of-two capacity this particular parameterization is a
+// permutation of the slots: as long as a free slot exists, it will be
+// found. Compared to linear probing, QP trades some locality (after the
+// third probe every step lands on a new cache line) for a reduced tendency
+// to primary clustering; it still exhibits secondary clustering because two
+// keys that collide on their first probe share their entire probe sequence.
+//
+// Deletion places a tombstone unconditionally: the "is the next slot
+// occupied" shortcut of the optimized LP strategy has no analogue here
+// because probe sequences through a slot are not physically contiguous.
+// Inserts recycle tombstones, and tombstone pressure triggers an in-place
+// rehash when growth is enabled.
+type QuadraticProbing struct {
+	slots  []pair
+	shift  uint
+	mask   uint64
+	size   int
+	tombs  int
+	fn     hashfn.Function
+	family hashfn.Family
+	seed   uint64
+	maxLF  float64
+	sent   sentinels
+}
+
+var _ Map = (*QuadraticProbing)(nil)
+
+// NewQuadraticProbing returns an empty quadratic-probing table configured
+// by cfg.
+func NewQuadraticProbing(cfg Config) *QuadraticProbing {
+	cfg = cfg.withDefaults()
+	t := &QuadraticProbing{
+		family: cfg.Family,
+		seed:   cfg.Seed,
+		maxLF:  cfg.MaxLoadFactor,
+	}
+	t.fn = cfg.Family.New(cfg.Seed)
+	t.init(cfg.InitialCapacity)
+	return t
+}
+
+func (t *QuadraticProbing) init(capacity int) {
+	t.slots = make([]pair, capacity)
+	t.shift = 64 - log2(capacity)
+	t.mask = uint64(capacity - 1)
+	t.size = 0
+	t.tombs = 0
+}
+
+func (t *QuadraticProbing) home(key uint64) uint64 { return t.fn.Hash(key) >> t.shift }
+
+// Name implements Map.
+func (t *QuadraticProbing) Name() string { return "QP" }
+
+// HashName returns the hash-function family name.
+func (t *QuadraticProbing) HashName() string { return t.fn.Name() }
+
+// Len implements Map.
+func (t *QuadraticProbing) Len() int { return t.size + t.sent.len() }
+
+// Capacity implements Map.
+func (t *QuadraticProbing) Capacity() int { return len(t.slots) }
+
+// LoadFactor implements Map.
+func (t *QuadraticProbing) LoadFactor() float64 {
+	return float64(t.Len()) / float64(len(t.slots))
+}
+
+// Tombstones returns the number of tombstoned slots (diagnostics).
+func (t *QuadraticProbing) Tombstones() int { return t.tombs }
+
+// MemoryFootprint implements Map.
+func (t *QuadraticProbing) MemoryFootprint() uint64 {
+	return uint64(len(t.slots)) * pairBytes
+}
+
+// Get implements Map.
+func (t *QuadraticProbing) Get(key uint64) (uint64, bool) {
+	if isSentinelKey(key) {
+		return t.sent.get(key)
+	}
+	i := t.home(key)
+	for step := uint64(1); ; step++ {
+		s := &t.slots[i]
+		if s.key == key {
+			return s.val, true
+		}
+		if s.key == emptyKey {
+			return 0, false
+		}
+		if step > t.mask {
+			// Probed every slot (triangular numbers are a permutation of a
+			// power-of-two table): the key is absent and no empty slot
+			// exists on its sequence.
+			return 0, false
+		}
+		i = (i + step) & t.mask
+	}
+}
+
+// ensureRoom admits inserts as long as live entries alone do not fill the
+// fixed capacity (quadratic probing's full-coverage guarantee keeps all
+// loops bounded even with zero empty slots); when tombstones have consumed
+// every empty slot it rehashes in place to restore fast termination.
+func (t *QuadraticProbing) ensureRoom() {
+	if t.maxLF != 0 {
+		t.maybeGrow()
+		return
+	}
+	checkGrowable(t.Name(), t.size, len(t.slots))
+	if t.size+t.tombs == len(t.slots) && t.tombs > 0 {
+		t.rehash(len(t.slots))
+	}
+}
+
+// Put implements Map.
+func (t *QuadraticProbing) Put(key, val uint64) bool {
+	if isSentinelKey(key) {
+		return t.sent.put(key, val)
+	}
+	t.ensureRoom()
+	i := t.home(key)
+	firstTomb := -1
+	for step := uint64(1); ; step++ {
+		s := &t.slots[i]
+		if s.key == key {
+			s.val = val
+			return false
+		}
+		if s.key == emptyKey {
+			if firstTomb >= 0 {
+				t.slots[firstTomb] = pair{key, val}
+				t.tombs--
+			} else {
+				*s = pair{key, val}
+			}
+			t.size++
+			return true
+		}
+		if s.key == tombKey && firstTomb < 0 {
+			firstTomb = int(i)
+		}
+		if step > t.mask {
+			// Full sweep without an empty slot; key absent. Insert into a
+			// recycled tombstone if we saw one (there must be one, or the
+			// table would be over capacity).
+			if firstTomb >= 0 {
+				t.slots[firstTomb] = pair{key, val}
+				t.tombs--
+				t.size++
+				return true
+			}
+			checkGrowable(t.Name(), t.size, len(t.slots))
+		}
+		i = (i + step) & t.mask
+	}
+}
+
+// Delete implements Map; see the type comment for why QP always tombstones.
+func (t *QuadraticProbing) Delete(key uint64) bool {
+	if isSentinelKey(key) {
+		return t.sent.delete(key)
+	}
+	i := t.home(key)
+	for step := uint64(1); ; step++ {
+		s := &t.slots[i]
+		if s.key == key {
+			s.key, s.val = tombKey, 0
+			t.tombs++
+			t.size--
+			return true
+		}
+		if s.key == emptyKey || step > t.mask {
+			return false
+		}
+		i = (i + step) & t.mask
+	}
+}
+
+func (t *QuadraticProbing) maybeGrow() {
+	if t.maxLF == 0 {
+		return
+	}
+	threshold := int(t.maxLF * float64(len(t.slots)))
+	if t.size+t.tombs+1 <= threshold {
+		return
+	}
+	newCap := len(t.slots)
+	if t.size+1 > threshold {
+		newCap *= 2
+	}
+	t.rehash(newCap)
+}
+
+func (t *QuadraticProbing) rehash(capacity int) {
+	old := t.slots
+	t.init(capacity)
+	for idx := range old {
+		k := old[idx].key
+		if k == emptyKey || k == tombKey {
+			continue
+		}
+		i := t.home(k)
+		for step := uint64(1); t.slots[i].key != emptyKey; step++ {
+			i = (i + step) & t.mask
+		}
+		t.slots[i] = old[idx]
+		t.size++
+	}
+}
+
+// Range implements Map.
+func (t *QuadraticProbing) Range(fn func(key, val uint64) bool) {
+	if !t.sent.rng(fn) {
+		return
+	}
+	for i := range t.slots {
+		k := t.slots[i].key
+		if k == emptyKey || k == tombKey {
+			continue
+		}
+		if !fn(k, t.slots[i].val) {
+			return
+		}
+	}
+}
+
+// Displacements returns, for every live entry, the number of probe steps i
+// needed to reach it from its optimal slot along the quadratic sequence
+// (the paper's QP displacement, §2.3). Unlike LP this requires replaying
+// the probe sequence per entry, so it costs O(n * avg displacement).
+func (t *QuadraticProbing) Displacements() []int {
+	out := make([]int, 0, t.size)
+	for idx := range t.slots {
+		k := t.slots[idx].key
+		if k == emptyKey || k == tombKey {
+			continue
+		}
+		i := t.home(k)
+		d := 0
+		for step := uint64(1); i != uint64(idx); step++ {
+			i = (i + step) & t.mask
+			d++
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package table
+
+import "fmt"
+
+// Scheme identifies one of the paper's hashing schemes.
+type Scheme string
+
+// The schemes studied in the paper (§2), plus the SoA layout variant of LP
+// used by the §7 layout study.
+const (
+	SchemeChained8  Scheme = "ChainedH8"
+	SchemeChained24 Scheme = "ChainedH24"
+	SchemeLP        Scheme = "LP"
+	SchemeLPSoA     Scheme = "LPSoA"
+	SchemeQP        Scheme = "QP"
+	SchemeRH        Scheme = "RH"
+	SchemeCuckooH4  Scheme = "CuckooH4"
+)
+
+// Schemes returns the paper's five schemes in presentation order (chained
+// variants first, then open addressing).
+func Schemes() []Scheme {
+	return []Scheme{
+		SchemeChained8, SchemeChained24,
+		SchemeLP, SchemeQP, SchemeRH, SchemeCuckooH4,
+	}
+}
+
+// OpenAddressingSchemes returns the four open-addressing schemes.
+func OpenAddressingSchemes() []Scheme {
+	return []Scheme{SchemeLP, SchemeQP, SchemeRH, SchemeCuckooH4}
+}
+
+// New constructs an empty table of the given scheme. It returns an error
+// for unknown scheme names.
+func New(s Scheme, cfg Config) (Map, error) {
+	switch s {
+	case SchemeChained8:
+		return NewChained8(cfg), nil
+	case SchemeChained24:
+		return NewChained24(cfg), nil
+	case SchemeLP:
+		return NewLinearProbing(cfg), nil
+	case SchemeLPSoA:
+		return NewLinearProbingSoA(cfg), nil
+	case SchemeQP:
+		return NewQuadraticProbing(cfg), nil
+	case SchemeRH:
+		return NewRobinHood(cfg), nil
+	case SchemeCuckooH4:
+		return NewCuckoo(cfg), nil
+	}
+	return nil, fmt.Errorf("table: unknown scheme %q", s)
+}
+
+// MustNew is New that panics on error, for tests and static configuration.
+func MustNew(s Scheme, cfg Config) Map {
+	m, err := New(s, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FullName composes the paper's plot label for a table: scheme name plus
+// hash-function family, e.g. "LPMult" or "ChainedH24Murmur".
+func FullName(m Map, familyName string) string {
+	return m.Name() + familyName
+}

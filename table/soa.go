@@ -1,0 +1,239 @@
+package table
+
+import "repro/hashfn"
+
+// LinearProbingSoA is linear probing in struct-of-arrays layout (§7 of the
+// paper): keys and values live in two separate, aligned arrays, like a
+// column layout. Compared to the array-of-structs LinearProbing:
+//
+//   - a successful probe must touch at least two cache lines (one in the
+//     key array, one in the value array), which hurts short probe
+//     sequences;
+//   - long probe sequences scan only keys — half the bytes of AoS — which
+//     helps at high load factors;
+//   - densely packed keys make vectorized comparison natural, which is why
+//     the paper's SIMD variant favours SoA (see GetVec in batch.go).
+//
+// Semantics are identical to LinearProbing, including the optimized
+// tombstone deletion.
+type LinearProbingSoA struct {
+	keys   []uint64
+	vals   []uint64
+	shift  uint
+	mask   uint64
+	size   int
+	tombs  int
+	fn     hashfn.Function
+	family hashfn.Family
+	seed   uint64
+	maxLF  float64
+	sent   sentinels
+}
+
+var _ Map = (*LinearProbingSoA)(nil)
+
+// NewLinearProbingSoA returns an empty SoA linear-probing table.
+func NewLinearProbingSoA(cfg Config) *LinearProbingSoA {
+	cfg = cfg.withDefaults()
+	t := &LinearProbingSoA{
+		family: cfg.Family,
+		seed:   cfg.Seed,
+		maxLF:  cfg.MaxLoadFactor,
+	}
+	t.fn = cfg.Family.New(cfg.Seed)
+	t.init(cfg.InitialCapacity)
+	return t
+}
+
+func (t *LinearProbingSoA) init(capacity int) {
+	t.keys = make([]uint64, capacity)
+	t.vals = make([]uint64, capacity)
+	t.shift = 64 - log2(capacity)
+	t.mask = uint64(capacity - 1)
+	t.size = 0
+	t.tombs = 0
+}
+
+func (t *LinearProbingSoA) home(key uint64) uint64 { return t.fn.Hash(key) >> t.shift }
+
+// Name implements Map.
+func (t *LinearProbingSoA) Name() string { return "LPSoA" }
+
+// HashName returns the hash-function family name.
+func (t *LinearProbingSoA) HashName() string { return t.fn.Name() }
+
+// Len implements Map.
+func (t *LinearProbingSoA) Len() int { return t.size + t.sent.len() }
+
+// Capacity implements Map.
+func (t *LinearProbingSoA) Capacity() int { return len(t.keys) }
+
+// LoadFactor implements Map.
+func (t *LinearProbingSoA) LoadFactor() float64 {
+	return float64(t.Len()) / float64(len(t.keys))
+}
+
+// Tombstones returns the number of tombstoned slots.
+func (t *LinearProbingSoA) Tombstones() int { return t.tombs }
+
+// MemoryFootprint implements Map: two 8-byte arrays, same total as AoS.
+func (t *LinearProbingSoA) MemoryFootprint() uint64 {
+	return uint64(len(t.keys)) * 16
+}
+
+// Get implements Map.
+func (t *LinearProbingSoA) Get(key uint64) (uint64, bool) {
+	if isSentinelKey(key) {
+		return t.sent.get(key)
+	}
+	i := t.home(key)
+	for {
+		k := t.keys[i]
+		if k == key {
+			return t.vals[i], true
+		}
+		if k == emptyKey {
+			return 0, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// ensureRoom keeps at least one truly empty slot so probe loops terminate;
+// see LinearProbing.ensureRoom.
+func (t *LinearProbingSoA) ensureRoom() {
+	if t.maxLF != 0 {
+		t.maybeGrow()
+		return
+	}
+	if t.size+t.tombs+1 < len(t.keys) {
+		return
+	}
+	checkGrowable(t.Name(), t.size+1, len(t.keys))
+	t.rehash(len(t.keys))
+}
+
+// Put implements Map.
+func (t *LinearProbingSoA) Put(key, val uint64) bool {
+	if isSentinelKey(key) {
+		return t.sent.put(key, val)
+	}
+	t.ensureRoom()
+	i := t.home(key)
+	firstTomb := -1
+	for {
+		k := t.keys[i]
+		if k == key {
+			t.vals[i] = val
+			return false
+		}
+		if k == emptyKey {
+			if firstTomb >= 0 {
+				t.keys[firstTomb] = key
+				t.vals[firstTomb] = val
+				t.tombs--
+			} else {
+				t.keys[i] = key
+				t.vals[i] = val
+			}
+			t.size++
+			return true
+		}
+		if k == tombKey && firstTomb < 0 {
+			firstTomb = int(i)
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Delete implements Map with the optimized tombstone strategy (see
+// LinearProbing.Delete).
+func (t *LinearProbingSoA) Delete(key uint64) bool {
+	if isSentinelKey(key) {
+		return t.sent.delete(key)
+	}
+	i := t.home(key)
+	for {
+		k := t.keys[i]
+		if k == key {
+			next := (i + 1) & t.mask
+			if t.keys[next] == emptyKey {
+				t.keys[i], t.vals[i] = emptyKey, 0
+				j := (i - 1) & t.mask
+				for t.keys[j] == tombKey {
+					t.keys[j] = emptyKey
+					t.tombs--
+					j = (j - 1) & t.mask
+				}
+			} else {
+				t.keys[i], t.vals[i] = tombKey, 0
+				t.tombs++
+			}
+			t.size--
+			return true
+		}
+		if k == emptyKey {
+			return false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *LinearProbingSoA) maybeGrow() {
+	if t.maxLF == 0 {
+		return
+	}
+	threshold := int(t.maxLF * float64(len(t.keys)))
+	if t.size+t.tombs+1 <= threshold {
+		return
+	}
+	newCap := len(t.keys)
+	if t.size+1 > threshold {
+		newCap *= 2
+	}
+	t.rehash(newCap)
+}
+
+func (t *LinearProbingSoA) rehash(capacity int) {
+	oldKeys, oldVals := t.keys, t.vals
+	t.init(capacity)
+	for idx, k := range oldKeys {
+		if k == emptyKey || k == tombKey {
+			continue
+		}
+		i := t.home(k)
+		for t.keys[i] != emptyKey {
+			i = (i + 1) & t.mask
+		}
+		t.keys[i] = k
+		t.vals[i] = oldVals[idx]
+		t.size++
+	}
+}
+
+// Range implements Map.
+func (t *LinearProbingSoA) Range(fn func(key, val uint64) bool) {
+	if !t.sent.rng(fn) {
+		return
+	}
+	for i, k := range t.keys {
+		if k == emptyKey || k == tombKey {
+			continue
+		}
+		if !fn(k, t.vals[i]) {
+			return
+		}
+	}
+}
+
+// Displacements returns per-entry displacements, as for LinearProbing.
+func (t *LinearProbingSoA) Displacements() []int {
+	out := make([]int, 0, t.size)
+	for i, k := range t.keys {
+		if k == emptyKey || k == tombKey {
+			continue
+		}
+		out = append(out, int((uint64(i)-t.home(k))&t.mask))
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+// Package table implements the five hashing schemes studied in
+// "A Seven-Dimensional Analysis of Hashing Methods and its Implications on
+// Query Processing" (Richter, Alvarez, Dittrich; PVLDB 9(3), 2015), §2:
+//
+//   - Chained8: classic chained hashing with an 8-byte (pointer-only)
+//     directory and slab-allocated 24-byte entries.
+//   - Chained24: chained hashing with a widened 24-byte directory slot that
+//     inlines the first entry of every bucket.
+//   - LinearProbing: open addressing with linear probing in array-of-structs
+//     layout, optimized tombstone deletion.
+//   - QuadraticProbing: triangular-number quadratic probing (c1 = c2 = 1/2
+//     on power-of-two capacities, guaranteeing full-table coverage).
+//   - RobinHood: the paper's tuned Robin Hood hashing on linear probing,
+//     with displacement-ordered insertion, cache-line-granular early abort
+//     for unsuccessful lookups, and partial-cluster-rehash deletion.
+//   - Cuckoo: k-ary Cuckoo hashing (default k = 4, the paper's CuckooH4).
+//
+// plus LinearProbingSoA, the struct-of-arrays layout variant used by the
+// paper's §7 layout and SIMD study.
+//
+// All tables store 64-bit integer keys and 64-bit values with map
+// semantics (Put is an upsert). They are deliberately single-threaded,
+// matching the paper's setting: for partition-based parallelism each
+// partition is owned by one thread at a time and needs no internal
+// synchronization.
+//
+// # Sentinel keys
+//
+// Open-addressing slots are 16-byte key/value pairs exactly like the
+// paper's; slot emptiness is encoded in the key itself (empty = 0,
+// tombstone = 2^64-1). The two real keys 0 and 2^64-1 are nevertheless
+// fully supported: they are routed to two dedicated side fields, so the
+// map domain is the complete uint64 space.
+package table
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/hashfn"
+)
+
+// Map is the common interface of all hash tables in this package.
+type Map interface {
+	// Put inserts or updates the mapping key -> val and reports whether the
+	// key was newly inserted (false means an existing value was replaced).
+	Put(key, val uint64) bool
+	// Get returns the value stored under key and whether it is present.
+	Get(key uint64) (uint64, bool)
+	// Delete removes key and reports whether it was present.
+	Delete(key uint64) bool
+	// Len returns the number of live entries.
+	Len() int
+	// Capacity returns the number of slots (directory slots for chained
+	// tables, total slots across subtables for Cuckoo).
+	Capacity() int
+	// LoadFactor returns Len()/Capacity(). For chained tables this can
+	// exceed 1; see the paper's §4.5 for why load factor is interpreted as
+	// a memory budget there.
+	LoadFactor() float64
+	// MemoryFootprint returns the total bytes of the directory plus, for
+	// chained tables, the slab arena.
+	MemoryFootprint() uint64
+	// Range calls fn for every entry until fn returns false. Iteration
+	// order is unspecified. The table must not be mutated during Range.
+	Range(fn func(key, val uint64) bool)
+	// Name returns the scheme name used in the paper ("LP", "QP", "RH",
+	// "CuckooH4", "ChainedH8", "ChainedH24", ...).
+	Name() string
+}
+
+const (
+	// emptyKey marks a free open-addressing slot.
+	emptyKey uint64 = 0
+	// tombKey marks a deleted open-addressing slot (tombstone).
+	tombKey uint64 = ^uint64(0)
+	// pairBytes is the size of one AoS slot: 8-byte key + 8-byte value.
+	pairBytes = 16
+	// slotsPerCacheLine is how many 16-byte AoS slots fit a 64-byte line;
+	// Robin Hood's early-abort check fires once per cache line (§2.4).
+	slotsPerCacheLine = 4
+)
+
+// pair is one array-of-structs slot: a key and its value, 16 bytes.
+type pair struct {
+	key uint64
+	val uint64
+}
+
+// sentinels stores the two keys whose literal values collide with the
+// empty and tombstone markers. They live outside the slot array.
+type sentinels struct {
+	hasEmpty bool   // key 0 present
+	emptyVal uint64 // value for key 0
+	hasTomb  bool   // key 2^64-1 present
+	tombVal  uint64 // value for key 2^64-1
+}
+
+// isSentinelKey reports whether key needs sentinel routing.
+func isSentinelKey(key uint64) bool { return key == emptyKey || key == tombKey }
+
+func (s *sentinels) put(key, val uint64) (inserted bool) {
+	if key == emptyKey {
+		inserted = !s.hasEmpty
+		s.hasEmpty, s.emptyVal = true, val
+		return inserted
+	}
+	inserted = !s.hasTomb
+	s.hasTomb, s.tombVal = true, val
+	return inserted
+}
+
+func (s *sentinels) get(key uint64) (uint64, bool) {
+	if key == emptyKey {
+		return s.emptyVal, s.hasEmpty
+	}
+	return s.tombVal, s.hasTomb
+}
+
+func (s *sentinels) delete(key uint64) bool {
+	if key == emptyKey {
+		had := s.hasEmpty
+		s.hasEmpty, s.emptyVal = false, 0
+		return had
+	}
+	had := s.hasTomb
+	s.hasTomb, s.tombVal = false, 0
+	return had
+}
+
+func (s *sentinels) len() int {
+	n := 0
+	if s.hasEmpty {
+		n++
+	}
+	if s.hasTomb {
+		n++
+	}
+	return n
+}
+
+// rng ranges over the sentinel entries.
+func (s *sentinels) rng(fn func(key, val uint64) bool) bool {
+	if s.hasEmpty && !fn(emptyKey, s.emptyVal) {
+		return false
+	}
+	if s.hasTomb && !fn(tombKey, s.tombVal) {
+		return false
+	}
+	return true
+}
+
+// Config parameterizes table construction.
+type Config struct {
+	// InitialCapacity is the requested number of slots; it is rounded up
+	// to a power of two, minimum 8. For Cuckoo it is the TOTAL capacity
+	// across all subtables.
+	InitialCapacity int
+	// MaxLoadFactor, when positive, is the occupancy threshold at which
+	// the table grows (doubling its capacity and rehashing). Zero disables
+	// growth: the caller guarantees the table never fills, as in the
+	// paper's WORM experiments where capacity is pre-allocated.
+	MaxLoadFactor float64
+	// Family is the hash-function class to draw from. Defaults to Mult.
+	Family hashfn.Family
+	// Seed derives the hash-function parameters (and, for Cuckoo, each
+	// generation of functions). Two tables built with the same Config are
+	// identical.
+	Seed uint64
+}
+
+// withDefaults normalizes a Config.
+func (c Config) withDefaults() Config {
+	if c.InitialCapacity < 8 {
+		c.InitialCapacity = 8
+	}
+	c.InitialCapacity = 1 << uint(bits.Len(uint(c.InitialCapacity-1)))
+	if c.Family == nil {
+		c.Family = hashfn.MultFamily{}
+	}
+	if c.MaxLoadFactor < 0 || c.MaxLoadFactor >= 1 {
+		c.MaxLoadFactor = 0
+	}
+	return c
+}
+
+// log2 returns log2(n) for a power-of-two n.
+func log2(n int) uint { return uint(bits.TrailingZeros(uint(n))) }
+
+// checkGrowable panics with a clear message when a growth-disabled table
+// runs out of room; this is a programmer error in the paper's pre-allocated
+// WORM setting, not a runtime condition to handle.
+func checkGrowable(name string, size, capacity int) {
+	if size >= capacity {
+		panic(fmt.Sprintf("table: %s is full (%d/%d slots) and growth is disabled", name, size, capacity))
+	}
+}

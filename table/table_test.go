@@ -1,0 +1,329 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/hashfn"
+	"repro/internal/prng"
+)
+
+// allSchemes lists every scheme, including the SoA layout variant.
+func allSchemes() []Scheme {
+	return []Scheme{
+		SchemeChained8, SchemeChained24,
+		SchemeLP, SchemeLPSoA, SchemeQP, SchemeRH, SchemeCuckooH4,
+	}
+}
+
+func allFamilies() []hashfn.Family { return hashfn.Families() }
+
+// forEachTable runs fn for each scheme under each family, with growth
+// enabled at the given threshold.
+func forEachTable(t *testing.T, capacity int, maxLF float64, fn func(t *testing.T, m Map)) {
+	t.Helper()
+	for _, s := range allSchemes() {
+		for _, f := range allFamilies() {
+			name := fmt.Sprintf("%s/%s", s, f.Name())
+			t.Run(name, func(t *testing.T) {
+				m := MustNew(s, Config{
+					InitialCapacity: capacity,
+					MaxLoadFactor:   maxLF,
+					Family:          f,
+					Seed:            0xbeef,
+				})
+				fn(t, m)
+			})
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	forEachTable(t, 64, 0.9, func(t *testing.T, m Map) {
+		if m.Len() != 0 {
+			t.Fatalf("empty table Len = %d, want 0", m.Len())
+		}
+		if _, ok := m.Get(42); ok {
+			t.Fatal("Get on empty table reported a hit")
+		}
+		if m.Delete(42) {
+			t.Fatal("Delete on empty table reported success")
+		}
+		calls := 0
+		m.Range(func(k, v uint64) bool { calls++; return true })
+		if calls != 0 {
+			t.Fatalf("Range on empty table visited %d entries", calls)
+		}
+		if m.Capacity() <= 0 {
+			t.Fatalf("Capacity = %d, want positive", m.Capacity())
+		}
+		if m.MemoryFootprint() == 0 {
+			t.Fatal("MemoryFootprint = 0, want positive")
+		}
+	})
+}
+
+func TestPutGetDelete(t *testing.T) {
+	forEachTable(t, 64, 0.9, func(t *testing.T, m Map) {
+		if !m.Put(7, 70) {
+			t.Fatal("first Put(7) reported update, want insert")
+		}
+		if m.Put(7, 71) {
+			t.Fatal("second Put(7) reported insert, want update")
+		}
+		if v, ok := m.Get(7); !ok || v != 71 {
+			t.Fatalf("Get(7) = %d,%v; want 71,true", v, ok)
+		}
+		if m.Len() != 1 {
+			t.Fatalf("Len = %d, want 1", m.Len())
+		}
+		if !m.Delete(7) {
+			t.Fatal("Delete(7) failed")
+		}
+		if m.Delete(7) {
+			t.Fatal("second Delete(7) succeeded")
+		}
+		if _, ok := m.Get(7); ok {
+			t.Fatal("Get(7) after delete reported a hit")
+		}
+		if m.Len() != 0 {
+			t.Fatalf("Len after delete = %d, want 0", m.Len())
+		}
+	})
+}
+
+// TestSentinelKeys exercises the two keys whose literal values collide with
+// the slot markers: 0 (empty) and 2^64-1 (tombstone).
+func TestSentinelKeys(t *testing.T) {
+	maxKey := ^uint64(0)
+	forEachTable(t, 64, 0.9, func(t *testing.T, m Map) {
+		for _, k := range []uint64{0, maxKey} {
+			if !m.Put(k, k^0xff) {
+				t.Fatalf("Put(%#x) reported update", k)
+			}
+			if v, ok := m.Get(k); !ok || v != k^0xff {
+				t.Fatalf("Get(%#x) = %d,%v", k, v, ok)
+			}
+		}
+		if m.Len() != 2 {
+			t.Fatalf("Len = %d, want 2", m.Len())
+		}
+		// Sentinel keys must appear in Range.
+		seen := map[uint64]bool{}
+		m.Range(func(k, v uint64) bool { seen[k] = true; return true })
+		if !seen[0] || !seen[maxKey] {
+			t.Fatalf("Range missed sentinel keys: %v", seen)
+		}
+		// Update and delete.
+		m.Put(0, 123)
+		if v, _ := m.Get(0); v != 123 {
+			t.Fatalf("Get(0) after update = %d, want 123", v)
+		}
+		if !m.Delete(0) || !m.Delete(maxKey) {
+			t.Fatal("Delete of sentinel keys failed")
+		}
+		if m.Len() != 0 {
+			t.Fatalf("Len = %d, want 0", m.Len())
+		}
+	})
+}
+
+// TestDifferentialVsBuiltinMap replays a long random operation stream
+// against every table and Go's built-in map as the oracle.
+func TestDifferentialVsBuiltinMap(t *testing.T) {
+	const ops = 60000
+	forEachTable(t, 64, 0.85, func(t *testing.T, m Map) {
+		rng := prng.NewXoshiro256(0x0d1f)
+		oracle := make(map[uint64]uint64)
+		// Small key space forces plenty of updates, deletes of present
+		// keys and lookups of absent ones.
+		keySpace := uint64(8192)
+		for i := 0; i < ops; i++ {
+			k := rng.Uint64n(keySpace)
+			switch rng.Uint64n(10) {
+			case 0, 1, 2, 3: // put
+				v := rng.Next()
+				_, existed := oracle[k]
+				inserted := m.Put(k, v)
+				if inserted == existed {
+					t.Fatalf("op %d: Put(%d) inserted=%v, oracle existed=%v", i, k, inserted, existed)
+				}
+				oracle[k] = v
+			case 4, 5: // delete
+				_, existed := oracle[k]
+				if deleted := m.Delete(k); deleted != existed {
+					t.Fatalf("op %d: Delete(%d) = %v, oracle existed=%v", i, k, deleted, existed)
+				}
+				delete(oracle, k)
+			default: // get
+				wantV, wantOK := oracle[k]
+				v, ok := m.Get(k)
+				if ok != wantOK || (ok && v != wantV) {
+					t.Fatalf("op %d: Get(%d) = %d,%v; want %d,%v", i, k, v, ok, wantV, wantOK)
+				}
+			}
+			if m.Len() != len(oracle) {
+				t.Fatalf("op %d: Len = %d, oracle has %d", i, m.Len(), len(oracle))
+			}
+		}
+		// Final full sweep, both directions.
+		for k, want := range oracle {
+			if v, ok := m.Get(k); !ok || v != want {
+				t.Fatalf("final Get(%d) = %d,%v; want %d,true", k, v, ok, want)
+			}
+		}
+		got := make(map[uint64]uint64, m.Len())
+		m.Range(func(k, v uint64) bool {
+			if _, dup := got[k]; dup {
+				t.Fatalf("Range yielded key %d twice", k)
+			}
+			got[k] = v
+			return true
+		})
+		if len(got) != len(oracle) {
+			t.Fatalf("Range yielded %d entries, oracle has %d", len(got), len(oracle))
+		}
+		for k, v := range oracle {
+			if got[k] != v {
+				t.Fatalf("Range value for %d = %d, want %d", k, got[k], v)
+			}
+		}
+	})
+}
+
+// TestGrowth fills tables far past their initial capacity.
+func TestGrowth(t *testing.T) {
+	const n = 20000
+	forEachTable(t, 8, 0.8, func(t *testing.T, m Map) {
+		for i := uint64(1); i <= n; i++ {
+			m.Put(i, i*2)
+		}
+		if m.Len() != n {
+			t.Fatalf("Len = %d, want %d", m.Len(), n)
+		}
+		for i := uint64(1); i <= n; i++ {
+			if v, ok := m.Get(i); !ok || v != i*2 {
+				t.Fatalf("Get(%d) = %d,%v after growth", i, v, ok)
+			}
+		}
+		if lf := m.LoadFactor(); lf > 0.85 {
+			t.Fatalf("LoadFactor after growth = %v, want <= grow threshold", lf)
+		}
+	})
+}
+
+// TestFixedCapacityFill fills growth-disabled tables to 90% like the
+// paper's WORM experiments.
+func TestFixedCapacityFill(t *testing.T) {
+	const capacity = 1 << 12
+	n := capacity * 9 / 10
+	for _, s := range allSchemes() {
+		t.Run(string(s), func(t *testing.T) {
+			cap := capacity
+			if s == SchemeChained8 || s == SchemeChained24 {
+				// Chained directories hold >1 entry per slot; capacity is
+				// a directory size here, not a hard limit.
+				cap = capacity / 2
+			}
+			m := MustNew(s, Config{InitialCapacity: cap, Seed: 7})
+			for i := 1; i <= n; i++ {
+				m.Put(uint64(i)*2654435761, uint64(i))
+			}
+			if m.Len() != n {
+				t.Fatalf("Len = %d, want %d", m.Len(), n)
+			}
+			for i := 1; i <= n; i++ {
+				if v, ok := m.Get(uint64(i) * 2654435761); !ok || v != uint64(i) {
+					t.Fatalf("Get key %d = %d,%v", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestRangeEarlyStop checks that Range stops when fn returns false.
+func TestRangeEarlyStop(t *testing.T) {
+	forEachTable(t, 64, 0.9, func(t *testing.T, m Map) {
+		for i := uint64(1); i <= 20; i++ {
+			m.Put(i, i)
+		}
+		calls := 0
+		m.Range(func(k, v uint64) bool {
+			calls++
+			return calls < 5
+		})
+		if calls != 5 {
+			t.Fatalf("Range visited %d entries after early stop, want 5", calls)
+		}
+	})
+}
+
+// TestDeleteThenReinsert stresses tombstone recycling paths.
+func TestDeleteThenReinsert(t *testing.T) {
+	forEachTable(t, 256, 0, func(t *testing.T, m Map) {
+		// Growth disabled: churn within fixed capacity. 256 slots, keep
+		// ~100 live while cycling through deletes and reinserts.
+		rng := prng.NewXoshiro256(3)
+		live := map[uint64]uint64{}
+		for i := 0; i < 4000; i++ {
+			k := rng.Uint64n(100) + 1
+			if _, ok := live[k]; ok {
+				if !m.Delete(k) {
+					t.Fatalf("op %d: Delete(%d) failed", i, k)
+				}
+				delete(live, k)
+			} else {
+				v := rng.Next()
+				m.Put(k, v)
+				live[k] = v
+			}
+			if m.Len() != len(live) {
+				t.Fatalf("op %d: Len=%d want %d", i, m.Len(), len(live))
+			}
+		}
+		for k, v := range live {
+			if got, ok := m.Get(k); !ok || got != v {
+				t.Fatalf("Get(%d) = %d,%v; want %d,true", k, got, ok, v)
+			}
+		}
+	})
+}
+
+func TestRegistry(t *testing.T) {
+	for _, s := range Schemes() {
+		m, err := New(s, Config{InitialCapacity: 64})
+		if err != nil {
+			t.Fatalf("New(%s): %v", s, err)
+		}
+		if m.Name() != string(s) {
+			t.Errorf("New(%s).Name() = %s", s, m.Name())
+		}
+	}
+	if _, err := New("bogus", Config{}); err == nil {
+		t.Fatal("New(bogus) succeeded, want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(bogus) did not panic")
+		}
+	}()
+	MustNew("bogus", Config{})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.InitialCapacity != 8 {
+		t.Errorf("default capacity = %d, want 8", c.InitialCapacity)
+	}
+	if c.Family == nil || c.Family.Name() != "Mult" {
+		t.Errorf("default family = %v, want Mult", c.Family)
+	}
+	c = Config{InitialCapacity: 1000}.withDefaults()
+	if c.InitialCapacity != 1024 {
+		t.Errorf("capacity 1000 rounded to %d, want 1024", c.InitialCapacity)
+	}
+	c = Config{MaxLoadFactor: 1.5}.withDefaults()
+	if c.MaxLoadFactor != 0 {
+		t.Errorf("out-of-range MaxLoadFactor normalized to %v, want 0", c.MaxLoadFactor)
+	}
+}
