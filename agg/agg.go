@@ -58,6 +58,19 @@ type State struct {
 	Max   uint64
 }
 
+// fold accumulates one observation into the group's state; the scalar and
+// batched build paths share it so they cannot diverge.
+func (s *State) fold(value uint64) {
+	s.Count++
+	s.Sum += value
+	if value < s.Min {
+		s.Min = value
+	}
+	if value > s.Max {
+		s.Max = value
+	}
+}
+
 // Avg returns the mean of the accumulated values.
 func (s *State) Avg() float64 {
 	if s.Count == 0 {
@@ -99,6 +112,11 @@ type Config struct {
 type GroupBy struct {
 	idx    table.Map
 	states []State
+
+	// Batched-probe scratch for AddBatch: group indexes and hit flags for
+	// one batch of input rows.
+	bIdx [table.BatchWidth]uint64
+	bOK  [table.BatchWidth]bool
 }
 
 // NewGroupBy builds an empty aggregation operator.
@@ -137,15 +155,7 @@ func MustNewGroupBy(cfg Config) *GroupBy {
 // Add folds one (group, value) observation into the aggregation.
 func (g *GroupBy) Add(group, value uint64) {
 	if i, ok := g.idx.Get(group); ok {
-		st := &g.states[i]
-		st.Count++
-		st.Sum += value
-		if value < st.Min {
-			st.Min = value
-		}
-		if value > st.Max {
-			st.Max = value
-		}
+		g.states[i].fold(value)
 		return
 	}
 	g.idx.Put(group, uint64(len(g.states)))
@@ -154,13 +164,35 @@ func (g *GroupBy) Add(group, value uint64) {
 	})
 }
 
-// AddAll folds a column pair.
+// AddAll folds a column pair through the batched pipeline.
 func (g *GroupBy) AddAll(groups, values []uint64) {
 	if len(groups) != len(values) {
 		panic("agg: AddAll column length mismatch")
 	}
-	for i, grp := range groups {
-		g.Add(grp, values[i])
+	g.AddBatch(groups, values)
+}
+
+// AddBatch folds a column pair one batch at a time: each batch's group keys
+// are resolved with one batched lookup against the index table (the
+// aggregation equivalent of a WORM probe phase, §4), and only the rows that
+// open a new group — rare once the group set has been seen — fall back to
+// the scalar insert path. The scalar fallback also re-checks presence, so a
+// group first seen twice within one batch is counted exactly once.
+func (g *GroupBy) AddBatch(groups, values []uint64) {
+	if len(groups) != len(values) {
+		panic("agg: AddBatch column length mismatch")
+	}
+	for base := 0; base < len(groups); base += table.BatchWidth {
+		n := min(table.BatchWidth, len(groups)-base)
+		gc, vc := groups[base:base+n], values[base:base+n]
+		table.GetBatch(g.idx, gc, g.bIdx[:n], g.bOK[:n])
+		for i := 0; i < n; i++ {
+			if !g.bOK[i] {
+				g.Add(gc[i], vc[i])
+				continue
+			}
+			g.states[g.bIdx[i]].fold(vc[i])
+		}
 	}
 }
 

@@ -1,0 +1,199 @@
+// Package dist implements the three key distributions of the paper's §4.3:
+//
+//   - Dense: the consecutive integers 1..n — the primary-key case, where
+//     multiplicative hashing shines and tabulation's byte tables see only a
+//     few hot rows.
+//   - Sparse: keys drawn uniformly from the full 64-bit domain — the
+//     hash-of-a-hash case with no exploitable structure.
+//   - Grid: keys whose eight bytes each come from a small set of 14 values
+//     ("think of IP addresses") — heavily structured input that exposes weak
+//     hash functions, the paper's adversarial distribution.
+//
+// Distributions are exposed as indexed sequences rather than streams: a
+// Generator maps an index i to the i-th key of the distribution, and two
+// distinct indexes always map to two distinct keys. This makes the key
+// universe addressable — Keys(n) materializes a prefix, AbsentKeys(n, m)
+// draws m keys guaranteed absent from that prefix (indexes >= n), and the
+// RW workload driver can reserve disjoint index ranges for fresh inserts
+// and guaranteed-miss lookups without any bookkeeping.
+//
+// All sequences are deterministic functions of (Kind, seed), so every
+// experiment replays bit-for-bit.
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/prng"
+)
+
+// Kind identifies one of the paper's key distributions.
+type Kind string
+
+// The three distributions of §4.3.
+const (
+	Dense  Kind = "Dense"
+	Sparse Kind = "Sparse"
+	Grid   Kind = "Grid"
+)
+
+// Kinds returns the distributions in the paper's presentation order.
+func Kinds() []Kind { return []Kind{Dense, Sparse, Grid} }
+
+// KindByName returns the distribution with the given name (case-sensitive:
+// "Dense", "Sparse", "Grid").
+func KindByName(name string) (Kind, error) {
+	for _, k := range Kinds() {
+		if string(k) == name {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("dist: unknown distribution %q", name)
+}
+
+// Generator maps indexes to the keys of one distribution. Implementations
+// are injective: distinct indexes yield distinct keys.
+type Generator interface {
+	// Kind returns the distribution this generator draws from.
+	Kind() Kind
+	// Key returns the i-th key of the sequence.
+	Key(i uint64) uint64
+	// Keys returns the first n keys, in index order. Callers that need a
+	// random insertion order shuffle the result (see Shuffled).
+	Keys(n int) []uint64
+	// AbsentKeys returns m keys of the same distribution that are disjoint
+	// from the first n (they occupy indexes n..n+m-1), for unsuccessful
+	// lookup tapes.
+	AbsentKeys(n, m int) []uint64
+}
+
+// New returns the generator of the given distribution. Dense ignores the
+// seed (the sequence 1..n is fixed); Sparse and Grid derive their key
+// material from it.
+func New(kind Kind, seed uint64) Generator {
+	switch kind {
+	case Dense:
+		return denseGen{}
+	case Sparse:
+		return sparseGen{base: prng.Mix(seed ^ 0x5a12e5eed00d1ce5)}
+	case Grid:
+		return newGridGen(seed)
+	}
+	panic(fmt.Sprintf("dist: unknown distribution %q", kind))
+}
+
+// Shuffled returns a pseudo-randomly permuted copy of keys, leaving the
+// input untouched. The permutation is a deterministic function of seed.
+func Shuffled(keys []uint64, seed uint64) []uint64 {
+	out := make([]uint64, len(keys))
+	copy(out, keys)
+	prng.NewXoshiro256(seed).ShuffleUint64(out)
+	return out
+}
+
+// materialize fills a fresh slice with keys at indexes [from, from+n).
+func materialize(g Generator, from uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.Key(from + uint64(i))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+// denseGen yields the consecutive integers 1, 2, 3, ... (starting at 1: key
+// 0 exists in the tables' domain but starting the primary-key sequence at 1
+// matches the paper and every real dense column).
+type denseGen struct{}
+
+func (denseGen) Kind() Kind            { return Dense }
+func (denseGen) Key(i uint64) uint64   { return i + 1 }
+func (g denseGen) Keys(n int) []uint64 { return materialize(g, 0, n) }
+func (g denseGen) AbsentKeys(n, m int) []uint64 {
+	return materialize(g, uint64(n), m)
+}
+
+// ---------------------------------------------------------------------------
+// Sparse
+// ---------------------------------------------------------------------------
+
+// sparseGen yields a pseudo-random permutation of the 64-bit universe:
+// Key(i) applies the (bijective) SplitMix64 output function to base+i, so
+// keys are uniformly spread and injectivity is structural rather than
+// probabilistic — no rejection bookkeeping, and any index range is valid.
+type sparseGen struct {
+	base uint64
+}
+
+func (sparseGen) Kind() Kind            { return Sparse }
+func (g sparseGen) Key(i uint64) uint64 { return prng.Mix(g.base + i) }
+func (g sparseGen) Keys(n int) []uint64 { return materialize(g, 0, n) }
+func (g sparseGen) AbsentKeys(n, m int) []uint64 {
+	return materialize(g, uint64(n), m)
+}
+
+// ---------------------------------------------------------------------------
+// Grid
+// ---------------------------------------------------------------------------
+
+// gridValues is the number of distinct values each key byte can take; the
+// paper uses 14, giving 14^8 ≈ 1.48e9 addressable grid keys — more than any
+// experiment in this repository inserts.
+const gridValues = 14
+
+// gridMax is the number of proper grid keys (14^8).
+const gridMax = uint64(gridValues * gridValues * gridValues * gridValues *
+	gridValues * gridValues * gridValues * gridValues)
+
+// gridGen yields keys whose eight bytes each come from a seed-permuted set
+// of 14 values in [1, 14]: index i is written in base 14 and each digit is
+// mapped through a per-byte-position permutation. Distinct digits map to
+// distinct byte values, so the encoding is injective.
+//
+// Indexes >= 14^8 (only the RW driver's guaranteed-miss range reaches that
+// high) escape to keys with top byte 0xFF — not a legal grid byte — so they
+// are injective too and never collide with proper grid keys.
+type gridGen struct {
+	vals [8][gridValues]uint64 // vals[pos][digit] = byte value << (8*pos)
+}
+
+func newGridGen(seed uint64) *gridGen {
+	rng := prng.NewXoshiro256(seed ^ 0x6e1dd15717b17e5)
+	g := &gridGen{}
+	for pos := 0; pos < 8; pos++ {
+		var perm [gridValues]uint64
+		for d := range perm {
+			perm[d] = uint64(d + 1) // byte values 1..14
+		}
+		rng.Shuffle(gridValues, func(i, j int) {
+			perm[i], perm[j] = perm[j], perm[i]
+		})
+		for d, v := range perm {
+			g.vals[pos][d] = v << (8 * pos)
+		}
+	}
+	return g
+}
+
+func (*gridGen) Kind() Kind { return Grid }
+
+func (g *gridGen) Key(i uint64) uint64 {
+	if i >= gridMax {
+		// Escape range: top byte 0xFF cannot occur in a grid key.
+		return 0xFF<<56 | (i - gridMax)
+	}
+	var k uint64
+	for pos := 0; pos < 8; pos++ {
+		k |= g.vals[pos][i%gridValues]
+		i /= gridValues
+	}
+	return k
+}
+
+func (g *gridGen) Keys(n int) []uint64 { return materialize(g, 0, n) }
+func (g *gridGen) AbsentKeys(n, m int) []uint64 {
+	return materialize(g, uint64(n), m)
+}

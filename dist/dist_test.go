@@ -1,0 +1,145 @@
+package dist
+
+import "testing"
+
+func TestKindByName(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := KindByName(string(k))
+		if err != nil || got != k {
+			t.Fatalf("KindByName(%q) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := KindByName("Zipf"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+// TestDeterminism: two generators with the same (kind, seed) agree on every
+// key; a different seed changes the sequence for the seeded distributions.
+func TestDeterminism(t *testing.T) {
+	const n = 4096
+	for _, k := range Kinds() {
+		a, b := New(k, 7), New(k, 7)
+		for i := uint64(0); i < n; i++ {
+			if a.Key(i) != b.Key(i) {
+				t.Fatalf("%s: Key(%d) differs between equal seeds", k, i)
+			}
+		}
+		if k == Dense {
+			continue // dense is seed-independent by design
+		}
+		c := New(k, 8)
+		same := 0
+		for i := uint64(0); i < n; i++ {
+			if a.Key(i) == c.Key(i) {
+				same++
+			}
+		}
+		if same == n {
+			t.Fatalf("%s: seed change did not alter the sequence", k)
+		}
+	}
+}
+
+// TestCardinality: Keys(n) yields n distinct keys, and AbsentKeys(n, m) is
+// disjoint from them — the injectivity contract every workload driver
+// leans on.
+func TestCardinality(t *testing.T) {
+	const n, m = 1 << 14, 1 << 12
+	for _, k := range Kinds() {
+		gen := New(k, 42)
+		keys := gen.Keys(n)
+		if len(keys) != n {
+			t.Fatalf("%s: Keys(%d) returned %d keys", k, n, len(keys))
+		}
+		seen := make(map[uint64]struct{}, n)
+		for _, key := range keys {
+			if _, dup := seen[key]; dup {
+				t.Fatalf("%s: duplicate key %#x in Keys(%d)", k, key, n)
+			}
+			seen[key] = struct{}{}
+		}
+		for _, key := range gen.AbsentKeys(n, m) {
+			if _, hit := seen[key]; hit {
+				t.Fatalf("%s: AbsentKeys produced present key %#x", k, key)
+			}
+		}
+	}
+}
+
+// TestMissRangeDisjoint covers the RW driver's guaranteed-miss index range
+// (2^40 and up): even that far out, keys stay disjoint from a large prefix.
+func TestMissRangeDisjoint(t *testing.T) {
+	const n = 1 << 14
+	for _, k := range Kinds() {
+		gen := New(k, 3)
+		seen := make(map[uint64]struct{}, n)
+		for _, key := range gen.Keys(n) {
+			seen[key] = struct{}{}
+		}
+		base := uint64(1) << 40
+		for i := uint64(0); i < 1024; i++ {
+			if _, hit := seen[gen.Key(base+i)]; hit {
+				t.Fatalf("%s: miss-range key at index %d collides with prefix", k, base+i)
+			}
+		}
+	}
+}
+
+func TestDenseIsConsecutive(t *testing.T) {
+	gen := New(Dense, 99)
+	for i := uint64(0); i < 100; i++ {
+		if gen.Key(i) != i+1 {
+			t.Fatalf("Dense Key(%d) = %d, want %d", i, gen.Key(i), i+1)
+		}
+	}
+}
+
+// TestGridBytes: every byte of a proper grid key is in [1, 14].
+func TestGridBytes(t *testing.T) {
+	gen := New(Grid, 5)
+	for _, key := range gen.Keys(1 << 12) {
+		for b := 0; b < 8; b++ {
+			v := byte(key >> (8 * b))
+			if v < 1 || v > gridValues {
+				t.Fatalf("grid key %#x has byte %d = %d outside [1,%d]", key, b, v, gridValues)
+			}
+		}
+	}
+}
+
+// TestShuffledIsPermutation: Shuffled preserves the multiset and leaves the
+// input untouched.
+func TestShuffledIsPermutation(t *testing.T) {
+	gen := New(Sparse, 1)
+	keys := gen.Keys(1 << 10)
+	orig := make([]uint64, len(keys))
+	copy(orig, keys)
+	shuf := Shuffled(keys, 2)
+	for i := range keys {
+		if keys[i] != orig[i] {
+			t.Fatal("Shuffled mutated its input")
+		}
+	}
+	counts := map[uint64]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	for _, k := range shuf {
+		counts[k]--
+	}
+	for k, c := range counts {
+		if c != 0 {
+			t.Fatalf("Shuffled changed multiplicity of %#x by %d", k, c)
+		}
+	}
+	moved := 0
+	for i := range shuf {
+		if shuf[i] != orig[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("Shuffled left the slice in identical order")
+	}
+}

@@ -12,7 +12,8 @@
 //	bench    — the harness regenerating every figure of the evaluation
 //	decision — the Figure 8 practitioner decision graph
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
-// bench_test.go regenerate each figure via "go test -bench Fig -benchmem".
+// See README.md for a tour, the batched-API usage example, and how to
+// regenerate the paper's figures. The benchmarks in bench_test.go
+// regenerate each figure via "go test -bench Fig -benchmem"; the batched
+// pipeline is measured by "go test -bench Batch".
 package repro

@@ -1,0 +1,116 @@
+package hashfn
+
+import "math/bits"
+
+// This file is the bulk-hash API behind the batched probe/insert pipeline:
+// hash tables hand over whole batches of keys and receive all hash codes in
+// one call, so the per-key interface dispatch and parameter loads of
+// Function.Hash are paid once per batch instead of once per key. Every
+// family reads its parameters into locals before the loop, which the
+// compiler keeps in registers; the loops are bounds-check-eliminated by the
+// leading dst reslice.
+
+// DefaultBatchWidth is the batch size the hash tables use for their batched
+// probe pipelines: large enough to amortize per-call overhead and to keep
+// dozens of independent probe streams in flight, small enough that one
+// batch of keys, codes and cursors stays resident in L1.
+const DefaultBatchWidth = 64
+
+// Batcher is implemented by hash functions that hash many keys per call.
+// HashBatch must be equivalent to dst[i] = Hash(keys[i]) for every i.
+type Batcher interface {
+	HashBatch(keys []uint64, dst []uint64)
+}
+
+// HashBatch hashes all keys into dst (which must be at least as long as
+// keys), using fn's bulk path when it has one and a scalar loop otherwise.
+func HashBatch(fn Function, keys []uint64, dst []uint64) {
+	if b, ok := fn.(Batcher); ok {
+		b.HashBatch(keys, dst)
+		return
+	}
+	dst = dst[:len(keys)]
+	for i, k := range keys {
+		dst[i] = fn.Hash(k)
+	}
+}
+
+// HashBatch implements Batcher: one multiplication per key, multiplier held
+// in a register.
+func (m Mult) HashBatch(keys []uint64, dst []uint64) {
+	z := m.z
+	dst = dst[:len(keys)]
+	for i, k := range keys {
+		dst[i] = k * z
+	}
+}
+
+// HashBatch implements Batcher with the 128-bit parameters loaded once.
+func (m MultAdd) HashBatch(keys []uint64, dst []uint64) {
+	aHi, aLo, bHi, bLo := m.aHi, m.aLo, m.bHi, m.bLo
+	dst = dst[:len(keys)]
+	for i, x := range keys {
+		hi, lo := bits.Mul64(aLo, x)
+		hi += aHi * x
+		_, carry := bits.Add64(lo, bLo, 0)
+		hi, _ = bits.Add64(hi, bHi, carry)
+		dst[i] = hi
+	}
+}
+
+// HashBatch implements Batcher. The eight 2 KiB tables are hot in L1 across
+// the whole batch, so only the first key of a batch pays the warm-up
+// misses the paper charges to Tab.
+func (t *Tab) HashBatch(keys []uint64, dst []uint64) {
+	tab := &t.t
+	dst = dst[:len(keys)]
+	for i, x := range keys {
+		dst[i] = tab[0][byte(x)] ^
+			tab[1][byte(x>>8)] ^
+			tab[2][byte(x>>16)] ^
+			tab[3][byte(x>>24)] ^
+			tab[4][byte(x>>32)] ^
+			tab[5][byte(x>>40)] ^
+			tab[6][byte(x>>48)] ^
+			tab[7][byte(x>>56)]
+	}
+}
+
+// HashBatch implements Batcher: the finalizer chain per key, seed hoisted.
+func (m Murmur) HashBatch(keys []uint64, dst []uint64) {
+	seed := m.seed
+	dst = dst[:len(keys)]
+	for i, x := range keys {
+		key := x ^ seed
+		key ^= key >> 33
+		key *= 0xff51afd7ed558ccd
+		key ^= key >> 33
+		key *= 0xc4ceb9fe1a85ec53
+		key ^= key >> 33
+		dst[i] = key
+	}
+}
+
+// HashBatch implements Batcher for the FNV-1a extension.
+func (f FNV) HashBatch(keys []uint64, dst []uint64) {
+	seed := f.seed
+	dst = dst[:len(keys)]
+	for i, x := range keys {
+		h := uint64(fnvOffset) ^ seed
+		for b := 0; b < 8; b++ {
+			h ^= x & 0xff
+			h *= fnvPrime
+			x >>= 8
+		}
+		dst[i] = h
+	}
+}
+
+// HashBatch implements Batcher for the 32-bit multiply-add extension.
+func (m MultAdd32) HashBatch(keys []uint64, dst []uint64) {
+	a, b := m.a, m.b
+	dst = dst[:len(keys)]
+	for i, x := range keys {
+		dst[i] = a*uint64(uint32(x)) + b
+	}
+}

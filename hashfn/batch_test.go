@@ -1,0 +1,53 @@
+package hashfn
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// TestHashBatchMatchesScalar: every family's bulk path computes exactly the
+// scalar hash codes, on ragged batch sizes including zero.
+func TestHashBatchMatchesScalar(t *testing.T) {
+	rng := prng.NewXoshiro256(11)
+	keys := make([]uint64, 257)
+	for i := range keys {
+		keys[i] = rng.Next()
+	}
+	keys[0], keys[1] = 0, ^uint64(0) // sentinel-valued keys hash like any other
+	for _, f := range ExtendedFamilies() {
+		fn := f.New(42)
+		if _, ok := fn.(Batcher); !ok {
+			t.Fatalf("%s: function does not implement Batcher", f.Name())
+		}
+		for _, n := range []int{0, 1, 3, 64, 65, len(keys)} {
+			dst := make([]uint64, n)
+			HashBatch(fn, keys[:n], dst)
+			for i := 0; i < n; i++ {
+				if want := fn.Hash(keys[i]); dst[i] != want {
+					t.Fatalf("%s: HashBatch[%d] = %#x, Hash = %#x", f.Name(), i, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestHashBatchScalarFallback: a Function without a bulk path still works
+// through the helper.
+func TestHashBatchScalarFallback(t *testing.T) {
+	fn := scalarOnly{NewMurmur(7)}
+	keys := []uint64{1, 2, 3, 4, 5}
+	dst := make([]uint64, len(keys))
+	HashBatch(fn, keys, dst)
+	for i, k := range keys {
+		if dst[i] != fn.Hash(k) {
+			t.Fatalf("fallback[%d] mismatch", i)
+		}
+	}
+}
+
+// scalarOnly hides the Batcher implementation of the wrapped function.
+type scalarOnly struct{ m Murmur }
+
+func (s scalarOnly) Hash(x uint64) uint64 { return s.m.Hash(x) }
+func (scalarOnly) Name() string           { return "ScalarOnly" }

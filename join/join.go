@@ -102,9 +102,58 @@ func capacityFor(n int, lf float64) int {
 	return c
 }
 
+// joinScratch is the reusable column buffer of one join's batched build and
+// probe phases: row keys/payloads are gathered into columns one batch at a
+// time, handed to the table's batched pipeline, and the hit lanes emitted.
+type joinScratch struct {
+	keys [table.BatchWidth]uint64
+	vals [table.BatchWidth]uint64
+	ok   [table.BatchWidth]bool
+}
+
+// buildBatched inserts all rows through the table's batched pipeline,
+// preserving row order (so duplicate build keys keep last-wins semantics).
+func (sc *joinScratch) buildBatched(m table.Map, build Relation) {
+	for base := 0; base < len(build); base += table.BatchWidth {
+		n := min(table.BatchWidth, len(build)-base)
+		for i := 0; i < n; i++ {
+			sc.keys[i] = build[base+i].Key
+			sc.vals[i] = build[base+i].Payload
+		}
+		table.PutBatch(m, sc.keys[:n], sc.vals[:n])
+	}
+}
+
+// probeBatched probes all rows through the batched pipeline and emits every
+// match, returning the match count.
+func (sc *joinScratch) probeBatched(m table.Map, probe Relation, emit Emit) int {
+	matches := 0
+	for base := 0; base < len(probe); base += table.BatchWidth {
+		n := min(table.BatchWidth, len(probe)-base)
+		for i := 0; i < n; i++ {
+			sc.keys[i] = probe[base+i].Key
+		}
+		matches += table.GetBatch(m, sc.keys[:n], sc.vals[:n], sc.ok[:n])
+		if emit == nil {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if sc.ok[i] {
+				emit(sc.keys[i], sc.vals[i], probe[base+i].Payload)
+			}
+		}
+	}
+	return matches
+}
+
 // HashJoin joins build ⋈ probe on Key, calling emit for every match. It
 // returns the number of matches. Duplicate keys on the build side follow
 // map semantics (last payload wins); the probe side may repeat keys freely.
+//
+// Both phases run through the tables' batched pipelines: rows are gathered
+// into one reusable column scratch per phase, so the per-key hash dispatch
+// is amortized and probe sequences of a whole batch overlap in the memory
+// system.
 func HashJoin(build, probe Relation, cfg Config, emit Emit) (int, error) {
 	cfg = cfg.withDefaults(len(build), len(probe))
 	m, err := table.New(cfg.Scheme, table.Config{
@@ -116,19 +165,9 @@ func HashJoin(build, probe Relation, cfg Config, emit Emit) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	for _, r := range build {
-		m.Put(r.Key, r.Payload)
-	}
-	matches := 0
-	for _, r := range probe {
-		if v, ok := m.Get(r.Key); ok {
-			matches++
-			if emit != nil {
-				emit(r.Key, v, r.Payload)
-			}
-		}
-	}
-	return matches, nil
+	var sc joinScratch
+	sc.buildBatched(m, build)
+	return sc.probeBatched(m, probe, emit), nil
 }
 
 // PartitionedHashJoin is the partition-parallel build/probe join: both

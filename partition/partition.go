@@ -49,6 +49,39 @@ type Partitioned struct {
 	parts  []table.Map
 	router hashfn.Function
 	shift  uint // 64 - log2(P)
+	bs     *batchScratch
+}
+
+// batchScratch holds the reusable buffers of the batched operations, grown
+// to fit and kept across calls so the staging passes allocate nothing in
+// steady state. The batched methods inherit the tables' single-threaded
+// contract, and the *Parallel methods touch the scratch only in their
+// (sequential) scatter phase, so one scratch per map suffices.
+type batchScratch struct {
+	hash   [table.BatchWidth]uint64
+	part   []int32
+	keys   []uint64
+	orig   []int32
+	vals   []uint64
+	ok     []bool
+	starts []int32
+	pos    []int32
+}
+
+func (m *Partitioned) scratch() *batchScratch {
+	if m.bs == nil {
+		m.bs = new(batchScratch)
+	}
+	return m.bs
+}
+
+// grow returns s with length exactly n, reusing its backing array when
+// possible.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // New builds a partitioned map.
@@ -105,6 +138,20 @@ func (m *Partitioned) Partition(key uint64) int {
 		return 0
 	}
 	return int(m.router.Hash(key) >> m.shift)
+}
+
+// partitionAll routes a whole key column, bulk-hashing the router in
+// BatchWidth chunks so the scatter passes of the batched and parallel
+// operations pay the router's dispatch once per chunk.
+func (m *Partitioned) partitionAll(keys []uint64, dst []int32) {
+	hash := m.scratch().hash[:]
+	for base := 0; base < len(keys); base += table.BatchWidth {
+		n := min(table.BatchWidth, len(keys)-base)
+		hashfn.HashBatch(m.router, keys[base:base+n], hash)
+		for i := 0; i < n; i++ {
+			dst[base+i] = int32(hash[i] >> m.shift)
+		}
+	}
 }
 
 // Put inserts or updates key in its partition.
@@ -176,7 +223,105 @@ func (m *Partitioned) Name() string {
 	return fmt.Sprintf("Partitioned[%dx%s]", len(m.parts), m.parts[0].Name())
 }
 
-var _ table.Map = (*Partitioned)(nil)
+var (
+	_ table.Map     = (*Partitioned)(nil)
+	_ table.Batcher = (*Partitioned)(nil)
+)
+
+// GetBatch implements table.Batcher: keys are staged per partition (stable
+// scatter), each partition's staging buffer is flushed through its table's
+// batched pipeline, and results are scattered back to the callers' lanes.
+// It returns the number of hits.
+func (m *Partitioned) GetBatch(keys []uint64, vals []uint64, ok []bool) int {
+	if len(vals) < len(keys) || len(ok) < len(keys) {
+		panic("partition: GetBatch output slices shorter than keys")
+	}
+	if len(m.parts) == 1 {
+		return table.GetBatch(m.parts[0], keys, vals, ok)
+	}
+	st := m.stage(keys)
+	bs := m.bs
+	bs.vals = grow(bs.vals, len(keys))
+	bs.ok = grow(bs.ok, len(keys))
+	svals, sok := bs.vals, bs.ok
+	hits := 0
+	for j := range m.parts {
+		lo, hi := st.starts[j], st.starts[j+1]
+		hits += table.GetBatch(m.parts[j], st.keys[lo:hi], svals[lo:hi], sok[lo:hi])
+	}
+	for i, oi := range st.orig {
+		vals[oi], ok[oi] = svals[i], sok[i]
+	}
+	return hits
+}
+
+// PutBatch implements table.Batcher with the same staging strategy. The
+// scatter is stable, so duplicate keys (which always share a partition)
+// keep their slice order and therefore sequential last-wins semantics.
+func (m *Partitioned) PutBatch(keys []uint64, vals []uint64) int {
+	if len(keys) != len(vals) {
+		panic("partition: PutBatch keys/vals length mismatch")
+	}
+	if len(m.parts) == 1 {
+		return table.PutBatch(m.parts[0], keys, vals)
+	}
+	st := m.stage(keys)
+	bs := m.bs
+	bs.vals = grow(bs.vals, len(keys))
+	svals := bs.vals
+	for i, oi := range st.orig {
+		svals[i] = vals[oi]
+	}
+	inserted := 0
+	for j := range m.parts {
+		lo, hi := st.starts[j], st.starts[j+1]
+		inserted += table.PutBatch(m.parts[j], st.keys[lo:hi], svals[lo:hi])
+	}
+	return inserted
+}
+
+// staged is one stable partition scatter of a key column: keys regrouped by
+// partition, the original lane of every staged slot, and per-partition
+// extents.
+type staged struct {
+	keys   []uint64
+	orig   []int32
+	starts []int32
+}
+
+// stage routes keys and regroups them by partition in one pass over
+// per-partition cursors. The returned views alias the map's scratch and
+// are valid until the next batched operation.
+func (m *Partitioned) stage(keys []uint64) staged {
+	p := len(m.parts)
+	bs := m.scratch()
+	bs.part = grow(bs.part, len(keys))
+	part := bs.part
+	m.partitionAll(keys, part)
+	bs.starts = grow(bs.starts, p+1)
+	starts := bs.starts
+	clear(starts)
+	for _, j := range part {
+		starts[j+1]++
+	}
+	for j := 0; j < p; j++ {
+		starts[j+1] += starts[j]
+	}
+	bs.keys = grow(bs.keys, len(keys))
+	bs.orig = grow(bs.orig, len(keys))
+	st := staged{keys: bs.keys, orig: bs.orig, starts: starts}
+	bs.pos = grow(bs.pos, p)
+	pos := bs.pos
+	copy(pos, starts[:p])
+	for i, k := range keys {
+		j := part[i]
+		at := pos[j]
+		st.keys[at] = k
+		st.orig[at] = int32(i)
+		pos[j]++
+	}
+	return st
+}
 
 // Skew reports the imbalance across partitions: max partition size divided
 // by the mean (1.0 = perfectly balanced). Partition-based parallelism is
@@ -205,7 +350,9 @@ func (m *Partitioned) BuildParallel(keys, vals []uint64) int {
 	}
 	p := len(m.parts)
 	// Partitioning pass (single-threaded scatter, as in the cited joins'
-	// partition phase).
+	// partition phase): per-partition staging buffers, router bulk-hashed.
+	part := make([]int32, len(keys))
+	m.partitionAll(keys, part)
 	bucketKeys := make([][]uint64, p)
 	bucketVals := make([][]uint64, p)
 	approx := len(keys)/p + 16
@@ -214,23 +361,19 @@ func (m *Partitioned) BuildParallel(keys, vals []uint64) int {
 		bucketVals[i] = make([]uint64, 0, approx)
 	}
 	for i, k := range keys {
-		j := m.Partition(k)
+		j := part[i]
 		bucketKeys[j] = append(bucketKeys[j], k)
 		bucketVals[j] = append(bucketVals[j], vals[i])
 	}
-	// Parallel build: one owner goroutine per partition, no locks.
+	// Parallel build: one owner goroutine per partition, no locks; each
+	// owner flushes its whole staging buffer through the batched pipeline.
 	inserted := make([]int, p)
 	var wg sync.WaitGroup
 	for j := 0; j < p; j++ {
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
-			t := m.parts[j]
-			for i, k := range bucketKeys[j] {
-				if t.Put(k, bucketVals[j][i]) {
-					inserted[j]++
-				}
-			}
+			inserted[j] = table.PutBatch(m.parts[j], bucketKeys[j], bucketVals[j])
 		}(j)
 	}
 	wg.Wait()
@@ -249,14 +392,21 @@ func (m *Partitioned) ProbeParallel(probes []uint64, out []uint64, found []bool)
 		panic("partition: ProbeParallel output length mismatch")
 	}
 	p := len(m.parts)
-	// Scatter probe indexes per partition.
+	// Scatter probe keys and their origin lanes into per-partition staging
+	// buffers, router bulk-hashed.
+	part := make([]int32, len(probes))
+	m.partitionAll(probes, part)
 	idx := make([][]int32, p)
+	stagedKeys := make([][]uint64, p)
 	approx := len(probes)/p + 16
 	for i := range idx {
 		idx[i] = make([]int32, 0, approx)
+		stagedKeys[i] = make([]uint64, 0, approx)
 	}
 	for i, k := range probes {
-		idx[m.Partition(k)] = append(idx[m.Partition(k)], int32(i))
+		j := part[i]
+		idx[j] = append(idx[j], int32(i))
+		stagedKeys[j] = append(stagedKeys[j], k)
 	}
 	hits := make([]int, p)
 	var wg sync.WaitGroup
@@ -264,13 +414,11 @@ func (m *Partitioned) ProbeParallel(probes []uint64, out []uint64, found []bool)
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
-			t := m.parts[j]
-			for _, i := range idx[j] {
-				v, ok := t.Get(probes[i])
-				out[i], found[i] = v, ok
-				if ok {
-					hits[j]++
-				}
+			vals := make([]uint64, len(stagedKeys[j]))
+			ok := make([]bool, len(stagedKeys[j]))
+			hits[j] = table.GetBatch(m.parts[j], stagedKeys[j], vals, ok)
+			for i, oi := range idx[j] {
+				out[oi], found[oi] = vals[i], ok[i]
 			}
 		}(j)
 	}

@@ -210,3 +210,83 @@ func TestStripedConcurrent(t *testing.T) {
 		t.Fatal("metadata missing")
 	}
 }
+
+// TestPartitionedBatchMatchesScalar: the composite GetBatch/PutBatch —
+// stable scatter into per-partition staging buffers, batched flush, and
+// gather-back — is observationally identical to the scalar operations, at
+// every partition count and with duplicates, sentinels, and absent probes
+// in the batch.
+func TestPartitionedBatchMatchesScalar(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		for _, scheme := range []table.Scheme{table.SchemeRH, table.SchemeCuckooH4} {
+			batched := newTest(p, scheme)
+			scalar := newTest(p, scheme)
+			rng := prng.NewXoshiro256(99)
+			n := 3000
+			keys := make([]uint64, n)
+			vals := make([]uint64, n)
+			for i := range keys {
+				keys[i] = rng.Uint64n(2048) // narrow: duplicates across batches
+				vals[i] = rng.Next()
+			}
+			keys[0], keys[n-1] = 0, ^uint64(0) // sentinel-valued keys
+			insScalar := 0
+			for i := range keys {
+				if scalar.Put(keys[i], vals[i]) {
+					insScalar++
+				}
+			}
+			if ins := batched.PutBatch(keys, vals); ins != insScalar {
+				t.Fatalf("p=%d %s: PutBatch inserted %d, scalar %d", p, scheme, ins, insScalar)
+			}
+			if batched.Len() != scalar.Len() {
+				t.Fatalf("p=%d %s: Len %d != %d", p, scheme, batched.Len(), scalar.Len())
+			}
+			probes := append(append([]uint64{}, keys...), 1<<40, 1<<41, 1<<42)
+			outV := make([]uint64, len(probes))
+			outOK := make([]bool, len(probes))
+			hits := batched.GetBatch(probes, outV, outOK)
+			wantHits := 0
+			for i, pk := range probes {
+				wantV, wantOK := scalar.Get(pk)
+				if outOK[i] != wantOK || (wantOK && outV[i] != wantV) {
+					t.Fatalf("p=%d %s: probe %d batched %d,%v scalar %d,%v",
+						p, scheme, i, outV[i], outOK[i], wantV, wantOK)
+				}
+				if wantOK {
+					wantHits++
+				}
+			}
+			if hits != wantHits {
+				t.Fatalf("p=%d %s: GetBatch hits %d, want %d", p, scheme, hits, wantHits)
+			}
+		}
+	}
+}
+
+// TestPartitionedBatchScratchReuse: back-to-back batched operations of
+// different sizes reuse the scratch without corrupting results.
+func TestPartitionedBatchScratchReuse(t *testing.T) {
+	m := newTest(4, table.SchemeLP)
+	for round, n := range []int{2000, 64, 700, 1} {
+		keys := make([]uint64, n)
+		vals := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(round)<<32 | uint64(i)
+			vals[i] = uint64(round*10 + i)
+		}
+		if ins := m.PutBatch(keys, vals); ins != n {
+			t.Fatalf("round %d: inserted %d, want %d", round, ins, n)
+		}
+		outV := make([]uint64, n)
+		outOK := make([]bool, n)
+		if hits := m.GetBatch(keys, outV, outOK); hits != n {
+			t.Fatalf("round %d: hits %d, want %d", round, hits, n)
+		}
+		for i := range keys {
+			if !outOK[i] || outV[i] != vals[i] {
+				t.Fatalf("round %d lane %d: got %d,%v", round, i, outV[i], outOK[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package table
+
+// This file defines the batched execution pipeline: every scheme exposes
+// GetBatch/PutBatch, which process keys in chunks of BatchWidth. The paper's
+// central finding is that hash-table cost is dominated by per-key latency —
+// dependent loads plus per-call overhead — and its §7 vectorized variants
+// attack only the comparison. The batched pipeline attacks the rest:
+//
+//  1. All keys of a chunk are hashed with one hashfn.HashBatch call,
+//     hoisting the interface dispatch and parameter loads out of the loop.
+//  2. A first-probe pass touches every key's home slot in a tight loop.
+//     At moderate load factors most lookups resolve right there.
+//  3. Unresolved lanes enter a round-robin walk: each round advances every
+//     live probe sequence by one step. Consecutive loads belong to
+//     *different* sequences, so they are independent and the memory system
+//     overlaps their misses — the software analogue of the group
+//     prefetching / AMAC literature the paper cites for vectorized probing,
+//     built from the same lane/mask structure as internal/vec.
+//
+// Batched semantics are exactly sequential semantics: GetBatch(keys)[i]
+// equals Get(keys[i]), and PutBatch applies its pairs in slice order, so
+// duplicate keys inside a batch behave like consecutive scalar Puts. The
+// property tests cross-check both on randomized workloads.
+//
+// The PutBatch bodies of the open-addressing schemes are deliberately
+// near-identical copies of one chunk loop (bulk hash, sentinel routing,
+// putHashed): collapsing them behind a per-key func value would put an
+// indirect call on an insert path that costs only tens of nanoseconds per
+// key. A change to the loop must be mirrored across the four schemes.
+
+import "repro/hashfn"
+
+// BatchWidth is the chunk size of the batched pipeline. 64 keys keep one
+// chunk's hash codes, cursors and lane list inside L1 while offering the
+// memory system dozens of independent probe streams.
+const BatchWidth = hashfn.DefaultBatchWidth
+
+// Batcher is the batched counterpart of Map's point operations, implemented
+// by every scheme in this package (and by partition.Partitioned).
+type Batcher interface {
+	// GetBatch looks up keys[i] into vals[i], ok[i] for every i and returns
+	// the number of hits. vals and ok must be at least as long as keys.
+	GetBatch(keys []uint64, vals []uint64, ok []bool) int
+	// PutBatch upserts the pairs (keys[i], vals[i]) in slice order and
+	// returns the number of newly inserted keys. keys and vals must have
+	// equal length.
+	PutBatch(keys []uint64, vals []uint64) int
+}
+
+// GetBatch performs a batched lookup on any Map, using the table's pipeline
+// when it has one and a scalar loop otherwise. It returns the number of
+// hits.
+func GetBatch(m Map, keys []uint64, vals []uint64, ok []bool) int {
+	if b, isBatcher := m.(Batcher); isBatcher {
+		return b.GetBatch(keys, vals, ok)
+	}
+	checkBatchGet(len(keys), len(vals), len(ok))
+	hits := 0
+	for i, k := range keys {
+		v, o := m.Get(k)
+		vals[i], ok[i] = v, o
+		if o {
+			hits++
+		}
+	}
+	return hits
+}
+
+// PutBatch performs a batched upsert on any Map, returning the number of
+// newly inserted keys.
+func PutBatch(m Map, keys []uint64, vals []uint64) int {
+	if b, isBatcher := m.(Batcher); isBatcher {
+		return b.PutBatch(keys, vals)
+	}
+	checkBatchPut(len(keys), len(vals))
+	inserted := 0
+	for i, k := range keys {
+		if m.Put(k, vals[i]) {
+			inserted++
+		}
+	}
+	return inserted
+}
+
+// Every scheme implements the batched pipeline.
+var (
+	_ Batcher = (*Chained8)(nil)
+	_ Batcher = (*Chained24)(nil)
+	_ Batcher = (*LinearProbing)(nil)
+	_ Batcher = (*LinearProbingSoA)(nil)
+	_ Batcher = (*QuadraticProbing)(nil)
+	_ Batcher = (*RobinHood)(nil)
+	_ Batcher = (*Cuckoo)(nil)
+)
+
+func checkBatchGet(nKeys, nVals, nOK int) {
+	if nVals < nKeys || nOK < nKeys {
+		panic("table: GetBatch output slices shorter than keys")
+	}
+}
+
+func checkBatchPut(nKeys, nVals int) {
+	if nKeys != nVals {
+		panic("table: PutBatch keys/vals length mismatch")
+	}
+}
+
+// batchBuf holds one chunk's worth of per-lane state. It lives on the table
+// (lazily allocated) so the hot path allocates nothing; the tables are
+// single-threaded by design (see the package comment), so one buffer per
+// table suffices.
+type batchBuf struct {
+	hash [BatchWidth]uint64 // hash codes from the bulk-hash pass
+	a    [BatchWidth]uint64 // per-lane cursor (scheme-specific meaning)
+	b    [BatchWidth]uint64 // per-lane auxiliary counter (step, displacement)
+	lane [BatchWidth]int32  // live-lane list for the round-robin walk
+}
+
+// batchState is embedded in every scheme to carry the lazily allocated
+// chunk buffer.
+type batchState struct {
+	bt *batchBuf
+}
+
+func (s *batchState) buf() *batchBuf {
+	if s.bt == nil {
+		s.bt = new(batchBuf)
+	}
+	return s.bt
+}
+
+// chunks invokes fn for each BatchWidth-sized sub-range of [0, n).
+func chunks(n int, fn func(lo, hi int)) {
+	for lo := 0; lo < n; lo += BatchWidth {
+		hi := lo + BatchWidth
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	}
+}

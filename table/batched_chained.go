@@ -1,0 +1,165 @@
+package table
+
+import (
+	"repro/hashfn"
+	"repro/internal/slab"
+)
+
+// Batched pipeline for the chained schemes. Chained probing is a linked
+// walk — the dependent-load chain the paper charges chained hashing with —
+// so the round-robin rounds interleave *different* buckets' chain steps:
+// each round dereferences one Next per live lane, and those loads are
+// independent of each other.
+
+// GetBatch implements Batcher.
+func (t *Chained8) GetBatch(keys []uint64, vals []uint64, ok []bool) int {
+	checkBatchGet(len(keys), len(vals), len(ok))
+	bt := t.buf()
+	hits := 0
+	chunks(len(keys), func(lo, hi int) {
+		hits += t.getChunk(bt, keys[lo:hi], vals[lo:hi], ok[lo:hi])
+	})
+	return hits
+}
+
+func (t *Chained8) getChunk(bt *batchBuf, keys, vals []uint64, ok []bool) int {
+	hashfn.HashBatch(t.fn, keys, bt.hash[:])
+	shift := t.shift
+	hits := 0
+	var cur [BatchWidth]*slab.Entry
+	live := bt.lane[:0]
+	for l := range keys {
+		e := t.dir[bt.hash[l]>>shift]
+		if e == nil {
+			vals[l], ok[l] = 0, false
+			continue
+		}
+		cur[l] = e
+		live = append(live, int32(l))
+	}
+	for len(live) > 0 {
+		w := 0
+		for _, l := range live {
+			e := cur[l]
+			if e.Key == keys[l] {
+				vals[l], ok[l] = e.Val, true
+				hits++
+				continue
+			}
+			if e.Next == nil {
+				vals[l], ok[l] = 0, false
+				continue
+			}
+			cur[l] = e.Next
+			live[w] = l
+			w++
+		}
+		live = live[:w]
+	}
+	return hits
+}
+
+// PutBatch implements Batcher; see LinearProbing.PutBatch. Chained8 has no
+// sentinel keys — every key lives in a chain.
+func (t *Chained8) PutBatch(keys []uint64, vals []uint64) int {
+	checkBatchPut(len(keys), len(vals))
+	bt := t.buf()
+	inserted := 0
+	chunks(len(keys), func(lo, hi int) {
+		kc, vc := keys[lo:hi], vals[lo:hi]
+		hashfn.HashBatch(t.fn, kc, bt.hash[:])
+		for l, k := range kc {
+			if t.putHashed(k, vc[l], bt.hash[l]) {
+				inserted++
+			}
+		}
+	})
+	return inserted
+}
+
+// GetBatch implements Batcher. The first-probe pass resolves against the
+// widened directory's inline entries — the collision-free case Chained24
+// exists for — and only overflow chains enter the round-robin walk.
+func (t *Chained24) GetBatch(keys []uint64, vals []uint64, ok []bool) int {
+	checkBatchGet(len(keys), len(vals), len(ok))
+	bt := t.buf()
+	hits := 0
+	chunks(len(keys), func(lo, hi int) {
+		hits += t.getChunk(bt, keys[lo:hi], vals[lo:hi], ok[lo:hi])
+	})
+	return hits
+}
+
+func (t *Chained24) getChunk(bt *batchBuf, keys, vals []uint64, ok []bool) int {
+	hashfn.HashBatch(t.fn, keys, bt.hash[:])
+	shift := t.shift
+	hits := 0
+	var cur [BatchWidth]*slab.Entry
+	live := bt.lane[:0]
+	for l := range keys {
+		k := keys[l]
+		if k == emptyKey {
+			vals[l], ok[l] = t.zeroVal, t.hasZero
+			if ok[l] {
+				hits++
+			}
+			continue
+		}
+		b := &t.dir[bt.hash[l]>>shift]
+		if b.key == k {
+			vals[l], ok[l] = b.val, true
+			hits++
+			continue
+		}
+		if b.next == nil {
+			vals[l], ok[l] = 0, false
+			continue
+		}
+		cur[l] = b.next
+		live = append(live, int32(l))
+	}
+	for len(live) > 0 {
+		w := 0
+		for _, l := range live {
+			e := cur[l]
+			if e.Key == keys[l] {
+				vals[l], ok[l] = e.Val, true
+				hits++
+				continue
+			}
+			if e.Next == nil {
+				vals[l], ok[l] = 0, false
+				continue
+			}
+			cur[l] = e.Next
+			live[w] = l
+			w++
+		}
+		live = live[:w]
+	}
+	return hits
+}
+
+// PutBatch implements Batcher; see LinearProbing.PutBatch.
+func (t *Chained24) PutBatch(keys []uint64, vals []uint64) int {
+	checkBatchPut(len(keys), len(vals))
+	bt := t.buf()
+	inserted := 0
+	chunks(len(keys), func(lo, hi int) {
+		kc, vc := keys[lo:hi], vals[lo:hi]
+		hashfn.HashBatch(t.fn, kc, bt.hash[:])
+		for l, k := range kc {
+			if k == emptyKey {
+				if !t.hasZero {
+					inserted++
+				}
+				t.hasZero, t.zeroVal = true, vc[l]
+				continue
+			}
+			if t.putHashed(k, vc[l], bt.hash[l]) {
+				inserted++
+			}
+		}
+	})
+	return inserted
+}

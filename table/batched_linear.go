@@ -1,0 +1,225 @@
+package table
+
+import "repro/hashfn"
+
+// Batched pipeline for the two linear-probing layouts. Linear probing is
+// where batching pays most: probe sequences are pure pointer-free array
+// walks, so once the home slots of a whole chunk are known, the round-robin
+// walk issues one independent load per live lane per round and the memory
+// system overlaps their misses.
+
+// GetBatch implements Batcher.
+func (t *LinearProbing) GetBatch(keys []uint64, vals []uint64, ok []bool) int {
+	checkBatchGet(len(keys), len(vals), len(ok))
+	bt := t.buf()
+	hits := 0
+	chunks(len(keys), func(lo, hi int) {
+		hits += t.getChunk(bt, keys[lo:hi], vals[lo:hi], ok[lo:hi])
+	})
+	return hits
+}
+
+func (t *LinearProbing) getChunk(bt *batchBuf, keys, vals []uint64, ok []bool) int {
+	hashfn.HashBatch(t.fn, keys, bt.hash[:])
+	shift, mask := t.shift, t.mask
+	hits := 0
+	// First-probe pass: walk every lane from its home slot to the end of
+	// the home cache line; at moderate load factors most lookups resolve
+	// without ever becoming a live lane. Survivors yield at the line
+	// boundary — the next slot is the first truly new (potentially
+	// missing) load of the sequence.
+	live := bt.lane[:0]
+	for l := range keys {
+		k := keys[l]
+		if isSentinelKey(k) {
+			vals[l], ok[l] = t.sent.get(k)
+			if ok[l] {
+				hits++
+			}
+			continue
+		}
+		i := bt.hash[l] >> shift
+		for {
+			s := &t.slots[i]
+			if s.key == k {
+				vals[l], ok[l] = s.val, true
+				hits++
+				break
+			}
+			if s.key == emptyKey {
+				vals[l], ok[l] = 0, false
+				break
+			}
+			i = (i + 1) & mask
+			if i&(slotsPerCacheLine-1) == 0 {
+				bt.a[l] = i
+				live = append(live, int32(l))
+				break
+			}
+		}
+	}
+	// Round-robin walk, one cache line per live lane per round: within a
+	// line the walk is sequential (the load already paid for the line),
+	// across lanes the line-crossing loads are independent and overlap in
+	// the memory system.
+	for len(live) > 0 {
+		w := 0
+		for _, l := range live {
+			i := bt.a[l]
+			k := keys[l]
+			for {
+				s := &t.slots[i]
+				if s.key == k {
+					vals[l], ok[l] = s.val, true
+					hits++
+					break
+				}
+				if s.key == emptyKey {
+					vals[l], ok[l] = 0, false
+					break
+				}
+				i = (i + 1) & mask
+				if i&(slotsPerCacheLine-1) == 0 {
+					bt.a[l] = i
+					live[w] = l
+					w++
+					break
+				}
+			}
+		}
+		live = live[:w]
+	}
+	return hits
+}
+
+// PutBatch implements Batcher: the chunk is bulk-hashed once, then inserted
+// in slice order so duplicate keys inside a batch keep sequential (last
+// wins) semantics. Growth mid-batch is safe because slot indexes are
+// derived from the stored hash codes at insert time.
+func (t *LinearProbing) PutBatch(keys []uint64, vals []uint64) int {
+	checkBatchPut(len(keys), len(vals))
+	bt := t.buf()
+	inserted := 0
+	chunks(len(keys), func(lo, hi int) {
+		kc, vc := keys[lo:hi], vals[lo:hi]
+		hashfn.HashBatch(t.fn, kc, bt.hash[:])
+		for l, k := range kc {
+			if isSentinelKey(k) {
+				if t.sent.put(k, vc[l]) {
+					inserted++
+				}
+				continue
+			}
+			if t.putHashed(k, vc[l], bt.hash[l]) {
+				inserted++
+			}
+		}
+	})
+	return inserted
+}
+
+// GetBatch implements Batcher. Identical structure to the AoS pipeline; the
+// key column is denser (8 bytes per slot instead of 16), so long walks
+// touch half the cache lines — the §7 layout trade reproduced by the
+// scalar Get as well.
+func (t *LinearProbingSoA) GetBatch(keys []uint64, vals []uint64, ok []bool) int {
+	checkBatchGet(len(keys), len(vals), len(ok))
+	bt := t.buf()
+	hits := 0
+	chunks(len(keys), func(lo, hi int) {
+		hits += t.getChunk(bt, keys[lo:hi], vals[lo:hi], ok[lo:hi])
+	})
+	return hits
+}
+
+// soaKeysPerLine is how many 8-byte key-column entries share a 64-byte
+// cache line — the SoA walk's natural yield granularity (twice the AoS
+// one, the §7 "half the bytes" advantage).
+const soaKeysPerLine = 8
+
+func (t *LinearProbingSoA) getChunk(bt *batchBuf, keys, vals []uint64, ok []bool) int {
+	hashfn.HashBatch(t.fn, keys, bt.hash[:])
+	shift, mask := t.shift, t.mask
+	hits := 0
+	live := bt.lane[:0]
+	for l := range keys {
+		k := keys[l]
+		if isSentinelKey(k) {
+			vals[l], ok[l] = t.sent.get(k)
+			if ok[l] {
+				hits++
+			}
+			continue
+		}
+		i := bt.hash[l] >> shift
+		for {
+			sk := t.keys[i]
+			if sk == k {
+				vals[l], ok[l] = t.vals[i], true
+				hits++
+				break
+			}
+			if sk == emptyKey {
+				vals[l], ok[l] = 0, false
+				break
+			}
+			i = (i + 1) & mask
+			if i&(soaKeysPerLine-1) == 0 {
+				bt.a[l] = i
+				live = append(live, int32(l))
+				break
+			}
+		}
+	}
+	for len(live) > 0 {
+		w := 0
+		for _, l := range live {
+			i := bt.a[l]
+			k := keys[l]
+			for {
+				sk := t.keys[i]
+				if sk == k {
+					vals[l], ok[l] = t.vals[i], true
+					hits++
+					break
+				}
+				if sk == emptyKey {
+					vals[l], ok[l] = 0, false
+					break
+				}
+				i = (i + 1) & mask
+				if i&(soaKeysPerLine-1) == 0 {
+					bt.a[l] = i
+					live[w] = l
+					w++
+					break
+				}
+			}
+		}
+		live = live[:w]
+	}
+	return hits
+}
+
+// PutBatch implements Batcher; see LinearProbing.PutBatch.
+func (t *LinearProbingSoA) PutBatch(keys []uint64, vals []uint64) int {
+	checkBatchPut(len(keys), len(vals))
+	bt := t.buf()
+	inserted := 0
+	chunks(len(keys), func(lo, hi int) {
+		kc, vc := keys[lo:hi], vals[lo:hi]
+		hashfn.HashBatch(t.fn, kc, bt.hash[:])
+		for l, k := range kc {
+			if isSentinelKey(k) {
+				if t.sent.put(k, vc[l]) {
+					inserted++
+				}
+				continue
+			}
+			if t.putHashed(k, vc[l], bt.hash[l]) {
+				inserted++
+			}
+		}
+	})
+	return inserted
+}

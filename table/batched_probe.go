@@ -1,0 +1,236 @@
+package table
+
+import "repro/hashfn"
+
+// Batched pipeline for quadratic probing and Robin Hood. Both keep the
+// lane/round-robin structure of the linear-probing pipeline; the per-lane
+// auxiliary counter carries the scheme's probe state (QP's triangular step,
+// RH's displacement for the early abort).
+
+// GetBatch implements Batcher.
+func (t *QuadraticProbing) GetBatch(keys []uint64, vals []uint64, ok []bool) int {
+	checkBatchGet(len(keys), len(vals), len(ok))
+	bt := t.buf()
+	hits := 0
+	chunks(len(keys), func(lo, hi int) {
+		hits += t.getChunk(bt, keys[lo:hi], vals[lo:hi], ok[lo:hi])
+	})
+	return hits
+}
+
+func (t *QuadraticProbing) getChunk(bt *batchBuf, keys, vals []uint64, ok []bool) int {
+	hashfn.HashBatch(t.fn, keys, bt.hash[:])
+	shift, mask := t.shift, t.mask
+	hits := 0
+	live := bt.lane[:0]
+	// A lane walks inline while the next triangular step stays on the
+	// current cache line (true for the first step or two, then the jumps
+	// grow) and yields when the walk would cross onto a new line — so each
+	// rotation corresponds to one fresh, overlappable line load, exactly
+	// as in the linear-probing pipeline.
+	for l := range keys {
+		k := keys[l]
+		if isSentinelKey(k) {
+			vals[l], ok[l] = t.sent.get(k)
+			if ok[l] {
+				hits++
+			}
+			continue
+		}
+		i := bt.hash[l] >> shift
+		for step := uint64(1); ; step++ {
+			s := &t.slots[i]
+			if s.key == k {
+				vals[l], ok[l] = s.val, true
+				hits++
+				break
+			}
+			if s.key == emptyKey || step > mask {
+				// Empty slot, or a full triangular sweep (the sequence is a
+				// permutation of a power-of-two table): the key is absent.
+				vals[l], ok[l] = 0, false
+				break
+			}
+			next := (i + step) & mask
+			if next&^(slotsPerCacheLine-1) != i&^(slotsPerCacheLine-1) {
+				bt.a[l] = next
+				bt.b[l] = step + 1
+				live = append(live, int32(l))
+				break
+			}
+			i = next
+		}
+	}
+	for len(live) > 0 {
+		w := 0
+		for _, l := range live {
+			i, step := bt.a[l], bt.b[l]
+			k := keys[l]
+			for ; ; step++ {
+				s := &t.slots[i]
+				if s.key == k {
+					vals[l], ok[l] = s.val, true
+					hits++
+					break
+				}
+				if s.key == emptyKey || step > mask {
+					vals[l], ok[l] = 0, false
+					break
+				}
+				next := (i + step) & mask
+				if next&^(slotsPerCacheLine-1) != i&^(slotsPerCacheLine-1) {
+					bt.a[l] = next
+					bt.b[l] = step + 1
+					live[w] = l
+					w++
+					break
+				}
+				i = next
+			}
+		}
+		live = live[:w]
+	}
+	return hits
+}
+
+// PutBatch implements Batcher; see LinearProbing.PutBatch.
+func (t *QuadraticProbing) PutBatch(keys []uint64, vals []uint64) int {
+	checkBatchPut(len(keys), len(vals))
+	bt := t.buf()
+	inserted := 0
+	chunks(len(keys), func(lo, hi int) {
+		kc, vc := keys[lo:hi], vals[lo:hi]
+		hashfn.HashBatch(t.fn, kc, bt.hash[:])
+		for l, k := range kc {
+			if isSentinelKey(k) {
+				if t.sent.put(k, vc[l]) {
+					inserted++
+				}
+				continue
+			}
+			if t.putHashed(k, vc[l], bt.hash[l]) {
+				inserted++
+			}
+		}
+	})
+	return inserted
+}
+
+// GetBatch implements Batcher, including the cache-line-granular early
+// abort of the scalar Get: a lane leaves the walk as soon as the Robin
+// Hood ordering proves its key absent.
+func (t *RobinHood) GetBatch(keys []uint64, vals []uint64, ok []bool) int {
+	checkBatchGet(len(keys), len(vals), len(ok))
+	bt := t.buf()
+	hits := 0
+	chunks(len(keys), func(lo, hi int) {
+		hits += t.getChunk(bt, keys[lo:hi], vals[lo:hi], ok[lo:hi])
+	})
+	return hits
+}
+
+func (t *RobinHood) getChunk(bt *batchBuf, keys, vals []uint64, ok []bool) int {
+	hashfn.HashBatch(t.fn, keys, bt.hash[:])
+	shift, mask := t.shift, t.mask
+	hits := 0
+	live := bt.lane[:0]
+	// First pass: walk each lane from home to the end of its cache line.
+	// The early-abort check (§2.4) fires exactly at line ends, which is
+	// also where unresolved lanes yield — one ordering check per line, as
+	// in the scalar Get.
+	for l := range keys {
+		k := keys[l]
+		if isSentinelKey(k) {
+			vals[l], ok[l] = t.sent.get(k)
+			if ok[l] {
+				hits++
+			}
+			continue
+		}
+		i := bt.hash[l] >> shift
+		for d := uint64(0); ; d++ {
+			s := &t.slots[i]
+			if s.key == k {
+				vals[l], ok[l] = s.val, true
+				hits++
+				break
+			}
+			if s.key == emptyKey {
+				vals[l], ok[l] = 0, false
+				break
+			}
+			if i&(slotsPerCacheLine-1) == slotsPerCacheLine-1 {
+				// Early abort: a resident closer to its home than we are
+				// to ours proves our key absent.
+				if (i-t.home(s.key))&mask < d {
+					vals[l], ok[l] = 0, false
+					break
+				}
+				bt.a[l] = (i + 1) & mask
+				bt.b[l] = d + 1
+				live = append(live, int32(l))
+				break
+			}
+			i = (i + 1) & mask
+		}
+	}
+	// Round-robin walk, one cache line per live lane per round.
+	for len(live) > 0 {
+		w := 0
+		for _, l := range live {
+			i, d := bt.a[l], bt.b[l]
+			k := keys[l]
+			for ; ; d++ {
+				s := &t.slots[i]
+				if s.key == k {
+					vals[l], ok[l] = s.val, true
+					hits++
+					break
+				}
+				if s.key == emptyKey {
+					vals[l], ok[l] = 0, false
+					break
+				}
+				if i&(slotsPerCacheLine-1) == slotsPerCacheLine-1 {
+					if (i-t.home(s.key))&mask < d {
+						vals[l], ok[l] = 0, false
+						break
+					}
+					bt.a[l] = (i + 1) & mask
+					bt.b[l] = d + 1
+					live[w] = l
+					w++
+					break
+				}
+				i = (i + 1) & mask
+			}
+		}
+		live = live[:w]
+	}
+	return hits
+}
+
+// PutBatch implements Batcher. Robin Hood insertion displaces resident
+// entries, whose hashes are recomputed internally; only the inserted keys'
+// hashes come from the bulk pass.
+func (t *RobinHood) PutBatch(keys []uint64, vals []uint64) int {
+	checkBatchPut(len(keys), len(vals))
+	bt := t.buf()
+	inserted := 0
+	chunks(len(keys), func(lo, hi int) {
+		kc, vc := keys[lo:hi], vals[lo:hi]
+		hashfn.HashBatch(t.fn, kc, bt.hash[:])
+		for l, k := range kc {
+			if isSentinelKey(k) {
+				if t.sent.put(k, vc[l]) {
+					inserted++
+				}
+				continue
+			}
+			if t.putHashed(k, vc[l], bt.hash[l]) {
+				inserted++
+			}
+		}
+	})
+	return inserted
+}

@@ -38,6 +38,7 @@ type Chained8 struct {
 	seed   uint64
 	maxLF  float64
 	alloc  *slab.Allocator
+	batchState
 }
 
 var _ Map = (*Chained8)(nil)
@@ -95,8 +96,14 @@ func (t *Chained8) Get(key uint64) (uint64, bool) {
 // (order within a chain is immaterial; head insertion avoids walking the
 // list twice).
 func (t *Chained8) Put(key, val uint64) bool {
+	return t.putHashed(key, val, t.fn.Hash(key))
+}
+
+// putHashed is Put with a precomputed hash code; the directory index is
+// derived after maybeGrow so a doubled directory cannot stale it.
+func (t *Chained8) putHashed(key, val, hash uint64) bool {
 	t.maybeGrow()
-	i := t.home(key)
+	i := hash >> t.shift
 	for e := t.dir[i]; e != nil; e = e.Next {
 		if e.Key == key {
 			e.Val = val
@@ -213,6 +220,7 @@ type Chained24 struct {
 
 	hasZero bool   // inline sentinel escape for real key 0
 	zeroVal uint64 // stored out-of-line like open addressing's sentinels
+	batchState
 }
 
 var _ Map = (*Chained24)(nil)
@@ -292,8 +300,13 @@ func (t *Chained24) Put(key, val uint64) bool {
 		t.hasZero, t.zeroVal = true, val
 		return inserted
 	}
+	return t.putHashed(key, val, t.fn.Hash(key))
+}
+
+// putHashed is Put for a non-zero key with a precomputed hash code.
+func (t *Chained24) putHashed(key, val, hash uint64) bool {
 	t.maybeGrow()
-	b := &t.dir[t.home(key)]
+	b := &t.dir[hash>>t.shift]
 	if b.key == key {
 		b.val = val
 		return false

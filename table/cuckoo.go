@@ -43,6 +43,7 @@ type Cuckoo struct {
 
 	rehashes   int
 	totalKicks uint64
+	batchState
 }
 
 var _ Map = (*Cuckoo)(nil)

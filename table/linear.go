@@ -26,6 +26,7 @@ type LinearProbing struct {
 	seed   uint64
 	maxLF  float64
 	sent   sentinels
+	batchState
 }
 
 var _ Map = (*LinearProbing)(nil)
@@ -119,8 +120,16 @@ func (t *LinearProbing) Put(key, val uint64) bool {
 	if isSentinelKey(key) {
 		return t.sent.put(key, val)
 	}
+	return t.putHashed(key, val, t.fn.Hash(key))
+}
+
+// putHashed is Put for a non-sentinel key whose hash code is already known
+// (the batched pipeline hashes whole chunks up front). The slot index is
+// derived from the hash at use time, after ensureRoom, so an in-flight grow
+// or rehash cannot stale it.
+func (t *LinearProbing) putHashed(key, val, hash uint64) bool {
 	t.ensureRoom()
-	i := t.home(key)
+	i := hash >> t.shift
 	firstTomb := -1
 	for {
 		s := &t.slots[i]

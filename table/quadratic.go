@@ -31,6 +31,7 @@ type QuadraticProbing struct {
 	seed   uint64
 	maxLF  float64
 	sent   sentinels
+	batchState
 }
 
 var _ Map = (*QuadraticProbing)(nil)
@@ -128,8 +129,13 @@ func (t *QuadraticProbing) Put(key, val uint64) bool {
 	if isSentinelKey(key) {
 		return t.sent.put(key, val)
 	}
+	return t.putHashed(key, val, t.fn.Hash(key))
+}
+
+// putHashed is Put with a precomputed hash code; see LinearProbing.putHashed.
+func (t *QuadraticProbing) putHashed(key, val, hash uint64) bool {
 	t.ensureRoom()
-	i := t.home(key)
+	i := hash >> t.shift
 	firstTomb := -1
 	for step := uint64(1); ; step++ {
 		s := &t.slots[i]

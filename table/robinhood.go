@@ -32,6 +32,7 @@ type RobinHood struct {
 	seed   uint64
 	maxLF  float64
 	sent   sentinels
+	batchState
 }
 
 var _ Map = (*RobinHood)(nil)
@@ -118,6 +119,11 @@ func (t *RobinHood) Put(key, val uint64) bool {
 	if isSentinelKey(key) {
 		return t.sent.put(key, val)
 	}
+	return t.putHashed(key, val, t.fn.Hash(key))
+}
+
+// putHashed is Put with a precomputed hash code; see LinearProbing.putHashed.
+func (t *RobinHood) putHashed(key, val, hash uint64) bool {
 	if t.maxLF != 0 {
 		t.maybeGrow()
 	} else {
@@ -126,7 +132,7 @@ func (t *RobinHood) Put(key, val uint64) bool {
 		checkGrowable(t.Name(), t.size+1, len(t.slots))
 	}
 	cur := pair{key, val}
-	i := t.home(key)
+	i := hash >> t.shift
 	for d := uint64(0); ; d++ {
 		s := &t.slots[i]
 		if s.key == emptyKey {

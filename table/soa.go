@@ -28,6 +28,7 @@ type LinearProbingSoA struct {
 	seed   uint64
 	maxLF  float64
 	sent   sentinels
+	batchState
 }
 
 var _ Map = (*LinearProbingSoA)(nil)
@@ -118,8 +119,13 @@ func (t *LinearProbingSoA) Put(key, val uint64) bool {
 	if isSentinelKey(key) {
 		return t.sent.put(key, val)
 	}
+	return t.putHashed(key, val, t.fn.Hash(key))
+}
+
+// putHashed is Put with a precomputed hash code; see LinearProbing.putHashed.
+func (t *LinearProbingSoA) putHashed(key, val, hash uint64) bool {
 	t.ensureRoom()
-	i := t.home(key)
+	i := hash >> t.shift
 	firstTomb := -1
 	for {
 		k := t.keys[i]
