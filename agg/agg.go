@@ -110,16 +110,15 @@ type Config struct {
 
 // GroupBy is a streaming hash aggregation operator.
 type GroupBy struct {
-	idx    table.Map
+	idx    *table.Handle
 	states []State
-
-	// Batched-probe scratch for AddBatch: group indexes and hit flags for
-	// one batch of input rows.
-	bIdx [table.BatchWidth]uint64
-	bOK  [table.BatchWidth]bool
 }
 
-// NewGroupBy builds an empty aggregation operator.
+// NewGroupBy builds an empty aggregation operator on the unified table
+// façade: the group index is opened through table.Open and fed exclusively
+// with the single-probe GetOrPut / UpsertBatch primitives, so every input
+// row costs exactly one probe sequence regardless of whether it opens a
+// new group.
 func NewGroupBy(cfg Config) (*GroupBy, error) {
 	if cfg.Scheme == "" {
 		cfg.Scheme = table.SchemeQP
@@ -131,12 +130,13 @@ func NewGroupBy(cfg Config) (*GroupBy, error) {
 	for float64(cfg.ExpectedGroups) > 0.7*float64(capacity) {
 		capacity *= 2
 	}
-	idx, err := table.New(cfg.Scheme, table.Config{
-		InitialCapacity: capacity,
-		MaxLoadFactor:   0.7,
-		Family:          cfg.Family,
-		Seed:            cfg.Seed,
-	})
+	idx, err := table.Open(
+		table.WithScheme(cfg.Scheme),
+		table.WithCapacity(capacity),
+		table.WithMaxLoadFactor(0.7),
+		table.WithHashFamily(cfg.Family),
+		table.WithSeed(cfg.Seed),
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -152,13 +152,16 @@ func MustNewGroupBy(cfg Config) *GroupBy {
 	return g
 }
 
-// Add folds one (group, value) observation into the aggregation.
+// Add folds one (group, value) observation into the aggregation with a
+// single probe: GetOrPut finds the group's state index or claims the next
+// one in the same probe sequence (the index table grows, so ErrFull is
+// unreachable).
 func (g *GroupBy) Add(group, value uint64) {
-	if i, ok := g.idx.Get(group); ok {
+	i, existed, _ := g.idx.GetOrPut(group, uint64(len(g.states)))
+	if existed {
 		g.states[i].fold(value)
 		return
 	}
-	g.idx.Put(group, uint64(len(g.states)))
 	g.states = append(g.states, State{
 		Key: group, Count: 1, Sum: value, Min: value, Max: value,
 	})
@@ -172,28 +175,26 @@ func (g *GroupBy) AddAll(groups, values []uint64) {
 	g.AddBatch(groups, values)
 }
 
-// AddBatch folds a column pair one batch at a time: each batch's group keys
-// are resolved with one batched lookup against the index table (the
-// aggregation equivalent of a WORM probe phase, §4), and only the rows that
-// open a new group — rare once the group set has been seen — fall back to
-// the scalar insert path. The scalar fallback also re-checks presence, so a
-// group first seen twice within one batch is counted exactly once.
+// AddBatch folds a column pair through the batched single-probe pipeline:
+// group keys are bulk-hashed in chunks and each row's state is found or
+// created by one UpsertBatch probe sequence — including rows that open a
+// new group, which under the old Get-then-Put path cost a second full
+// probe. A group first seen twice within one batch is counted exactly once
+// (batched semantics are sequential semantics).
 func (g *GroupBy) AddBatch(groups, values []uint64) {
 	if len(groups) != len(values) {
 		panic("agg: AddBatch column length mismatch")
 	}
-	for base := 0; base < len(groups); base += table.BatchWidth {
-		n := min(table.BatchWidth, len(groups)-base)
-		gc, vc := groups[base:base+n], values[base:base+n]
-		table.GetBatch(g.idx, gc, g.bIdx[:n], g.bOK[:n])
-		for i := 0; i < n; i++ {
-			if !g.bOK[i] {
-				g.Add(gc[i], vc[i])
-				continue
-			}
-			g.states[g.bIdx[i]].fold(vc[i])
+	g.idx.UpsertBatch(groups, func(lane int, old uint64, exists bool) uint64 {
+		if exists {
+			g.states[old].fold(values[lane])
+			return old
 		}
-	}
+		g.states = append(g.states, State{
+			Key: groups[lane], Count: 1, Sum: values[lane], Min: values[lane], Max: values[lane],
+		})
+		return uint64(len(g.states) - 1)
+	})
 }
 
 // Groups returns the number of distinct groups seen.
@@ -218,10 +219,11 @@ func (g *GroupBy) Range(fn func(*State) bool) {
 }
 
 // Merge folds other into g (for partition-parallel aggregation: aggregate
-// partitions independently, then merge).
+// partitions independently, then merge), one probe per merged group.
 func (g *GroupBy) Merge(other *GroupBy) {
 	other.Range(func(s *State) bool {
-		if i, ok := g.idx.Get(s.Key); ok {
+		i, existed, _ := g.idx.GetOrPut(s.Key, uint64(len(g.states)))
+		if existed {
 			dst := &g.states[i]
 			dst.Count += s.Count
 			dst.Sum += s.Sum
@@ -232,7 +234,6 @@ func (g *GroupBy) Merge(other *GroupBy) {
 				dst.Max = s.Max
 			}
 		} else {
-			g.idx.Put(s.Key, uint64(len(g.states)))
 			g.states = append(g.states, *s)
 		}
 		return true
@@ -240,11 +241,7 @@ func (g *GroupBy) Merge(other *GroupBy) {
 }
 
 // TableName reports the underlying scheme and function, e.g. "QPMult".
-func (g *GroupBy) TableName() string {
-	type hashNamer interface{ HashName() string }
-	name := g.idx.Name()
-	if hn, ok := g.idx.(hashNamer); ok {
-		name += hn.HashName()
-	}
-	return name
-}
+func (g *GroupBy) TableName() string { return g.idx.Name() }
+
+// Stats returns the group-index table's observability snapshot.
+func (g *GroupBy) Stats() table.Stats { return g.idx.Stats() }

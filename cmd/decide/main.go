@@ -7,15 +7,25 @@
 //	decide -load-factor 0.9 -unsuccessful 25 -write-heavy=false -dynamic=false -dense=false
 //
 // The output names the recommended ⟨scheme, hash function⟩ and prints the
-// decision path with the paper sections supporting each edge.
+// decision path with the paper sections supporting each edge. With -json
+// the recommendation is emitted as machine-readable JSON instead:
+//
+//	{"scheme":"CuckooH4","family":"Mult","path":[...],"label":"CH4Mult"}
+//
+// The JSON path resolves the recommendation by actually opening a handle
+// through table.Open(WithWorkload(...)), so the emitted choice is exactly
+// what the library would pick for the same description.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/decision"
+	"repro/table"
 )
 
 func main() {
@@ -25,23 +35,52 @@ func main() {
 		writeHeavy   = flag.Bool("write-heavy", false, "more writes (inserts+deletes) than reads")
 		dynamic      = flag.Bool("dynamic", false, "table grows/shrinks over its lifetime (OLTP-like)")
 		dense        = flag.Bool("dense", false, "keys are densely distributed integers (e.g. generated primary keys)")
+		jsonOut      = flag.Bool("json", false, "emit the decision.Choice (scheme, family, label, path) as JSON")
 	)
 	flag.Parse()
 
-	choice, err := decision.Recommend(decision.Workload{
+	w := decision.Workload{
 		LoadFactor:      *loadFactor,
 		UnsuccessfulPct: *unsuccessful,
 		WriteHeavy:      *writeHeavy,
 		Dynamic:         *dynamic,
 		Dense:           *dense,
-	})
-	if err != nil {
+	}
+	if err := run(os.Stdout, w, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "decide: %v\n", err)
 		os.Exit(2)
 	}
-	fmt.Printf("Recommendation: %s\n", choice.Label())
-	fmt.Println("Decision path:")
-	for i, step := range choice.Path {
-		fmt.Printf("  %d. %s\n", i+1, step)
+}
+
+// jsonChoice is the -json payload: the decision.Choice plus its composed
+// label, so scripts need not re-derive the paper-style name.
+type jsonChoice struct {
+	decision.Choice
+	Label string `json:"label"`
+}
+
+func run(out io.Writer, w decision.Workload, asJSON bool) error {
+	if asJSON {
+		// Resolve through the Open façade rather than decision.Recommend:
+		// the emitted choice is then by construction the one the library
+		// acts on for this description. The handle exists only to be read,
+		// so it is opened at the minimum capacity.
+		h, err := table.Open(table.WithWorkload(w), table.WithCapacity(8))
+		if err != nil {
+			return err
+		}
+		choice := decision.Choice{Scheme: h.Scheme(), Family: h.HashName(), Path: h.DecisionPath()}
+		enc := json.NewEncoder(out)
+		return enc.Encode(jsonChoice{Choice: choice, Label: choice.Label()})
 	}
+	choice, err := decision.Recommend(w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Recommendation: %s\n", choice.Label())
+	fmt.Fprintln(out, "Decision path:")
+	for i, step := range choice.Path {
+		fmt.Fprintf(out, "  %d. %s\n", i+1, step)
+	}
+	return nil
 }

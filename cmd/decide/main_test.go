@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/decision"
+)
+
+func TestRunText(t *testing.T) {
+	var buf bytes.Buffer
+	w := decision.Workload{LoadFactor: 0.9, UnsuccessfulPct: 25}
+	if err := run(&buf, w, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Recommendation: CH4Mult") {
+		t.Fatalf("text output missing recommendation:\n%s", out)
+	}
+	if !strings.Contains(out, "Decision path:") {
+		t.Fatalf("text output missing path:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	w := decision.Workload{LoadFactor: 0.9, UnsuccessfulPct: 25}
+	if err := run(&buf, w, true); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Scheme string   `json:"scheme"`
+		Family string   `json:"family"`
+		Label  string   `json:"label"`
+		Path   []string `json:"path"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON %q: %v", buf.String(), err)
+	}
+	// 90% load factor, read-mostly, 25% misses -> CuckooH4 per Figure 8,
+	// and -json must agree with the decision package.
+	want := decision.MustRecommend(w)
+	if got.Scheme != string(want.Scheme) || got.Family != want.Family || got.Label != want.Label() {
+		t.Fatalf("JSON choice = %+v, want %v", got, want)
+	}
+	if len(got.Path) == 0 {
+		t.Fatal("JSON output lost the decision path")
+	}
+}
+
+func TestRunJSONInvalidWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, decision.Workload{LoadFactor: 1.5}, true); err == nil {
+		t.Fatal("invalid workload should error")
+	}
+}

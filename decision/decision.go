@@ -2,10 +2,10 @@
 // graph that maps a workload description to a concrete ⟨hashing scheme,
 // hash function⟩ choice.
 //
-// The graph below is reconstructed from Figure 8's nodes and the paper's
-// inline conclusions (the figure's terminals are ChainedH24, LPMult,
-// QPMult, RHMult and CH4Mult, all with Mult as the function — §5.2: "no
-// hash table is the absolute best using Murmur"):
+// The graph is reconstructed from Figure 8's nodes and the paper's inline
+// conclusions (the figure's terminals are ChainedH24, LPMult, QPMult,
+// RHMult and CH4Mult, all with Mult as the function — §5.2: "no hash table
+// is the absolute best using Murmur"):
 //
 //   - Load factor < 50% (§5.1): "LPMult is the way to go if most queries
 //     are successful (>= 50%), and ChainedH24 must be considered
@@ -25,8 +25,11 @@
 //     ChainedH24 wins but only fits the §4.5 memory budget up to ~50–70%
 //     load factor.
 //
-// Every recommendation carries the path of decisions taken, so the choice
-// is auditable against the paper.
+// The walk itself lives in table.Recommend so that table.Open can apply it
+// through the WithWorkload option without an import cycle; this package
+// wraps it in the paper-style Choice with its audit trail. Every
+// recommendation carries the path of decisions taken, so the choice is
+// auditable against the paper.
 package decision
 
 import (
@@ -35,32 +38,18 @@ import (
 	"repro/table"
 )
 
-// Workload describes the anticipated usage of the hash table: the subset
-// of the paper's seven dimensions that the *user* controls (scheme and
-// function being the two outputs).
-type Workload struct {
-	// LoadFactor is the expected operating load factor (0,1): entries
-	// divided by the slots the memory budget allows.
-	LoadFactor float64
-	// UnsuccessfulPct is the expected percentage of lookups probing keys
-	// that are absent (0–100).
-	UnsuccessfulPct int
-	// WriteHeavy indicates more writes (inserts+deletes) than reads.
-	WriteHeavy bool
-	// Dynamic indicates the table grows/shrinks over its lifetime (OLTP);
-	// false means a static build-then-probe use (OLAP/WORM).
-	Dynamic bool
-	// Dense indicates densely distributed integer keys (e.g. generated
-	// primary keys, [1:n] or an arithmetic progression).
-	Dense bool
-}
+// Workload describes the anticipated usage of the hash table. It is an
+// alias of table.Workload, so a decision.Workload can be passed directly
+// to table.Open's WithWorkload option.
+type Workload = table.Workload
 
 // Choice is a recommendation: a scheme, a hash-function family name, and
-// the audit trail of decisions that led there.
+// the audit trail of decisions that led there. The JSON tags back
+// cmd/decide's -json output.
 type Choice struct {
-	Scheme table.Scheme
-	Family string // always "Mult" per the paper's Figure 8
-	Path   []string
+	Scheme table.Scheme `json:"scheme"`
+	Family string       `json:"family"` // always "Mult" per the paper's Figure 8
+	Path   []string     `json:"path"`
 }
 
 // Label returns the paper-style table label, e.g. "RHMult".
@@ -76,89 +65,13 @@ func (c Choice) String() string {
 	return fmt.Sprintf("%s (path: %v)", c.Label(), c.Path)
 }
 
-// Validate reports whether the workload's fields are in range.
-func (w Workload) Validate() error {
-	if w.LoadFactor <= 0 || w.LoadFactor >= 1 {
-		return fmt.Errorf("decision: load factor %v outside (0,1)", w.LoadFactor)
-	}
-	if w.UnsuccessfulPct < 0 || w.UnsuccessfulPct > 100 {
-		return fmt.Errorf("decision: unsuccessful-lookup percentage %d outside [0,100]", w.UnsuccessfulPct)
-	}
-	return nil
-}
-
 // Recommend walks the Figure 8 decision graph for w.
 func Recommend(w Workload) (Choice, error) {
-	if err := w.Validate(); err != nil {
+	scheme, path, err := table.Recommend(w)
+	if err != nil {
 		return Choice{}, err
 	}
-	c := Choice{Family: "Mult"}
-	trace := func(format string, args ...any) {
-		c.Path = append(c.Path, fmt.Sprintf(format, args...))
-	}
-
-	if w.LoadFactor < 0.5 {
-		trace("load factor %.0f%% < 50%%", w.LoadFactor*100)
-		if w.UnsuccessfulPct <= 50 {
-			trace("lookups mostly successful (%d%% unsuccessful <= 50%%) -> LPMult", w.UnsuccessfulPct)
-			c.Scheme = table.SchemeLP
-			return c, nil
-		}
-		trace("lookups mostly unsuccessful (%d%% > 50%%) -> ChainedH24", w.UnsuccessfulPct)
-		c.Scheme = table.SchemeChained24
-		return c, nil
-	}
-	trace("load factor %.0f%% >= 50%%", w.LoadFactor*100)
-
-	if w.WriteHeavy {
-		trace("writes > reads")
-		if w.Dynamic {
-			trace("dynamic (growing) table -> QPMult (best RW performer, §6)")
-			c.Scheme = table.SchemeQP
-			return c, nil
-		}
-		if w.Dense {
-			trace("static build over dense keys -> LPMult (dense+Mult is LP's best case, §5.2)")
-			c.Scheme = table.SchemeLP
-			return c, nil
-		}
-		trace("static build, non-dense keys -> QPMult (best inserts at high load factors, §5.2)")
-		c.Scheme = table.SchemeQP
-		return c, nil
-	}
-	trace("reads >= writes")
-
-	if w.UnsuccessfulPct > 50 {
-		trace("unsuccessful lookups dominate (%d%% > 50%%)", w.UnsuccessfulPct)
-		if w.LoadFactor >= 0.9 {
-			trace("load factor >= 90%% -> CH4Mult (lookups insensitive to load factor and misses)")
-			c.Scheme = table.SchemeCuckooH4
-			return c, nil
-		}
-		if w.LoadFactor <= 0.7 {
-			trace("load factor <= 70%% -> ChainedH24 (wins degenerate miss-heavy probes and fits the §4.5 budget)")
-			c.Scheme = table.SchemeChained24
-			return c, nil
-		}
-		trace("load factor in (70%%, 90%%) -> RHMult (early abort tames misses, up to 4x over LP)")
-		c.Scheme = table.SchemeRH
-		return c, nil
-	}
-	trace("lookups mostly successful (%d%% unsuccessful <= 50%%)", w.UnsuccessfulPct)
-
-	if w.LoadFactor >= 0.8 {
-		trace("table very full (load factor >= 80%%) -> CH4Mult (surpasses probing schemes from ~80%%, §5.2)")
-		c.Scheme = table.SchemeCuckooH4
-		return c, nil
-	}
-	if w.Dense {
-		trace("dense keys at moderate load factor -> LPMult (approximate arithmetic progression, optimal locality)")
-		c.Scheme = table.SchemeLP
-		return c, nil
-	}
-	trace("general case -> RHMult (the paper's all-rounder: top performer in most cells of Figure 6)")
-	c.Scheme = table.SchemeRH
-	return c, nil
+	return Choice{Scheme: scheme, Family: "Mult", Path: path}, nil
 }
 
 // MustRecommend is Recommend that panics on invalid input.

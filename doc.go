@@ -2,9 +2,12 @@
 // Analysis of Hashing Methods and its Implications on Query Processing"
 // (Richter, Alvarez, Dittrich; PVLDB 9(3), 2015).
 //
-// The library lives in the subpackages:
+// The public entry point is table.Open, a workload-aware façade with
+// functional options (scheme, capacity, growth threshold, hash family,
+// striped partitioning, or a workload description routed through the
+// paper's Figure 8 decision graph). The library lives in the subpackages:
 //
-//	table    — the five hashing schemes (+ SoA layout variant)
+//	table    — the Open/Handle façade and the five hashing schemes (+ SoA layout variant)
 //	hashfn   — the four hash-function classes
 //	dist     — the three key distributions
 //	workload — the WORM and RW workload drivers
@@ -12,8 +15,9 @@
 //	bench    — the harness regenerating every figure of the evaluation
 //	decision — the Figure 8 practitioner decision graph
 //
-// See README.md for a tour, the batched-API usage example, and how to
+// See README.md for a tour, the new-API migration table, and how to
 // regenerate the paper's figures. The benchmarks in bench_test.go
 // regenerate each figure via "go test -bench Fig -benchmem"; the batched
-// pipeline is measured by "go test -bench Batch".
+// pipeline is measured by "go test -bench Batch" and the single-probe
+// build primitives by "go test -bench BuildSingleProbe ./table/".
 package repro

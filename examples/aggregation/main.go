@@ -44,16 +44,24 @@ func main() {
 
 	// Group-by via a quadratic-probing table: the paper's pick for
 	// write-heavy workloads, and an aggregation build is exactly that.
-	groups := table.NewQuadraticProbing(table.Config{
-		InitialCapacity: 1 << 12,
-		MaxLoadFactor:   0.7,
-		Family:          hashfn.MultFamily{},
-		Seed:            7,
-	})
+	// The build uses the single-probe GetOrPut: one probe sequence finds a
+	// group's state index or claims the next one — no Get-then-Put double
+	// walk for rows that open a new group.
+	groups, err := table.Open(
+		table.WithScheme(table.SchemeQP),
+		table.WithCapacity(1<<12),
+		table.WithMaxLoadFactor(0.7),
+		table.WithHashFamily(hashfn.MultFamily{}),
+		table.WithSeed(7),
+	)
+	if err != nil {
+		panic(err)
+	}
 	var states []groupState
 
 	for _, s := range sales {
-		if idx, ok := groups.Get(s.store); ok {
+		idx, existed, _ := groups.GetOrPut(s.store, uint64(len(states)))
+		if existed {
 			st := &states[idx]
 			st.count++
 			st.sum += s.cents
@@ -65,7 +73,6 @@ func main() {
 			}
 			continue
 		}
-		groups.Put(s.store, uint64(len(states)))
 		states = append(states, groupState{
 			store: s.store, count: 1, sum: s.cents, min: s.cents, max: s.cents,
 		})
@@ -73,8 +80,8 @@ func main() {
 
 	// Report the top stores by revenue.
 	sort.Slice(states, func(i, j int) bool { return states[i].sum > states[j].sum })
-	fmt.Printf("aggregated %d sales into %d groups (table: %s%s at load factor %.2f)\n\n",
-		numSales, len(states), groups.Name(), groups.HashName(), groups.LoadFactor())
+	fmt.Printf("aggregated %d sales into %d groups (table: %s at load factor %.2f)\n\n",
+		numSales, len(states), groups.Name(), groups.LoadFactor())
 	fmt.Printf("%-8s %10s %14s %10s %8s %8s\n", "store", "COUNT", "SUM", "AVG", "MIN", "MAX")
 	for _, st := range states[:10] {
 		fmt.Printf("%-8d %10d %14d %10d %8d %8d\n",

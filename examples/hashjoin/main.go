@@ -52,14 +52,18 @@ func main() {
 		table.SchemeLP, table.SchemeQP, table.SchemeRH,
 		table.SchemeCuckooH4, table.SchemeChained24,
 	} {
-		build := table.MustNew(scheme, table.Config{
-			InitialCapacity: targetCapacity,
-			Seed:            42,
-		})
+		build := table.MustOpen(
+			table.WithScheme(scheme),
+			table.WithCapacity(targetCapacity),
+			table.WithMaxLoadFactor(0), // pre-sized: the WORM contract
+			table.WithSeed(42),
+		)
 
 		start := time.Now()
 		for _, id := range customerIDs {
-			build.Put(id, id%50) // discount percent
+			if _, err := build.Put(id, id%50); err != nil { // discount percent
+				log.Fatal(err)
+			}
 		}
 		buildMS := time.Since(start).Seconds() * 1000
 

@@ -58,10 +58,17 @@ func main() {
 	for _, s := range []table.Scheme{
 		table.SchemeLP, table.SchemeQP, table.SchemeRH, table.SchemeCuckooH4,
 	} {
-		m := table.MustNew(s, table.Config{InitialCapacity: capacity, Seed: 11})
+		m := table.MustOpen(
+			table.WithScheme(s),
+			table.WithCapacity(capacity),
+			table.WithMaxLoadFactor(0), // memory is tight: fixed capacity
+			table.WithSeed(11),
+		)
 		start := time.Now()
 		for i, k := range keys {
-			m.Put(k, uint64(i))
+			if _, err := m.Put(k, uint64(i)); err != nil {
+				panic(fmt.Sprintf("%s: insert %d: %v", s, k, err))
+			}
 		}
 		buildMops := float64(n) / 1e6 / time.Since(start).Seconds()
 

@@ -76,4 +76,10 @@ func main() {
 		panic(fmt.Sprintf("aggregation lost matches: %d != %d", totalOrders, matches))
 	}
 	fmt.Printf("\ntotal: %d orders, %d cents revenue ✓\n", totalOrders, totalRevenue)
+
+	// The aggregation handle's observability snapshot: probe health of the
+	// group index behind the GROUP BY.
+	st := bySegment.Stats()
+	fmt.Printf("group index: %s, %d groups, mean probe %.2f, %.1f KB\n",
+		bySegment.TableName(), st.Len, st.MeanProbe, float64(st.MemoryBytes)/1024)
 }

@@ -1,34 +1,39 @@
-// Quickstart: build a hash table, insert, look up, delete, iterate — and
-// see why the paper calls hashing a white box: the same operations run
-// against any ⟨scheme, hash function⟩ combination behind the table.Map
-// interface.
+// Quickstart: open a table through the workload-aware façade, insert,
+// look up, upsert, delete, iterate, and read the stats — then let the
+// paper's Figure 8 decision graph pick the scheme from a workload
+// description. One API, any ⟨scheme, hash function⟩ combination behind it.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/hashfn"
 	"repro/table"
 )
 
 func main() {
 	// A Robin Hood table with multiply-shift hashing — the paper's
-	// all-rounder recommendation — growing at 85% occupancy.
-	m := table.NewRobinHood(table.Config{
-		InitialCapacity: 1 << 10,
-		MaxLoadFactor:   0.85,
-		Family:          hashfn.MultFamily{},
-		Seed:            42,
-	})
+	// all-rounder — growing at 85% occupancy. These are Open's defaults;
+	// the options spell them out.
+	m, err := table.Open(
+		table.WithScheme(table.SchemeRH),
+		table.WithCapacity(1<<10),
+		table.WithMaxLoadFactor(0.85),
+		table.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Insert a million key/value pairs.
 	const n = 1_000_000
 	for i := uint64(1); i <= n; i++ {
-		m.Put(i, i*i)
+		if _, err := m.Put(i, i*i); err != nil {
+			log.Fatal(err)
+		}
 	}
-	fmt.Printf("table: %s%s, %d entries in %d slots (load factor %.2f, %.1f MB)\n",
-		m.Name(), m.HashName(), m.Len(), m.Capacity(), m.LoadFactor(),
+	fmt.Printf("table: %s, %d entries in %d slots (load factor %.2f, %.1f MB)\n",
+		m.Name(), m.Len(), m.Capacity(), m.LoadFactor(),
 		float64(m.MemoryFootprint())/(1<<20))
 
 	// Point lookups.
@@ -39,10 +44,13 @@ func main() {
 		log.Fatal("found a key that was never inserted")
 	}
 
-	// Updates are upserts.
-	m.Put(7, 999)
-	v, _ := m.Get(7)
-	fmt.Printf("after update: m[7] = %d\n", v)
+	// Single-probe read-modify-write: GetOrPut finds or inserts in one
+	// probe sequence, Upsert folds a function over the stored value.
+	if v, loaded, _ := m.GetOrPut(7, 0); !loaded || v != 49 {
+		log.Fatalf("GetOrPut(7) = %d,%v", v, loaded)
+	}
+	v, _ := m.Upsert(7, func(old uint64, exists bool) uint64 { return old + 1 })
+	fmt.Printf("after upsert: m[7] = %d\n", v)
 
 	// Deletes.
 	if !m.Delete(7) {
@@ -50,22 +58,48 @@ func main() {
 	}
 	fmt.Printf("after delete: %d entries\n", m.Len())
 
-	// Iterate (order is unspecified).
+	// Iterate with a Go 1.23 range-over-func iterator (order unspecified).
 	var sum uint64
-	m.Range(func(k, v uint64) bool {
+	for k := range m.All() {
 		sum += k
-		return true
-	})
+	}
 	fmt.Printf("sum of keys: %d\n", sum)
 
-	// Every scheme in the paper is one constructor away.
+	// Observability: probe and displacement measures, rehashes, memory.
+	st := m.Stats()
+	fmt.Printf("stats: mean probe %.2f, max probe %d, rehashes %d\n",
+		st.MeanProbe, st.MaxProbe, st.Rehashes)
+
+	// Or describe the workload and let Figure 8 choose the scheme.
+	w, err := table.Open(table.WithWorkload(table.Workload{
+		LoadFactor:      0.9,
+		UnsuccessfulPct: 25,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFigure 8 picked %s for a 90%%-full read-mostly index:\n", w.Name())
+	for i, step := range w.DecisionPath() {
+		fmt.Printf("  %d. %s\n", i+1, step)
+	}
+
+	// Every scheme in the paper is one option away.
 	for _, s := range table.Schemes() {
-		alt := table.MustNew(s, table.Config{InitialCapacity: 64, MaxLoadFactor: 0.9})
+		alt, err := table.Open(table.WithScheme(s), table.WithCapacity(64))
+		if err != nil {
+			log.Fatal(err)
+		}
 		alt.Put(1, 2)
 		if v, ok := alt.Get(1); !ok || v != 2 {
 			log.Fatalf("%s misbehaved", s)
 		}
 		fmt.Printf("  %-12s ok (footprint %6.1f KB at capacity %d)\n",
-			alt.Name(), float64(alt.MemoryFootprint())/1024, alt.Capacity())
+			alt.Scheme(), float64(alt.MemoryFootprint())/1024, alt.Capacity())
 	}
+
+	// Need shared-memory concurrency? Stripe the handle across partitions
+	// and use it from any number of goroutines.
+	c, _ := table.Open(table.WithScheme(table.SchemeRH), table.WithPartitions(8))
+	c.Put(1, 1)
+	fmt.Printf("\nconcurrent handle: %s\n", c.Name())
 }

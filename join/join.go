@@ -16,7 +16,9 @@
 //     suite as a correctness oracle.
 //
 // Joins here are primary-key / foreign-key joins: build-side keys are
-// unique (duplicate build keys keep the last value, map semantics). Each
+// unique. Should duplicates occur anyway, the first payload per key wins —
+// the natural semantics of the single-probe GetOrPutBatch build, which
+// finds a key or claims its slot in one probe sequence per row. Each
 // match invokes a caller-supplied emit function, so callers can
 // materialize, count, or aggregate without intermediate allocation.
 package join
@@ -111,29 +113,35 @@ type joinScratch struct {
 	ok   [table.BatchWidth]bool
 }
 
-// buildBatched inserts all rows through the table's batched pipeline,
-// preserving row order (so duplicate build keys keep last-wins semantics).
-func (sc *joinScratch) buildBatched(m table.Map, build Relation) {
+// buildBatched inserts all rows through the handle's single-probe
+// GetOrPutBatch pipeline in row order: each build row costs exactly one
+// probe sequence (find the key or claim its slot), instead of the probe
+// plus full re-probe a Get-then-Put build would pay. Duplicate build keys
+// keep the first payload.
+func (sc *joinScratch) buildBatched(h *table.Handle, build Relation) error {
 	for base := 0; base < len(build); base += table.BatchWidth {
 		n := min(table.BatchWidth, len(build)-base)
 		for i := 0; i < n; i++ {
 			sc.keys[i] = build[base+i].Key
 			sc.vals[i] = build[base+i].Payload
 		}
-		table.PutBatch(m, sc.keys[:n], sc.vals[:n])
+		if _, err := h.GetOrPutBatch(sc.keys[:n], sc.vals[:n], sc.vals[:n], sc.ok[:n]); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // probeBatched probes all rows through the batched pipeline and emits every
 // match, returning the match count.
-func (sc *joinScratch) probeBatched(m table.Map, probe Relation, emit Emit) int {
+func (sc *joinScratch) probeBatched(h *table.Handle, probe Relation, emit Emit) int {
 	matches := 0
 	for base := 0; base < len(probe); base += table.BatchWidth {
 		n := min(table.BatchWidth, len(probe)-base)
 		for i := 0; i < n; i++ {
 			sc.keys[i] = probe[base+i].Key
 		}
-		matches += table.GetBatch(m, sc.keys[:n], sc.vals[:n], sc.ok[:n])
+		matches += h.GetBatch(sc.keys[:n], sc.vals[:n], sc.ok[:n])
 		if emit == nil {
 			continue
 		}
@@ -147,27 +155,32 @@ func (sc *joinScratch) probeBatched(m table.Map, probe Relation, emit Emit) int 
 }
 
 // HashJoin joins build ⋈ probe on Key, calling emit for every match. It
-// returns the number of matches. Duplicate keys on the build side follow
-// map semantics (last payload wins); the probe side may repeat keys freely.
+// returns the number of matches. Duplicate keys on the build side keep the
+// first payload (build keys are expected unique — PK/FK joins); the probe
+// side may repeat keys freely.
 //
 // Both phases run through the tables' batched pipelines: rows are gathered
 // into one reusable column scratch per phase, so the per-key hash dispatch
-// is amortized and probe sequences of a whole batch overlap in the memory
+// is amortized; the build issues exactly one probe sequence per row via
+// GetOrPutBatch, and the probe phase's sequences overlap in the memory
 // system.
 func HashJoin(build, probe Relation, cfg Config, emit Emit) (int, error) {
 	cfg = cfg.withDefaults(len(build), len(probe))
-	m, err := table.New(cfg.Scheme, table.Config{
-		InitialCapacity: capacityFor(len(build), cfg.LoadFactor),
-		MaxLoadFactor:   0,
-		Family:          cfg.Family,
-		Seed:            cfg.Seed,
-	})
+	h, err := table.Open(
+		table.WithScheme(cfg.Scheme),
+		table.WithCapacity(capacityFor(len(build), cfg.LoadFactor)),
+		table.WithMaxLoadFactor(0), // pre-sized for the build side: WORM contract
+		table.WithHashFamily(cfg.Family),
+		table.WithSeed(cfg.Seed),
+	)
 	if err != nil {
 		return 0, err
 	}
 	var sc joinScratch
-	sc.buildBatched(m, build)
-	return sc.probeBatched(m, probe, emit), nil
+	if err := sc.buildBatched(h, build); err != nil {
+		return 0, err
+	}
+	return sc.probeBatched(h, probe, emit), nil
 }
 
 // PartitionedHashJoin is the partition-parallel build/probe join: both
@@ -228,14 +241,16 @@ func PartitionedHashJoin(build, probe Relation, partitions int, cfg Config, emit
 
 // NestedLoopJoin is the quadratic reference join used as a test oracle.
 func NestedLoopJoin(build, probe Relation, emit Emit) int {
-	// Respect map semantics on the build side: last payload per key wins.
-	last := make(map[uint64]uint64, len(build))
+	// Match HashJoin's GetOrPut build semantics: first payload per key wins.
+	first := make(map[uint64]uint64, len(build))
 	for _, b := range build {
-		last[b.Key] = b.Payload
+		if _, ok := first[b.Key]; !ok {
+			first[b.Key] = b.Payload
+		}
 	}
 	matches := 0
 	for _, p := range probe {
-		if v, ok := last[p.Key]; ok {
+		if v, ok := first[p.Key]; ok {
 			matches++
 			if emit != nil {
 				emit(p.Key, v, p.Payload)

@@ -88,10 +88,10 @@ func TestHashJoinDuplicateBuildKeys(t *testing.T) {
 	if n != 2 {
 		t.Fatalf("matches = %d, want 2", n)
 	}
-	// Map semantics: key 1 joins the LAST build payload.
+	// GetOrPut build semantics: key 1 joins the FIRST build payload.
 	for _, m := range got {
-		if m.key == 1 && m.b != 20 {
-			t.Fatalf("duplicate key payload = %d, want 20", m.b)
+		if m.key == 1 && m.b != 10 {
+			t.Fatalf("duplicate key payload = %d, want 10", m.b)
 		}
 	}
 }

@@ -21,6 +21,7 @@ package partition
 
 import (
 	"fmt"
+	"iter"
 	"math/bits"
 	"sync"
 
@@ -46,7 +47,7 @@ type Config struct {
 // per partition, which is safe because each goroutine touches only its own
 // partition.
 type Partitioned struct {
-	parts  []table.Map
+	parts  []table.Table
 	router hashfn.Function
 	shift  uint // 64 - log2(P)
 	bs     *batchScratch
@@ -102,7 +103,7 @@ func New(cfg Config) (*Partitioned, error) {
 		inner.InitialCapacity /= p
 	}
 	pm := &Partitioned{
-		parts: make([]table.Map, p),
+		parts: make([]table.Table, p),
 		// The router must be independent of the per-partition functions;
 		// derive it from a distinct seed stream.
 		router: inner.Family.New(inner.Seed ^ 0x9a77_e4b0_0f00_d001),
@@ -226,7 +227,124 @@ func (m *Partitioned) Name() string {
 var (
 	_ table.Map     = (*Partitioned)(nil)
 	_ table.Batcher = (*Partitioned)(nil)
+	_ table.Table   = (*Partitioned)(nil)
 )
+
+// TryPut implements table.Table: Put with the ErrFull contract, routed to
+// the key's partition.
+func (m *Partitioned) TryPut(key, val uint64) (bool, error) {
+	return m.parts[m.Partition(key)].TryPut(key, val)
+}
+
+// GetOrPut implements table.Table: one probe sequence in the key's
+// partition.
+func (m *Partitioned) GetOrPut(key, val uint64) (uint64, bool, error) {
+	return m.parts[m.Partition(key)].GetOrPut(key, val)
+}
+
+// Upsert implements table.Table.
+func (m *Partitioned) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	return m.parts[m.Partition(key)].Upsert(key, fn)
+}
+
+// All implements table.Table.
+func (m *Partitioned) All() iter.Seq2[uint64, uint64] {
+	return func(yield func(uint64, uint64) bool) { m.Range(yield) }
+}
+
+// TryPutBatch implements table.Table with the staged scatter of PutBatch.
+// On ErrFull it stops, returning the number of keys newly inserted so far;
+// keys routed to partitions processed earlier remain applied.
+func (m *Partitioned) TryPutBatch(keys, vals []uint64) (int, error) {
+	if len(keys) != len(vals) {
+		panic("partition: TryPutBatch keys/vals length mismatch")
+	}
+	if len(m.parts) == 1 {
+		return m.parts[0].TryPutBatch(keys, vals)
+	}
+	st := m.stage(keys)
+	bs := m.bs
+	bs.vals = grow(bs.vals, len(keys))
+	svals := bs.vals
+	for i, oi := range st.orig {
+		svals[i] = vals[oi]
+	}
+	inserted := 0
+	for j := range m.parts {
+		lo, hi := st.starts[j], st.starts[j+1]
+		n, err := m.parts[j].TryPutBatch(st.keys[lo:hi], svals[lo:hi])
+		inserted += n
+		if err != nil {
+			return inserted, err
+		}
+	}
+	return inserted, nil
+}
+
+// GetOrPutBatch implements table.Table: keys are staged per partition
+// (stable scatter, so duplicate keys keep slice order — they always share
+// a partition), each partition runs its single-probe batch, and results
+// scatter back to the callers' lanes. On ErrFull the out/loaded contents
+// are unspecified; earlier partitions' inserts remain applied.
+func (m *Partitioned) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
+	if len(vals) != len(keys) {
+		panic("partition: GetOrPutBatch keys/vals length mismatch")
+	}
+	if len(out) < len(keys) || len(loaded) < len(keys) {
+		panic("partition: GetOrPutBatch output slices shorter than keys")
+	}
+	if len(m.parts) == 1 {
+		return m.parts[0].GetOrPutBatch(keys, vals, out, loaded)
+	}
+	st := m.stage(keys)
+	bs := m.bs
+	bs.vals = grow(bs.vals, len(keys))
+	bs.ok = grow(bs.ok, len(keys))
+	svals, sok := bs.vals, bs.ok
+	for i, oi := range st.orig {
+		svals[i] = vals[oi]
+	}
+	inserted := 0
+	for j := range m.parts {
+		lo, hi := st.starts[j], st.starts[j+1]
+		// out aliases vals within each partition's staged range: the
+		// schemes read the insert value before writing the result lane.
+		n, err := m.parts[j].GetOrPutBatch(st.keys[lo:hi], svals[lo:hi], svals[lo:hi], sok[lo:hi])
+		inserted += n
+		if err != nil {
+			return inserted, err
+		}
+	}
+	for i, oi := range st.orig {
+		out[oi], loaded[oi] = svals[i], sok[i]
+	}
+	return inserted, nil
+}
+
+// UpsertBatch implements table.Table; fn receives each key's lane in the
+// original slice. fn must not call back into the map.
+func (m *Partitioned) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	if len(m.parts) == 1 {
+		return m.parts[0].UpsertBatch(keys, fn)
+	}
+	st := m.stage(keys)
+	inserted := 0
+	for j := range m.parts {
+		lo, hi := st.starts[j], st.starts[j+1]
+		if lo == hi {
+			continue
+		}
+		orig := st.orig[lo:hi]
+		n, err := m.parts[j].UpsertBatch(st.keys[lo:hi], func(lane int, old uint64, exists bool) uint64 {
+			return fn(int(orig[lane]), old, exists)
+		})
+		inserted += n
+		if err != nil {
+			return inserted, err
+		}
+	}
+	return inserted, nil
+}
 
 // GetBatch implements table.Batcher: keys are staged per partition (stable
 // scatter), each partition's staging buffer is flushed through its table's

@@ -67,7 +67,14 @@ func (t *LinearProbing) PutVec(key, val uint64) bool {
 	if isSentinelKey(key) {
 		return t.sent.put(key, val)
 	}
-	t.ensureRoom()
+	if err := t.ensureRoom(); err != nil {
+		// Legacy Map contract: grow once instead of failing (see Put) —
+		// but only when an insert is actually needed; an update of an
+		// existing key proceeds in place on the full table.
+		if _, exists := t.GetVec(key); !exists {
+			t.rehash(len(t.slots) * 2)
+		}
+	}
 	i := t.home(key)
 	block := i &^ 3
 	valid := laneMaskFrom(i & 3)
@@ -152,7 +159,13 @@ func (t *LinearProbingSoA) PutVec(key, val uint64) bool {
 	if isSentinelKey(key) {
 		return t.sent.put(key, val)
 	}
-	t.ensureRoom()
+	if err := t.ensureRoom(); err != nil {
+		// Legacy Map contract: grow once instead of failing (see Put) —
+		// but only when an insert is actually needed.
+		if _, exists := t.GetVec(key); !exists {
+			t.rehash(len(t.keys) * 2)
+		}
+	}
 	i := t.home(key)
 	block := i &^ 3
 	valid := laneMaskFrom(i & 3)

@@ -24,7 +24,7 @@ package table
 //
 // The PutBatch bodies of the open-addressing schemes are deliberately
 // near-identical copies of one chunk loop (bulk hash, sentinel routing,
-// putHashed): collapsing them behind a per-key func value would put an
+// mustPutHashed): collapsing them behind a per-key func value would put an
 // indirect call on an insert path that costs only tens of nanoseconds per
 // key. A change to the loop must be mirrored across the four schemes.
 

@@ -69,7 +69,7 @@ func (t *Chained8) PutBatch(keys []uint64, vals []uint64) int {
 		kc, vc := keys[lo:hi], vals[lo:hi]
 		hashfn.HashBatch(t.fn, kc, bt.hash[:])
 		for l, k := range kc {
-			if t.putHashed(k, vc[l], bt.hash[l]) {
+			if ins, _ := t.putHashed(k, vc[l], bt.hash[l]); ins {
 				inserted++
 			}
 		}
@@ -156,7 +156,7 @@ func (t *Chained24) PutBatch(keys []uint64, vals []uint64) int {
 				t.hasZero, t.zeroVal = true, vc[l]
 				continue
 			}
-			if t.putHashed(k, vc[l], bt.hash[l]) {
+			if ins, _ := t.putHashed(k, vc[l], bt.hash[l]); ins {
 				inserted++
 			}
 		}

@@ -110,7 +110,7 @@ func (t *LinearProbing) PutBatch(keys []uint64, vals []uint64) int {
 				}
 				continue
 			}
-			if t.putHashed(k, vc[l], bt.hash[l]) {
+			if t.mustPutHashed(k, vc[l], bt.hash[l]) {
 				inserted++
 			}
 		}
@@ -216,7 +216,7 @@ func (t *LinearProbingSoA) PutBatch(keys []uint64, vals []uint64) int {
 				}
 				continue
 			}
-			if t.putHashed(k, vc[l], bt.hash[l]) {
+			if t.mustPutHashed(k, vc[l], bt.hash[l]) {
 				inserted++
 			}
 		}

@@ -108,7 +108,7 @@ func (t *QuadraticProbing) PutBatch(keys []uint64, vals []uint64) int {
 				}
 				continue
 			}
-			if t.putHashed(k, vc[l], bt.hash[l]) {
+			if t.mustPutHashed(k, vc[l], bt.hash[l]) {
 				inserted++
 			}
 		}
@@ -227,7 +227,7 @@ func (t *RobinHood) PutBatch(keys []uint64, vals []uint64) int {
 				}
 				continue
 			}
-			if t.putHashed(k, vc[l], bt.hash[l]) {
+			if t.mustPutHashed(k, vc[l], bt.hash[l]) {
 				inserted++
 			}
 		}

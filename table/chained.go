@@ -37,11 +37,12 @@ type Chained8 struct {
 	family hashfn.Family
 	seed   uint64
 	maxLF  float64
+	grows  int
 	alloc  *slab.Allocator
 	batchState
 }
 
-var _ Map = (*Chained8)(nil)
+var _ Table = (*Chained8)(nil)
 
 // NewChained8 returns an empty pointer-directory chained table.
 func NewChained8(cfg Config) *Chained8 {
@@ -96,18 +97,21 @@ func (t *Chained8) Get(key uint64) (uint64, bool) {
 // (order within a chain is immaterial; head insertion avoids walking the
 // list twice).
 func (t *Chained8) Put(key, val uint64) bool {
-	return t.putHashed(key, val, t.fn.Hash(key))
+	ins, _ := t.putHashed(key, val, t.fn.Hash(key))
+	return ins
 }
 
 // putHashed is Put with a precomputed hash code; the directory index is
-// derived after maybeGrow so a doubled directory cannot stale it.
-func (t *Chained8) putHashed(key, val, hash uint64) bool {
+// derived after maybeGrow so a doubled directory cannot stale it. Chained
+// tables never fill (chains extend indefinitely), so the error is always
+// nil; the signature matches the open-addressing schemes'.
+func (t *Chained8) putHashed(key, val, hash uint64) (bool, error) {
 	t.maybeGrow()
 	i := hash >> t.shift
 	for e := t.dir[i]; e != nil; e = e.Next {
 		if e.Key == key {
 			e.Val = val
-			return false
+			return false, nil
 		}
 	}
 	e := t.alloc.Alloc()
@@ -115,7 +119,35 @@ func (t *Chained8) putHashed(key, val, hash uint64) bool {
 	e.Next = t.dir[i]
 	t.dir[i] = e
 	t.size++
-	return true
+	return true, nil
+}
+
+// rmwHashed is the single-probe read-modify-write primitive; see
+// LinearProbing.rmwHashed. Chained8 has no sentinel keys: chain entries
+// store full keys, so 0 and 2^64-1 are ordinary.
+func (t *Chained8) rmwHashed(key, val, hash uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error) {
+	t.maybeGrow()
+	i := hash >> t.shift
+	for e := t.dir[i]; e != nil; e = e.Next {
+		if e.Key == key {
+			if fn != nil {
+				e.Val = fn(e.Val, true)
+			} else if overwrite {
+				e.Val = val
+			}
+			return e.Val, true, nil
+		}
+	}
+	v := val
+	if fn != nil {
+		v = fn(0, false)
+	}
+	e := t.alloc.Alloc()
+	e.Key, e.Val = key, v
+	e.Next = t.dir[i]
+	t.dir[i] = e
+	t.size++
+	return v, false, nil
 }
 
 // Delete implements Map; the removed entry returns to the slab free list.
@@ -145,6 +177,7 @@ func (t *Chained8) maybeGrow() {
 	if t.size+1 <= int(t.maxLF*float64(len(t.dir))) {
 		return
 	}
+	t.grows++
 	// Double the directory and relink existing entries in place; no entry
 	// is reallocated.
 	old := t.dir
@@ -218,12 +251,14 @@ type Chained24 struct {
 	maxLF  float64
 	alloc  *slab.Allocator
 
+	grows int
+
 	hasZero bool   // inline sentinel escape for real key 0
 	zeroVal uint64 // stored out-of-line like open addressing's sentinels
 	batchState
 }
 
-var _ Map = (*Chained24)(nil)
+var _ Table = (*Chained24)(nil)
 
 // NewChained24 returns an empty inline-directory chained table.
 func NewChained24(cfg Config) *Chained24 {
@@ -300,26 +335,29 @@ func (t *Chained24) Put(key, val uint64) bool {
 		t.hasZero, t.zeroVal = true, val
 		return inserted
 	}
-	return t.putHashed(key, val, t.fn.Hash(key))
+	ins, _ := t.putHashed(key, val, t.fn.Hash(key))
+	return ins
 }
 
-// putHashed is Put for a non-zero key with a precomputed hash code.
-func (t *Chained24) putHashed(key, val, hash uint64) bool {
+// putHashed is Put for a non-zero key with a precomputed hash code. The
+// error is always nil (chained tables never fill); the signature matches
+// the open-addressing schemes'.
+func (t *Chained24) putHashed(key, val, hash uint64) (bool, error) {
 	t.maybeGrow()
 	b := &t.dir[hash>>t.shift]
 	if b.key == key {
 		b.val = val
-		return false
+		return false, nil
 	}
 	if !inlineOccupied(b) {
 		b.key, b.val = key, val
 		t.size++
-		return true
+		return true, nil
 	}
 	for e := b.next; e != nil; e = e.Next {
 		if e.Key == key {
 			e.Val = val
-			return false
+			return false, nil
 		}
 	}
 	e := t.alloc.Alloc()
@@ -327,7 +365,64 @@ func (t *Chained24) putHashed(key, val, hash uint64) bool {
 	e.Next = b.next
 	b.next = e
 	t.size++
-	return true
+	return true, nil
+}
+
+// rmwHashed is the single-probe read-modify-write primitive; see
+// LinearProbing.rmwHashed. Only real key 0 needs sentinel routing here.
+func (t *Chained24) rmwHashed(key, val, hash uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error) {
+	if key == emptyKey {
+		if t.hasZero {
+			if fn != nil {
+				t.zeroVal = fn(t.zeroVal, true)
+			} else if overwrite {
+				t.zeroVal = val
+			}
+			return t.zeroVal, true, nil
+		}
+		v := val
+		if fn != nil {
+			v = fn(0, false)
+		}
+		t.hasZero, t.zeroVal = true, v
+		return v, false, nil
+	}
+	t.maybeGrow()
+	b := &t.dir[hash>>t.shift]
+	if b.key == key {
+		if fn != nil {
+			b.val = fn(b.val, true)
+		} else if overwrite {
+			b.val = val
+		}
+		return b.val, true, nil
+	}
+	if inlineOccupied(b) {
+		for e := b.next; e != nil; e = e.Next {
+			if e.Key == key {
+				if fn != nil {
+					e.Val = fn(e.Val, true)
+				} else if overwrite {
+					e.Val = val
+				}
+				return e.Val, true, nil
+			}
+		}
+	}
+	v := val
+	if fn != nil {
+		v = fn(0, false)
+	}
+	if !inlineOccupied(b) {
+		b.key, b.val = key, v
+	} else {
+		e := t.alloc.Alloc()
+		e.Key, e.Val = key, v
+		e.Next = b.next
+		b.next = e
+	}
+	t.size++
+	return v, false, nil
 }
 
 // Delete implements Map. Deleting the inline entry promotes the chain head
@@ -374,6 +469,7 @@ func (t *Chained24) maybeGrow() {
 	if t.size+1 <= int(t.maxLF*float64(len(t.dir))) {
 		return
 	}
+	t.grows++
 	// Collect, reset the slab, rebuild with a doubled directory.
 	entries := make([]pair, 0, t.size)
 	for i := range t.dir {

@@ -43,10 +43,17 @@ type Cuckoo struct {
 
 	rehashes   int
 	totalKicks uint64
+	grows      int
+	// fixedWall memoizes the occupancy at which a growth-disabled insert
+	// was last refused (0 = none): while set, further inserts
+	// short-circuit to ErrFull instead of re-paying insertFixed's rebuild
+	// attempts. Any mutation that could change feasibility — a delete, or
+	// any rebuild — clears it.
+	fixedWall int
 	batchState
 }
 
-var _ Map = (*Cuckoo)(nil)
+var _ Table = (*Cuckoo)(nil)
 
 // NewCuckoo returns an empty 4-ary Cuckoo table configured by cfg.
 func NewCuckoo(cfg Config) *Cuckoo { return NewCuckooK(cfg, DefaultCuckooWays) }
@@ -94,6 +101,7 @@ func (t *Cuckoo) init(capacity int) {
 	t.subCap = uint64(sub)
 	t.slots = make([]pair, sub*t.ways)
 	t.size = 0
+	t.fixedWall = 0
 }
 
 // pos returns the flat index of key's candidate slot in subtable j. The
@@ -154,7 +162,8 @@ func (t *Cuckoo) Get(key uint64) (uint64, bool) {
 	return 0, false
 }
 
-// Put implements Map.
+// Put implements Map. On a full growth-disabled table it grows once
+// instead of failing; use TryPut for the ErrFull-reporting contract.
 func (t *Cuckoo) Put(key, val uint64) bool {
 	if isSentinelKey(key) {
 		return t.sent.put(key, val)
@@ -168,19 +177,156 @@ func (t *Cuckoo) Put(key, val uint64) bool {
 		}
 	}
 	t.maybeGrow()
-	if t.maxLF == 0 {
-		checkGrowable(t.Name(), t.size, len(t.slots))
+	if t.maxLF == 0 && t.size >= len(t.slots) {
+		t.growTo(len(t.slots) * 2)
 	}
 	t.insertFresh(pair{key, val})
 	return true
 }
 
+// rmwHashed is the single-probe read-modify-write primitive; see
+// LinearProbing.rmwHashed. Cuckoo derives its k candidate slots from its
+// own per-subtable functions, so the precomputed hash is unused.
+func (t *Cuckoo) rmwHashed(key, val, _ uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error) {
+	if isSentinelKey(key) {
+		v, existed := t.sent.rmw(key, val, overwrite, fn)
+		return v, existed, nil
+	}
+	for j := 0; j < t.ways; j++ {
+		s := &t.slots[t.pos(j, key)]
+		if s.key == key {
+			if fn != nil {
+				s.val = fn(s.val, true)
+			} else if overwrite {
+				s.val = val
+			}
+			return s.val, true, nil
+		}
+	}
+	if fn == nil {
+		// Value known upfront and no caller side effects: place directly.
+		if err := t.placeFresh(pair{key, val}); err != nil {
+			return 0, false, err
+		}
+		return val, false, nil
+	}
+	// Upsert: the callback may have side effects (agg folds state through
+	// it), so place a hole first and invoke fn only once the insert is
+	// guaranteed, matching the other schemes' fn-after-room-check order.
+	if err := t.placeFresh(pair{key, 0}); err != nil {
+		return 0, false, err
+	}
+	v := fn(0, false)
+	for j := 0; j < t.ways; j++ {
+		if s := &t.slots[t.pos(j, key)]; s.key == key {
+			s.val = v
+			break
+		}
+	}
+	return v, false, nil
+}
+
+// placeFresh inserts an entry known to be absent, honouring the growth
+// contract: with growth disabled the fixed pre-allocated capacity is hard
+// — a key the capacity cannot place reports ErrFull instead of
+// insertFresh's doubling fallback. After a refusal, further inserts
+// short-circuit to ErrFull in O(1) until a delete frees a slot (which
+// invalidates the memo), so a caller looping TryPut against a full table
+// pays insertFixed's rebuild attempts once, not per key.
+func (t *Cuckoo) placeFresh(cur pair) error {
+	if t.maxLF == 0 {
+		if t.size >= len(t.slots) {
+			return errFull(t.Name(), t.size, len(t.slots))
+		}
+		if t.fixedWall > 0 && !t.emptyCandidate(cur.key) {
+			// A prior insert was refused at this occupancy and this key
+			// has no free candidate slot: refuse in O(k) rather than
+			// re-paying the rebuild attempts. Keys with a free candidate
+			// bypass the memo — they place in one sweep.
+			return errFull(t.Name(), t.size, len(t.slots))
+		}
+		if !t.insertFixed(cur) {
+			t.fixedWall = t.size
+			return errFull(t.Name(), t.size, len(t.slots))
+		}
+		return nil
+	}
+	t.maybeGrow()
+	t.insertFresh(cur)
+	return nil
+}
+
+// emptyCandidate reports whether any of key's k candidate slots is free.
+func (t *Cuckoo) emptyCandidate(key uint64) bool {
+	for j := 0; j < t.ways; j++ {
+		if t.slots[t.pos(j, key)].key == emptyKey {
+			return true
+		}
+	}
+	return false
+}
+
+// insertFixed inserts an entry known to be absent WITHOUT ever growing:
+// a failed kick chain redraws the hash functions and rebuilds at the same
+// capacity a bounded number of times (the paper's construction-failure
+// handling, minus the doubling last resort). When even that fails — the
+// occupancy is past the scheme's feasibility threshold (~96.7% for k=4,
+// §2.5) — it restores a table holding exactly the prior entries and
+// reports false.
+func (t *Cuckoo) insertFixed(cur pair) bool {
+	newKey := cur.key
+	left, ok := t.kickInsert(cur)
+	if ok {
+		t.size++
+		return true
+	}
+	entries := make([]pair, 0, t.size+1)
+	for i := range t.slots {
+		if t.slots[i].key != emptyKey {
+			entries = append(entries, t.slots[i])
+		}
+	}
+	entries = append(entries, left)
+	const fixedAttempts = 16
+	for a := 0; a < fixedAttempts; a++ {
+		t.gen++
+		t.rehashes++
+		t.drawFunctions()
+		t.init(len(t.slots))
+		if t.buildFrom(entries) {
+			t.size = len(entries)
+			return true
+		}
+	}
+	// The new entry does not fit this capacity. Rebuild without it; the
+	// prior configuration was feasible (it existed), so a function redraw
+	// succeeds with overwhelming probability per attempt.
+	prior := entries[:0]
+	for _, e := range entries {
+		if e.key != newKey {
+			prior = append(prior, e)
+		}
+	}
+	for {
+		t.gen++
+		t.rehashes++
+		t.drawFunctions()
+		t.init(len(t.slots))
+		if t.buildFrom(prior) {
+			t.size = len(prior)
+			return false
+		}
+	}
+}
+
 // insertFresh inserts an entry known to be absent, rehashing (and as a last
-// resort growing) until it fits.
+// resort growing) until it fits. A successful placement proves the layout
+// can still accept entries, so it clears the fixedWall refusal memo.
 func (t *Cuckoo) insertFresh(cur pair) {
 	left, ok := t.kickInsert(cur)
 	if ok {
 		t.size++
+		t.fixedWall = 0
 		return
 	}
 	// Kick chain exceeded maxKicks: redraw functions and rebuild with the
@@ -265,6 +411,7 @@ func (t *Cuckoo) Delete(key uint64) bool {
 		if s.key == key {
 			*s = pair{}
 			t.size--
+			t.fixedWall = 0 // freed a slot: inserts may be feasible again
 			return true
 		}
 	}
@@ -278,13 +425,19 @@ func (t *Cuckoo) maybeGrow() {
 	if t.size+1 <= int(t.maxLF*float64(len(t.slots))) {
 		return
 	}
+	t.growTo(len(t.slots) * 2)
+}
+
+// growTo rebuilds the table at the given total capacity, redrawing hash
+// functions on construction failure.
+func (t *Cuckoo) growTo(capacity int) {
+	t.grows++
 	entries := make([]pair, 0, t.size)
 	for i := range t.slots {
 		if t.slots[i].key != emptyKey {
 			entries = append(entries, t.slots[i])
 		}
 	}
-	capacity := len(t.slots) * 2
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			t.gen++

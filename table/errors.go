@@ -1,0 +1,42 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFull reports that a growth-disabled table has run out of room. It is
+// returned (wrapped in a *FullError carrying the scheme and occupancy) by
+// every error-returning mutation — TryPut, GetOrPut, Upsert and their
+// batched forms, and the Handle operations built on them — when
+// MaxLoadFactor is zero and live entries exhaust the fixed capacity, or,
+// for Cuckoo, when the scheme cannot place the key at the current
+// occupancy (its feasibility limit sits below 100%, ~96.7% for k=4; after
+// a refusal, further keys without a free candidate slot are refused
+// conservatively until a delete frees room).
+//
+// The legacy Map.Put / PutBatch surface instead absorbs the condition by
+// growing the table once (see Map), so no panic and no silent data loss is
+// reachable from the public API.
+var ErrFull = errors.New("table is full and growth is disabled")
+
+// FullError is the concrete error wrapping ErrFull: which scheme filled up
+// and at what occupancy. Use errors.Is(err, ErrFull) to test for it.
+type FullError struct {
+	Scheme   string // scheme name, e.g. "LP"
+	Len      int    // live entries at the point of failure
+	Capacity int    // fixed slot capacity
+}
+
+// Error implements error.
+func (e *FullError) Error() string {
+	return fmt.Sprintf("table: %s is full (%d/%d slots) and growth is disabled", e.Scheme, e.Len, e.Capacity)
+}
+
+// Unwrap makes errors.Is(err, ErrFull) work.
+func (e *FullError) Unwrap() error { return ErrFull }
+
+// errFull builds the wrapped ErrFull for one scheme.
+func errFull(scheme string, size, capacity int) error {
+	return &FullError{Scheme: scheme, Len: size, Capacity: capacity}
+}

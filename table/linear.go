@@ -25,11 +25,12 @@ type LinearProbing struct {
 	family hashfn.Family
 	seed   uint64
 	maxLF  float64
+	grows  int // rehash events (growth and in-place), for Stats
 	sent   sentinels
 	batchState
 }
 
-var _ Map = (*LinearProbing)(nil)
+var _ Table = (*LinearProbing)(nil)
 
 // NewLinearProbing returns an empty linear-probing table configured by cfg.
 func NewLinearProbing(cfg Config) *LinearProbing {
@@ -101,51 +102,93 @@ func (t *LinearProbing) Get(key uint64) (uint64, bool) {
 // ensureRoom keeps the probing invariant that at least one truly empty slot
 // exists (probe loops terminate on empties). With growth enabled it defers
 // to maybeGrow; with growth disabled it sheds tombstone pressure by
-// rehashing in place, and panics only when live entries alone exhaust the
-// fixed capacity.
-func (t *LinearProbing) ensureRoom() {
+// rehashing in place, and reports ErrFull only when live entries alone
+// exhaust the fixed capacity.
+func (t *LinearProbing) ensureRoom() error {
 	if t.maxLF != 0 {
 		t.maybeGrow()
-		return
+		return nil
 	}
 	if t.size+t.tombs+1 < len(t.slots) {
-		return
+		return nil
 	}
-	checkGrowable(t.Name(), t.size+1, len(t.slots))
+	if t.size+1 >= len(t.slots) {
+		return errFull(t.Name(), t.size, len(t.slots))
+	}
 	t.rehash(len(t.slots))
+	return nil
 }
 
-// Put implements Map.
+// Put implements Map. On a full growth-disabled table it grows once
+// instead of failing; use TryPut for the ErrFull-reporting contract.
 func (t *LinearProbing) Put(key, val uint64) bool {
 	if isSentinelKey(key) {
 		return t.sent.put(key, val)
 	}
-	return t.putHashed(key, val, t.fn.Hash(key))
+	return t.mustPutHashed(key, val, t.fn.Hash(key))
 }
 
-// putHashed is Put for a non-sentinel key whose hash code is already known
-// (the batched pipeline hashes whole chunks up front). The slot index is
-// derived from the hash at use time, after ensureRoom, so an in-flight grow
-// or rehash cannot stale it.
-func (t *LinearProbing) putHashed(key, val, hash uint64) bool {
-	t.ensureRoom()
+// mustPutHashed is the insert primitive of the legacy Map contract: a
+// full growth-disabled table grows once instead of failing.
+func (t *LinearProbing) mustPutHashed(key, val, hash uint64) bool {
+	_, existed, err := t.rmwHashed(key, val, hash, true, nil)
+	if err != nil {
+		// Growth disabled and full, and the key is new (rmwHashed updates
+		// existing keys in place without needing room): grow once.
+		t.rehash(len(t.slots) * 2)
+		_, existed, _ = t.rmwHashed(key, val, hash, true, nil)
+	}
+	return !existed
+}
+
+// rmwHashed is the single-probe read-modify-write primitive behind
+// GetOrPut, Upsert and the error-based put: one probe sequence finds the
+// key or its insertion point. With fn nil and overwrite false it is
+// GetOrPut(val); with overwrite true it is a plain put; with fn set it is
+// Upsert(fn). It returns the value now stored and whether the key already
+// existed. The growth-disabled full check
+// fires only when an insert is actually needed, so operations that resolve
+// to an existing key keep working on a full table.
+func (t *LinearProbing) rmwHashed(key, val, hash uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error) {
+	if isSentinelKey(key) {
+		v, existed := t.sent.rmw(key, val, overwrite, fn)
+		return v, existed, nil
+	}
+	if t.maxLF != 0 {
+		t.maybeGrow()
+	} else if t.size+t.tombs+1 >= len(t.slots) && t.tombs > 0 {
+		// Shed tombstone pressure so the probe below is guaranteed a
+		// truly empty slot to terminate on.
+		t.rehash(len(t.slots))
+	}
 	i := hash >> t.shift
 	firstTomb := -1
 	for {
 		s := &t.slots[i]
 		if s.key == key {
-			s.val = val
-			return false
+			if fn != nil {
+				s.val = fn(s.val, true)
+			} else if overwrite {
+				s.val = val
+			}
+			return s.val, true, nil
 		}
 		if s.key == emptyKey {
+			if t.maxLF == 0 && t.size+1 >= len(t.slots) {
+				return 0, false, errFull(t.Name(), t.size, len(t.slots))
+			}
+			v := val
+			if fn != nil {
+				v = fn(0, false)
+			}
 			if firstTomb >= 0 {
-				t.slots[firstTomb] = pair{key, val}
+				t.slots[firstTomb] = pair{key, v}
 				t.tombs--
 			} else {
-				*s = pair{key, val}
+				*s = pair{key, v}
 			}
 			t.size++
-			return true
+			return v, false, nil
 		}
 		if s.key == tombKey && firstTomb < 0 {
 			firstTomb = int(i)
@@ -209,6 +252,7 @@ func (t *LinearProbing) maybeGrow() {
 
 // rehash rebuilds the table with the given capacity, dropping tombstones.
 func (t *LinearProbing) rehash(capacity int) {
+	t.grows++
 	old := t.slots
 	t.init(capacity)
 	for idx := range old {

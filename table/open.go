@@ -1,0 +1,586 @@
+package table
+
+// The workload-aware façade: Open builds a Handle from functional options,
+// walking the paper's Figure 8 decision graph when the caller describes a
+// workload instead of naming a scheme, and optionally striping the table
+// across partitions for shared-memory concurrent use. Handle unifies the
+// scalar, batched and single-probe read-modify-write operations in one
+// surface, reports ErrFull instead of the legacy grow-on-full behavior,
+// and exposes Stats and Go 1.23 iterators for observability.
+
+import (
+	"fmt"
+	"iter"
+	"math/bits"
+	"sync"
+
+	"repro/hashfn"
+)
+
+// DefaultMaxLoadFactor is the growth threshold Open uses when
+// WithMaxLoadFactor is not given: production-friendly growth just below
+// the level where probing schemes degrade (§5.2). Pass
+// WithMaxLoadFactor(0) for the paper's pre-allocated (WORM) contract.
+const DefaultMaxLoadFactor = 0.85
+
+// defaultOpenCapacity is the initial capacity when WithCapacity is absent.
+const defaultOpenCapacity = 1 << 10
+
+// openConfig accumulates the functional options of Open.
+type openConfig struct {
+	scheme     Scheme
+	schemeSet  bool
+	workload   *Workload
+	capacity   int
+	maxLF      float64
+	maxLFSet   bool
+	family     hashfn.Family
+	seed       uint64
+	partitions int
+}
+
+// Option configures Open.
+type Option func(*openConfig) error
+
+// WithScheme pins the hashing scheme. Mutually exclusive with
+// WithWorkload, which derives the scheme from a workload description.
+func WithScheme(s Scheme) Option {
+	return func(c *openConfig) error {
+		c.scheme = s
+		c.schemeSet = true
+		return nil
+	}
+}
+
+// WithWorkload describes the anticipated workload and lets Open walk the
+// paper's Figure 8 decision graph to select the scheme (the decision path
+// is retained on the Handle for auditing). Mutually exclusive with
+// WithScheme.
+func WithWorkload(w Workload) Option {
+	return func(c *openConfig) error {
+		if err := w.Validate(); err != nil {
+			return err
+		}
+		c.workload = &w
+		return nil
+	}
+}
+
+// WithCapacity sets the initial slot capacity, rounded up to a power of
+// two (total across partitions when combined with WithPartitions).
+func WithCapacity(n int) Option {
+	return func(c *openConfig) error {
+		if n < 0 {
+			return fmt.Errorf("table: negative capacity %d", n)
+		}
+		c.capacity = n
+		return nil
+	}
+}
+
+// WithMaxLoadFactor sets the occupancy threshold at which the table grows.
+// Zero disables growth (the paper's pre-allocated WORM contract: mutations
+// return ErrFull when the fixed capacity is exhausted). Values outside
+// [0, 1) are rejected by Open — under the legacy Config they silently
+// disabled growth, which is exactly the surprise this validation removes.
+func WithMaxLoadFactor(f float64) Option {
+	return func(c *openConfig) error {
+		c.maxLF = f
+		c.maxLFSet = true
+		return nil
+	}
+}
+
+// WithHashFamily sets the hash-function class (default Mult, the paper's
+// overall recommendation).
+func WithHashFamily(f hashfn.Family) Option {
+	return func(c *openConfig) error {
+		if f == nil {
+			return fmt.Errorf("table: nil hash family")
+		}
+		c.family = f
+		return nil
+	}
+}
+
+// WithSeed derives all hash-function parameters. Two handles opened with
+// identical options are identical.
+func WithSeed(seed uint64) Option {
+	return func(c *openConfig) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithPartitions stripes the handle across n independently locked tables
+// (rounded up to a power of two) — the paper's "striped locking" extension
+// for shared-memory concurrency (§1). Keys are routed by a dedicated
+// partition hash drawn independently of the per-stripe table functions.
+// n <= 1 keeps the handle single-table and lock-free.
+func WithPartitions(n int) Option {
+	return func(c *openConfig) error {
+		if n < 0 {
+			return fmt.Errorf("table: negative partition count %d", n)
+		}
+		c.partitions = n
+		return nil
+	}
+}
+
+// Handle is the unified table façade produced by Open: scalar and batched
+// point operations, single-probe read-modify-write primitives, error-based
+// growth (ErrFull), iterators, and a Stats snapshot. A single-partition
+// Handle is a zero-lock pass-through to one scheme and inherits its
+// single-threaded contract; a Handle opened WithPartitions(n > 1) is safe
+// for arbitrary concurrent use, one mutex per stripe.
+type Handle struct {
+	tables []Table
+	locks  []sync.Mutex // nil when single-partition
+	router hashfn.Function
+	shift  uint // 64 - log2(len(tables)); stripe = routerHash >> shift
+	scheme Scheme
+	family string
+	path   []string // Figure 8 decision trail when opened WithWorkload
+}
+
+// Open builds a Handle from functional options. With no options it opens
+// a growing Robin Hood table with multiply-shift hashing — the paper's
+// all-rounder. Invalid or conflicting options return descriptive errors
+// rather than silently degrading.
+func Open(opts ...Option) (*Handle, error) {
+	cfg := openConfig{
+		capacity:   defaultOpenCapacity,
+		maxLF:      DefaultMaxLoadFactor,
+		family:     hashfn.MultFamily{},
+		partitions: 1,
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.maxLFSet && (cfg.maxLF < 0 || cfg.maxLF >= 1) {
+		if cfg.maxLF < 0 {
+			return nil, fmt.Errorf("table: max load factor %v is negative; use 0 to disable growth explicitly", cfg.maxLF)
+		}
+		return nil, fmt.Errorf("table: max load factor %v >= 1 can never trigger growth; use a value in (0,1), or 0 to disable growth", cfg.maxLF)
+	}
+	if cfg.schemeSet && cfg.workload != nil {
+		return nil, fmt.Errorf("table: WithScheme and WithWorkload are mutually exclusive; drop one")
+	}
+
+	h := &Handle{scheme: SchemeRH, family: cfg.family.Name()}
+	if cfg.schemeSet {
+		h.scheme = cfg.scheme
+	}
+	if cfg.workload != nil {
+		scheme, path, err := Recommend(*cfg.workload)
+		if err != nil {
+			return nil, err
+		}
+		h.scheme, h.path = scheme, path
+	}
+
+	p := cfg.partitions
+	if p < 1 {
+		p = 1
+	}
+	p = 1 << uint(bits.Len(uint(p-1)))
+	perStripe := cfg.capacity / p
+	h.tables = make([]Table, p)
+	for i := range h.tables {
+		t, err := New(h.scheme, Config{
+			InitialCapacity: perStripe,
+			MaxLoadFactor:   cfg.maxLF,
+			Family:          cfg.family,
+			Seed:            cfg.seed + uint64(i)*0x9e3779b97f4a7c15,
+		})
+		if err != nil {
+			return nil, err
+		}
+		h.tables[i] = t
+	}
+	if p > 1 {
+		h.locks = make([]sync.Mutex, p)
+		// The router must be independent of the per-stripe functions;
+		// derive it from a distinct seed stream.
+		h.router = cfg.family.New(cfg.seed ^ 0x9a77_e4b0_0f00_d001)
+		h.shift = uint(64 - bits.TrailingZeros(uint(p)))
+	}
+	return h, nil
+}
+
+// MustOpen is Open that panics on error, for tests and static
+// configuration.
+func MustOpen(opts ...Option) *Handle {
+	h, err := Open(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// stripe returns the index of the partition owning key.
+func (h *Handle) stripe(key uint64) int {
+	if h.locks == nil {
+		return 0
+	}
+	return int(h.router.Hash(key) >> h.shift)
+}
+
+// Scheme returns the hashing scheme behind the handle.
+func (h *Handle) Scheme() Scheme { return h.scheme }
+
+// HashName returns the hash-function family name, e.g. "Mult".
+func (h *Handle) HashName() string { return h.family }
+
+// Name returns the paper-style label, e.g. "RHMult", prefixed with the
+// stripe count when partitioned.
+func (h *Handle) Name() string {
+	if h.locks != nil {
+		return fmt.Sprintf("Striped[%dx%s%s]", len(h.tables), h.scheme, h.family)
+	}
+	return string(h.scheme) + h.family
+}
+
+// Partitions returns the number of stripes (1 for an unpartitioned
+// handle).
+func (h *Handle) Partitions() int { return len(h.tables) }
+
+// DecisionPath returns the Figure 8 audit trail when the handle was opened
+// WithWorkload, nil otherwise.
+func (h *Handle) DecisionPath() []string { return h.path }
+
+// Put inserts or updates key -> val, reporting whether the key was newly
+// inserted. On a full growth-disabled handle it returns ErrFull (wrapped
+// in a *FullError) and leaves the table unchanged.
+func (h *Handle) Put(key, val uint64) (bool, error) {
+	if h.locks == nil {
+		return h.tables[0].TryPut(key, val)
+	}
+	j := h.stripe(key)
+	h.locks[j].Lock()
+	defer h.locks[j].Unlock()
+	return h.tables[j].TryPut(key, val)
+}
+
+// Get returns the value stored under key and whether it is present.
+func (h *Handle) Get(key uint64) (uint64, bool) {
+	if h.locks == nil {
+		return h.tables[0].Get(key)
+	}
+	j := h.stripe(key)
+	h.locks[j].Lock()
+	defer h.locks[j].Unlock()
+	return h.tables[j].Get(key)
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *Handle) Delete(key uint64) bool {
+	if h.locks == nil {
+		return h.tables[0].Delete(key)
+	}
+	j := h.stripe(key)
+	h.locks[j].Lock()
+	defer h.locks[j].Unlock()
+	return h.tables[j].Delete(key)
+}
+
+// GetOrPut returns the value stored under key if present (loaded true);
+// otherwise it inserts val and returns it (loaded false). Exactly one
+// probe sequence is issued either way.
+func (h *Handle) GetOrPut(key, val uint64) (actual uint64, loaded bool, err error) {
+	if h.locks == nil {
+		return h.tables[0].GetOrPut(key, val)
+	}
+	j := h.stripe(key)
+	h.locks[j].Lock()
+	defer h.locks[j].Unlock()
+	return h.tables[j].GetOrPut(key, val)
+}
+
+// Upsert applies fn to the value stored under key (exists true) or to
+// (0, false) when absent, stores the result, and returns it — one probe
+// sequence. fn must not call back into the handle.
+func (h *Handle) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	if h.locks == nil {
+		return h.tables[0].Upsert(key, fn)
+	}
+	j := h.stripe(key)
+	h.locks[j].Lock()
+	defer h.locks[j].Unlock()
+	return h.tables[j].Upsert(key, fn)
+}
+
+// Len returns the number of live entries across all stripes.
+func (h *Handle) Len() int {
+	n := 0
+	for j, t := range h.tables {
+		if h.locks != nil {
+			h.locks[j].Lock()
+		}
+		n += t.Len()
+		if h.locks != nil {
+			h.locks[j].Unlock()
+		}
+	}
+	return n
+}
+
+// Capacity returns the total slot capacity across all stripes.
+func (h *Handle) Capacity() int {
+	n := 0
+	for j, t := range h.tables {
+		if h.locks != nil {
+			h.locks[j].Lock()
+		}
+		n += t.Capacity()
+		if h.locks != nil {
+			h.locks[j].Unlock()
+		}
+	}
+	return n
+}
+
+// LoadFactor returns Len/Capacity.
+func (h *Handle) LoadFactor() float64 {
+	return float64(h.Len()) / float64(h.Capacity())
+}
+
+// MemoryFootprint returns the total bytes across all stripes.
+func (h *Handle) MemoryFootprint() uint64 {
+	var n uint64
+	for j, t := range h.tables {
+		if h.locks != nil {
+			h.locks[j].Lock()
+		}
+		n += t.MemoryFootprint()
+		if h.locks != nil {
+			h.locks[j].Unlock()
+		}
+	}
+	return n
+}
+
+// Range calls fn for every entry until fn returns false. On a partitioned
+// handle one stripe lock is held at a time; entries written concurrently
+// may or may not be observed.
+func (h *Handle) Range(fn func(key, val uint64) bool) {
+	for j, t := range h.tables {
+		if h.locks != nil {
+			h.locks[j].Lock()
+		}
+		stopped := false
+		t.Range(func(k, v uint64) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if h.locks != nil {
+			h.locks[j].Unlock()
+		}
+		if stopped {
+			return
+		}
+	}
+}
+
+// All returns a Go 1.23 range-over-func iterator over the entries,
+// equivalent to Range.
+func (h *Handle) All() iter.Seq2[uint64, uint64] {
+	return func(yield func(uint64, uint64) bool) { h.Range(yield) }
+}
+
+// Stats collects a point-in-time snapshot across all stripes. It walks
+// every table (O(capacity)); intended for observability, not hot paths.
+func (h *Handle) Stats() Stats {
+	var s Stats
+	for j, t := range h.tables {
+		if h.locks != nil {
+			h.locks[j].Lock()
+		}
+		st := StatsOf(t)
+		if h.locks != nil {
+			h.locks[j].Unlock()
+		}
+		if j == 0 {
+			s = st
+		} else {
+			s.merge(st)
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Batched operations
+// ---------------------------------------------------------------------------
+
+// GetBatch looks up keys[i] into vals[i], ok[i] for every i and returns
+// the number of hits. vals and ok must be at least as long as keys.
+func (h *Handle) GetBatch(keys, vals []uint64, ok []bool) int {
+	if h.locks == nil {
+		return h.tables[0].GetBatch(keys, vals, ok)
+	}
+	checkBatchGet(len(keys), len(vals), len(ok))
+	st := h.scatter(keys)
+	hits := 0
+	for j := range h.tables {
+		lo, hi := st.starts[j], st.starts[j+1]
+		if lo == hi {
+			continue
+		}
+		h.locks[j].Lock()
+		hits += h.tables[j].GetBatch(st.keys[lo:hi], st.vals[lo:hi], st.ok[lo:hi])
+		h.locks[j].Unlock()
+	}
+	for i, oi := range st.orig {
+		vals[oi], ok[oi] = st.vals[i], st.ok[i]
+	}
+	return hits
+}
+
+// PutBatch upserts the pairs (keys[i], vals[i]) in slice order, returning
+// the number of newly inserted keys. On ErrFull it stops; pairs already
+// applied remain.
+func (h *Handle) PutBatch(keys, vals []uint64) (int, error) {
+	if h.locks == nil {
+		return h.tables[0].TryPutBatch(keys, vals)
+	}
+	checkBatchPut(len(keys), len(vals))
+	st := h.scatter(keys)
+	for i, oi := range st.orig {
+		st.vals[i] = vals[oi]
+	}
+	inserted := 0
+	for j := range h.tables {
+		lo, hi := st.starts[j], st.starts[j+1]
+		if lo == hi {
+			continue
+		}
+		h.locks[j].Lock()
+		n, err := h.tables[j].TryPutBatch(st.keys[lo:hi], st.vals[lo:hi])
+		h.locks[j].Unlock()
+		inserted += n
+		if err != nil {
+			return inserted, err
+		}
+	}
+	return inserted, nil
+}
+
+// GetOrPutBatch applies GetOrPut to every (keys[i], vals[i]) pair in slice
+// order: out[i] receives the resulting value, loaded[i] whether the key
+// already existed. It returns the number of newly inserted keys; on
+// ErrFull it stops, with earlier pairs applied.
+func (h *Handle) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
+	if h.locks == nil {
+		return h.tables[0].GetOrPutBatch(keys, vals, out, loaded)
+	}
+	checkBatchGetOrPut(len(keys), len(vals), len(out), len(loaded))
+	st := h.scatter(keys)
+	for i, oi := range st.orig {
+		st.vals[i] = vals[oi]
+	}
+	inserted := 0
+	for j := range h.tables {
+		lo, hi := st.starts[j], st.starts[j+1]
+		if lo == hi {
+			continue
+		}
+		h.locks[j].Lock()
+		// out aliases vals within each stripe's staged range: the schemes
+		// read the insert value before writing the result lane.
+		n, err := h.tables[j].GetOrPutBatch(st.keys[lo:hi], st.vals[lo:hi], st.vals[lo:hi], st.ok[lo:hi])
+		h.locks[j].Unlock()
+		inserted += n
+		if err != nil {
+			return inserted, err
+		}
+	}
+	for i, oi := range st.orig {
+		out[oi], loaded[oi] = st.vals[i], st.ok[i]
+	}
+	return inserted, nil
+}
+
+// UpsertBatch applies an Upsert to every key, passing fn the key's lane
+// index in the original slice. Duplicate keys are processed in slice order
+// (they always share a stripe). It returns the number of newly inserted
+// keys.
+func (h *Handle) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	if h.locks == nil {
+		return h.tables[0].UpsertBatch(keys, fn)
+	}
+	st := h.scatter(keys)
+	inserted := 0
+	for j := range h.tables {
+		lo, hi := st.starts[j], st.starts[j+1]
+		if lo == hi {
+			continue
+		}
+		orig := st.orig[lo:hi]
+		h.locks[j].Lock()
+		n, err := h.tables[j].UpsertBatch(st.keys[lo:hi], func(lane int, old uint64, exists bool) uint64 {
+			return fn(int(orig[lane]), old, exists)
+		})
+		h.locks[j].Unlock()
+		inserted += n
+		if err != nil {
+			return inserted, err
+		}
+	}
+	return inserted, nil
+}
+
+// scattered is one stable stripe scatter of a key column: keys regrouped
+// by stripe, the original lane of every staged slot, per-stripe extents,
+// and value/flag staging areas sized to match.
+type scattered struct {
+	keys   []uint64
+	vals   []uint64
+	ok     []bool
+	orig   []int32
+	starts []int32
+}
+
+// scatter routes keys and regroups them by stripe in one stable pass.
+// Partitioned handles are meant for concurrent callers, so the staging
+// buffers are allocated per call rather than cached on the handle.
+func (h *Handle) scatter(keys []uint64) scattered {
+	p := len(h.tables)
+	part := make([]int32, len(keys))
+	hash := make([]uint64, BatchWidth)
+	for base := 0; base < len(keys); base += BatchWidth {
+		n := min(BatchWidth, len(keys)-base)
+		hashfn.HashBatch(h.router, keys[base:base+n], hash)
+		for i := 0; i < n; i++ {
+			part[base+i] = int32(hash[i] >> h.shift)
+		}
+	}
+	st := scattered{
+		keys:   make([]uint64, len(keys)),
+		vals:   make([]uint64, len(keys)),
+		ok:     make([]bool, len(keys)),
+		orig:   make([]int32, len(keys)),
+		starts: make([]int32, p+1),
+	}
+	for _, j := range part {
+		st.starts[j+1]++
+	}
+	for j := 0; j < p; j++ {
+		st.starts[j+1] += st.starts[j]
+	}
+	pos := make([]int32, p)
+	copy(pos, st.starts[:p])
+	for i, k := range keys {
+		j := part[i]
+		at := pos[j]
+		st.keys[at] = k
+		st.orig[at] = int32(i)
+		pos[j]++
+	}
+	return st
+}

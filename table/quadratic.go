@@ -30,11 +30,12 @@ type QuadraticProbing struct {
 	family hashfn.Family
 	seed   uint64
 	maxLF  float64
+	grows  int
 	sent   sentinels
 	batchState
 }
 
-var _ Map = (*QuadraticProbing)(nil)
+var _ Table = (*QuadraticProbing)(nil)
 
 // NewQuadraticProbing returns an empty quadratic-probing table configured
 // by cfg.
@@ -109,64 +110,74 @@ func (t *QuadraticProbing) Get(key uint64) (uint64, bool) {
 	}
 }
 
-// ensureRoom admits inserts as long as live entries alone do not fill the
-// fixed capacity (quadratic probing's full-coverage guarantee keeps all
-// loops bounded even with zero empty slots); when tombstones have consumed
-// every empty slot it rehashes in place to restore fast termination.
-func (t *QuadraticProbing) ensureRoom() {
-	if t.maxLF != 0 {
-		t.maybeGrow()
-		return
-	}
-	checkGrowable(t.Name(), t.size, len(t.slots))
-	if t.size+t.tombs == len(t.slots) && t.tombs > 0 {
-		t.rehash(len(t.slots))
-	}
-}
-
-// Put implements Map.
+// Put implements Map; like LinearProbing.Put it grows once instead of
+// failing on a full growth-disabled table.
 func (t *QuadraticProbing) Put(key, val uint64) bool {
 	if isSentinelKey(key) {
 		return t.sent.put(key, val)
 	}
-	return t.putHashed(key, val, t.fn.Hash(key))
+	return t.mustPutHashed(key, val, t.fn.Hash(key))
 }
 
-// putHashed is Put with a precomputed hash code; see LinearProbing.putHashed.
-func (t *QuadraticProbing) putHashed(key, val, hash uint64) bool {
-	t.ensureRoom()
+// mustPutHashed is the legacy Map insert primitive; see
+// LinearProbing.mustPutHashed.
+func (t *QuadraticProbing) mustPutHashed(key, val, hash uint64) bool {
+	_, existed, err := t.rmwHashed(key, val, hash, true, nil)
+	if err != nil {
+		// Growth disabled and full, and the key is new (rmwHashed updates
+		// existing keys in place without needing room): grow once.
+		t.rehash(len(t.slots) * 2)
+		_, existed, _ = t.rmwHashed(key, val, hash, true, nil)
+	}
+	return !existed
+}
+
+// rmwHashed is the single-probe read-modify-write primitive; see
+// LinearProbing.rmwHashed. The growth-disabled full check happens
+// naturally at the end of the triangular sweep, so existing-key
+// operations keep working on a completely full table.
+func (t *QuadraticProbing) rmwHashed(key, val, hash uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error) {
+	if isSentinelKey(key) {
+		v, existed := t.sent.rmw(key, val, overwrite, fn)
+		return v, existed, nil
+	}
+	if t.maxLF != 0 {
+		t.maybeGrow()
+	} else if t.size+t.tombs == len(t.slots) && t.tombs > 0 {
+		t.rehash(len(t.slots))
+	}
 	i := hash >> t.shift
 	firstTomb := -1
 	for step := uint64(1); ; step++ {
 		s := &t.slots[i]
 		if s.key == key {
-			s.val = val
-			return false
+			if fn != nil {
+				s.val = fn(s.val, true)
+			} else if overwrite {
+				s.val = val
+			}
+			return s.val, true, nil
 		}
-		if s.key == emptyKey {
+		atEmpty := s.key == emptyKey
+		if atEmpty || step > t.mask {
+			if !atEmpty && firstTomb < 0 {
+				return 0, false, errFull(t.Name(), t.size, len(t.slots))
+			}
+			v := val
+			if fn != nil {
+				v = fn(0, false)
+			}
 			if firstTomb >= 0 {
-				t.slots[firstTomb] = pair{key, val}
+				t.slots[firstTomb] = pair{key, v}
 				t.tombs--
 			} else {
-				*s = pair{key, val}
+				*s = pair{key, v}
 			}
 			t.size++
-			return true
+			return v, false, nil
 		}
 		if s.key == tombKey && firstTomb < 0 {
 			firstTomb = int(i)
-		}
-		if step > t.mask {
-			// Full sweep without an empty slot; key absent. Insert into a
-			// recycled tombstone if we saw one (there must be one, or the
-			// table would be over capacity).
-			if firstTomb >= 0 {
-				t.slots[firstTomb] = pair{key, val}
-				t.tombs--
-				t.size++
-				return true
-			}
-			checkGrowable(t.Name(), t.size, len(t.slots))
 		}
 		i = (i + step) & t.mask
 	}
@@ -209,6 +220,7 @@ func (t *QuadraticProbing) maybeGrow() {
 }
 
 func (t *QuadraticProbing) rehash(capacity int) {
+	t.grows++
 	old := t.slots
 	t.init(capacity)
 	for idx := range old {

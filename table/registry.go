@@ -32,8 +32,9 @@ func OpenAddressingSchemes() []Scheme {
 }
 
 // New constructs an empty table of the given scheme. It returns an error
-// for unknown scheme names.
-func New(s Scheme, cfg Config) (Map, error) {
+// for unknown scheme names. The result carries the full unified Table
+// operation set; most callers want the workload-aware Open façade instead.
+func New(s Scheme, cfg Config) (Table, error) {
 	switch s {
 	case SchemeChained8:
 		return NewChained8(cfg), nil
@@ -54,7 +55,7 @@ func New(s Scheme, cfg Config) (Map, error) {
 }
 
 // MustNew is New that panics on error, for tests and static configuration.
-func MustNew(s Scheme, cfg Config) Map {
+func MustNew(s Scheme, cfg Config) Table {
 	m, err := New(s, cfg)
 	if err != nil {
 		panic(err)

@@ -1,0 +1,464 @@
+package table
+
+// This file wires the per-scheme single-probe read-modify-write primitive
+// (rmwHashed, defined next to each scheme's probe loops) into the unified
+// Table surface: TryPut, GetOrPut, Upsert and their batched forms, plus
+// the Go 1.23 All iterator and the Rehashes observability accessor.
+//
+// The batched forms bulk-hash each chunk exactly like the GetBatch /
+// PutBatch pipeline, then drive the scheme's rmwHashed with the
+// precomputed codes. Unlike a Get-then-Put sequence they issue exactly ONE
+// probe sequence per key — the probe that finds the key doubles as the
+// probe that finds its insertion point — which is what removes the double
+// walk from aggregation builds and join builds. Batched semantics are
+// sequential semantics: pairs apply in slice order, so a duplicate key
+// later in the batch observes the effect of its earlier occurrence.
+//
+// Upsert callbacks must not touch the table they are invoked from; they
+// run mid-probe.
+
+import (
+	"iter"
+
+	"repro/hashfn"
+)
+
+// rmwTable is the internal hook the generic batched implementations need:
+// the scheme's bulk-hashable function, its chunk buffer, and its
+// single-probe RMW primitive. The helpers below are type-parameterized on
+// the concrete scheme so each instantiation dispatches rmwHashed
+// statically — per table/batched.go's rule, no indirect call sits on a
+// per-key insert path. Cuckoo is not included — its candidate slots come
+// from k scheme-owned functions, so it gets bespoke loops below.
+type rmwTable interface {
+	hashFn() hashfn.Function
+	buf() *batchBuf
+	rmwHashed(key, val, hash uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error)
+}
+
+func (t *LinearProbing) hashFn() hashfn.Function    { return t.fn }
+func (t *LinearProbingSoA) hashFn() hashfn.Function { return t.fn }
+func (t *QuadraticProbing) hashFn() hashfn.Function { return t.fn }
+func (t *RobinHood) hashFn() hashfn.Function        { return t.fn }
+func (t *Chained8) hashFn() hashfn.Function         { return t.fn }
+func (t *Chained24) hashFn() hashfn.Function        { return t.fn }
+
+func checkBatchGetOrPut(nKeys, nVals, nOut, nLoaded int) {
+	if nVals != nKeys {
+		panic("table: GetOrPutBatch keys/vals length mismatch")
+	}
+	if nOut < nKeys || nLoaded < nKeys {
+		panic("table: GetOrPutBatch output slices shorter than keys")
+	}
+}
+
+// tryPutBatchImpl is PutBatch with the ErrFull contract: it stops at the
+// first failing key, leaving earlier pairs applied.
+func tryPutBatchImpl[T rmwTable](t T, keys, vals []uint64) (int, error) {
+	checkBatchPut(len(keys), len(vals))
+	bt, fn := t.buf(), t.hashFn()
+	inserted := 0
+	for lo := 0; lo < len(keys); lo += BatchWidth {
+		hi := min(lo+BatchWidth, len(keys))
+		kc, vc := keys[lo:hi], vals[lo:hi]
+		hashfn.HashBatch(fn, kc, bt.hash[:])
+		for l, k := range kc {
+			_, existed, err := t.rmwHashed(k, vc[l], bt.hash[l], true, nil)
+			if err != nil {
+				return inserted, err
+			}
+			if !existed {
+				inserted++
+			}
+		}
+	}
+	return inserted, nil
+}
+
+// getOrPutBatchImpl is the batched GetOrPut: one probe per key, results in
+// slice order.
+func getOrPutBatchImpl[T rmwTable](t T, keys, vals, out []uint64, loaded []bool) (int, error) {
+	checkBatchGetOrPut(len(keys), len(vals), len(out), len(loaded))
+	bt, fn := t.buf(), t.hashFn()
+	inserted := 0
+	for lo := 0; lo < len(keys); lo += BatchWidth {
+		hi := min(lo+BatchWidth, len(keys))
+		kc := keys[lo:hi]
+		hashfn.HashBatch(fn, kc, bt.hash[:])
+		for l, k := range kc {
+			v, existed, err := t.rmwHashed(k, vals[lo+l], bt.hash[l], false, nil)
+			if err != nil {
+				return inserted, err
+			}
+			out[lo+l], loaded[lo+l] = v, existed
+			if !existed {
+				inserted++
+			}
+		}
+	}
+	return inserted, nil
+}
+
+// upsertBatchImpl is the batched Upsert. One adapter closure is allocated
+// per call (not per key); the current lane is threaded through it.
+func upsertBatchImpl[T rmwTable](t T, keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	bt, hf := t.buf(), t.hashFn()
+	lane := 0
+	adapter := func(old uint64, exists bool) uint64 { return fn(lane, old, exists) }
+	inserted := 0
+	for lo := 0; lo < len(keys); lo += BatchWidth {
+		hi := min(lo+BatchWidth, len(keys))
+		kc := keys[lo:hi]
+		hashfn.HashBatch(hf, kc, bt.hash[:])
+		for l, k := range kc {
+			lane = lo + l
+			_, existed, err := t.rmwHashed(k, 0, bt.hash[l], false, adapter)
+			if err != nil {
+				return inserted, err
+			}
+			if !existed {
+				inserted++
+			}
+		}
+	}
+	return inserted, nil
+}
+
+// allOf adapts Range to a Go 1.23 range-over-func iterator.
+func allOf(m Map) iter.Seq2[uint64, uint64] {
+	return func(yield func(uint64, uint64) bool) { m.Range(yield) }
+}
+
+// ---------------------------------------------------------------------------
+// LinearProbing
+// ---------------------------------------------------------------------------
+
+// TryPut implements Table. Unlike the legacy Put it reports ErrFull on a
+// full growth-disabled table; an update of an existing key still succeeds
+// there (the full check fires only when an insert is needed).
+func (t *LinearProbing) TryPut(key, val uint64) (bool, error) {
+	_, existed, err := t.rmwHashed(key, val, t.fn.Hash(key), true, nil)
+	return !existed && err == nil, err
+}
+
+// GetOrPut implements Table.
+func (t *LinearProbing) GetOrPut(key, val uint64) (uint64, bool, error) {
+	return t.rmwHashed(key, val, t.fn.Hash(key), false, nil)
+}
+
+// Upsert implements Table.
+func (t *LinearProbing) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	v, _, err := t.rmwHashed(key, 0, t.fn.Hash(key), false, fn)
+	return v, err
+}
+
+// TryPutBatch implements Table.
+func (t *LinearProbing) TryPutBatch(keys, vals []uint64) (int, error) {
+	return tryPutBatchImpl(t, keys, vals)
+}
+
+// GetOrPutBatch implements Table.
+func (t *LinearProbing) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
+	return getOrPutBatchImpl(t, keys, vals, out, loaded)
+}
+
+// UpsertBatch implements Table.
+func (t *LinearProbing) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	return upsertBatchImpl(t, keys, fn)
+}
+
+// All implements Table.
+func (t *LinearProbing) All() iter.Seq2[uint64, uint64] { return allOf(t) }
+
+// Rehashes returns the number of rehash events (growth and in-place) so
+// far, for Stats.
+func (t *LinearProbing) Rehashes() int { return t.grows }
+
+// ---------------------------------------------------------------------------
+// LinearProbingSoA
+// ---------------------------------------------------------------------------
+
+// TryPut implements Table. Unlike the legacy Put it reports ErrFull on a
+// full growth-disabled table; an update of an existing key still succeeds
+// there (the full check fires only when an insert is needed).
+func (t *LinearProbingSoA) TryPut(key, val uint64) (bool, error) {
+	_, existed, err := t.rmwHashed(key, val, t.fn.Hash(key), true, nil)
+	return !existed && err == nil, err
+}
+
+// GetOrPut implements Table.
+func (t *LinearProbingSoA) GetOrPut(key, val uint64) (uint64, bool, error) {
+	return t.rmwHashed(key, val, t.fn.Hash(key), false, nil)
+}
+
+// Upsert implements Table.
+func (t *LinearProbingSoA) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	v, _, err := t.rmwHashed(key, 0, t.fn.Hash(key), false, fn)
+	return v, err
+}
+
+// TryPutBatch implements Table.
+func (t *LinearProbingSoA) TryPutBatch(keys, vals []uint64) (int, error) {
+	return tryPutBatchImpl(t, keys, vals)
+}
+
+// GetOrPutBatch implements Table.
+func (t *LinearProbingSoA) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
+	return getOrPutBatchImpl(t, keys, vals, out, loaded)
+}
+
+// UpsertBatch implements Table.
+func (t *LinearProbingSoA) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	return upsertBatchImpl(t, keys, fn)
+}
+
+// All implements Table.
+func (t *LinearProbingSoA) All() iter.Seq2[uint64, uint64] { return allOf(t) }
+
+// Rehashes returns the number of rehash events so far, for Stats.
+func (t *LinearProbingSoA) Rehashes() int { return t.grows }
+
+// ---------------------------------------------------------------------------
+// QuadraticProbing
+// ---------------------------------------------------------------------------
+
+// TryPut implements Table. Unlike the legacy Put it reports ErrFull on a
+// full growth-disabled table; an update of an existing key still succeeds
+// there (the full check fires only when an insert is needed).
+func (t *QuadraticProbing) TryPut(key, val uint64) (bool, error) {
+	_, existed, err := t.rmwHashed(key, val, t.fn.Hash(key), true, nil)
+	return !existed && err == nil, err
+}
+
+// GetOrPut implements Table.
+func (t *QuadraticProbing) GetOrPut(key, val uint64) (uint64, bool, error) {
+	return t.rmwHashed(key, val, t.fn.Hash(key), false, nil)
+}
+
+// Upsert implements Table.
+func (t *QuadraticProbing) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	v, _, err := t.rmwHashed(key, 0, t.fn.Hash(key), false, fn)
+	return v, err
+}
+
+// TryPutBatch implements Table.
+func (t *QuadraticProbing) TryPutBatch(keys, vals []uint64) (int, error) {
+	return tryPutBatchImpl(t, keys, vals)
+}
+
+// GetOrPutBatch implements Table.
+func (t *QuadraticProbing) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
+	return getOrPutBatchImpl(t, keys, vals, out, loaded)
+}
+
+// UpsertBatch implements Table.
+func (t *QuadraticProbing) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	return upsertBatchImpl(t, keys, fn)
+}
+
+// All implements Table.
+func (t *QuadraticProbing) All() iter.Seq2[uint64, uint64] { return allOf(t) }
+
+// Rehashes returns the number of rehash events so far, for Stats.
+func (t *QuadraticProbing) Rehashes() int { return t.grows }
+
+// ---------------------------------------------------------------------------
+// RobinHood
+// ---------------------------------------------------------------------------
+
+// TryPut implements Table. Unlike the legacy Put it reports ErrFull on a
+// full growth-disabled table; an update of an existing key still succeeds
+// there (the full check fires only when an insert is needed).
+func (t *RobinHood) TryPut(key, val uint64) (bool, error) {
+	_, existed, err := t.rmwHashed(key, val, t.fn.Hash(key), true, nil)
+	return !existed && err == nil, err
+}
+
+// GetOrPut implements Table.
+func (t *RobinHood) GetOrPut(key, val uint64) (uint64, bool, error) {
+	return t.rmwHashed(key, val, t.fn.Hash(key), false, nil)
+}
+
+// Upsert implements Table.
+func (t *RobinHood) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	v, _, err := t.rmwHashed(key, 0, t.fn.Hash(key), false, fn)
+	return v, err
+}
+
+// TryPutBatch implements Table.
+func (t *RobinHood) TryPutBatch(keys, vals []uint64) (int, error) {
+	return tryPutBatchImpl(t, keys, vals)
+}
+
+// GetOrPutBatch implements Table.
+func (t *RobinHood) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
+	return getOrPutBatchImpl(t, keys, vals, out, loaded)
+}
+
+// UpsertBatch implements Table.
+func (t *RobinHood) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	return upsertBatchImpl(t, keys, fn)
+}
+
+// All implements Table.
+func (t *RobinHood) All() iter.Seq2[uint64, uint64] { return allOf(t) }
+
+// Rehashes returns the number of rehash events so far, for Stats.
+func (t *RobinHood) Rehashes() int { return t.grows }
+
+// ---------------------------------------------------------------------------
+// Chained8 / Chained24
+// ---------------------------------------------------------------------------
+
+// TryPut implements Table; chained tables never fill, so err is always nil.
+func (t *Chained8) TryPut(key, val uint64) (bool, error) {
+	return t.putHashed(key, val, t.fn.Hash(key))
+}
+
+// GetOrPut implements Table.
+func (t *Chained8) GetOrPut(key, val uint64) (uint64, bool, error) {
+	return t.rmwHashed(key, val, t.fn.Hash(key), false, nil)
+}
+
+// Upsert implements Table.
+func (t *Chained8) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	v, _, err := t.rmwHashed(key, 0, t.fn.Hash(key), false, fn)
+	return v, err
+}
+
+// TryPutBatch implements Table.
+func (t *Chained8) TryPutBatch(keys, vals []uint64) (int, error) {
+	return tryPutBatchImpl(t, keys, vals)
+}
+
+// GetOrPutBatch implements Table.
+func (t *Chained8) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
+	return getOrPutBatchImpl(t, keys, vals, out, loaded)
+}
+
+// UpsertBatch implements Table.
+func (t *Chained8) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	return upsertBatchImpl(t, keys, fn)
+}
+
+// All implements Table.
+func (t *Chained8) All() iter.Seq2[uint64, uint64] { return allOf(t) }
+
+// Rehashes returns the number of directory-doubling events, for Stats.
+func (t *Chained8) Rehashes() int { return t.grows }
+
+// TryPut implements Table; chained tables never fill, so err is always nil.
+func (t *Chained24) TryPut(key, val uint64) (bool, error) {
+	if key == emptyKey {
+		return t.Put(key, val), nil
+	}
+	return t.putHashed(key, val, t.fn.Hash(key))
+}
+
+// GetOrPut implements Table.
+func (t *Chained24) GetOrPut(key, val uint64) (uint64, bool, error) {
+	return t.rmwHashed(key, val, t.fn.Hash(key), false, nil)
+}
+
+// Upsert implements Table.
+func (t *Chained24) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	v, _, err := t.rmwHashed(key, 0, t.fn.Hash(key), false, fn)
+	return v, err
+}
+
+// TryPutBatch implements Table.
+func (t *Chained24) TryPutBatch(keys, vals []uint64) (int, error) {
+	return tryPutBatchImpl(t, keys, vals)
+}
+
+// GetOrPutBatch implements Table.
+func (t *Chained24) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
+	return getOrPutBatchImpl(t, keys, vals, out, loaded)
+}
+
+// UpsertBatch implements Table.
+func (t *Chained24) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	return upsertBatchImpl(t, keys, fn)
+}
+
+// All implements Table.
+func (t *Chained24) All() iter.Seq2[uint64, uint64] { return allOf(t) }
+
+// Rehashes returns the number of directory-doubling events, for Stats.
+func (t *Chained24) Rehashes() int { return t.grows }
+
+// ---------------------------------------------------------------------------
+// Cuckoo — bespoke loops: candidate slots come from the scheme's own k
+// functions, so there is no shared bulk-hash pass to reuse.
+// ---------------------------------------------------------------------------
+
+// TryPut implements Table.
+func (t *Cuckoo) TryPut(key, val uint64) (bool, error) {
+	_, existed, err := t.rmwHashed(key, val, 0, true, nil)
+	return !existed && err == nil, err
+}
+
+// GetOrPut implements Table.
+func (t *Cuckoo) GetOrPut(key, val uint64) (uint64, bool, error) {
+	return t.rmwHashed(key, val, 0, false, nil)
+}
+
+// Upsert implements Table.
+func (t *Cuckoo) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	v, _, err := t.rmwHashed(key, 0, 0, false, fn)
+	return v, err
+}
+
+// TryPutBatch implements Table.
+func (t *Cuckoo) TryPutBatch(keys, vals []uint64) (int, error) {
+	checkBatchPut(len(keys), len(vals))
+	inserted := 0
+	for i, k := range keys {
+		_, existed, err := t.rmwHashed(k, vals[i], 0, true, nil)
+		if err != nil {
+			return inserted, err
+		}
+		if !existed {
+			inserted++
+		}
+	}
+	return inserted, nil
+}
+
+// GetOrPutBatch implements Table.
+func (t *Cuckoo) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
+	checkBatchGetOrPut(len(keys), len(vals), len(out), len(loaded))
+	inserted := 0
+	for i, k := range keys {
+		v, existed, err := t.rmwHashed(k, vals[i], 0, false, nil)
+		if err != nil {
+			return inserted, err
+		}
+		out[i], loaded[i] = v, existed
+		if !existed {
+			inserted++
+		}
+	}
+	return inserted, nil
+}
+
+// UpsertBatch implements Table.
+func (t *Cuckoo) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	lane := 0
+	adapter := func(old uint64, exists bool) uint64 { return fn(lane, old, exists) }
+	inserted := 0
+	for i, k := range keys {
+		lane = i
+		_, existed, err := t.rmwHashed(k, 0, 0, false, adapter)
+		if err != nil {
+			return inserted, err
+		}
+		if !existed {
+			inserted++
+		}
+	}
+	return inserted, nil
+}
+
+// All implements Table.
+func (t *Cuckoo) All() iter.Seq2[uint64, uint64] { return allOf(t) }

@@ -31,11 +31,12 @@ type RobinHood struct {
 	family hashfn.Family
 	seed   uint64
 	maxLF  float64
+	grows  int
 	sent   sentinels
 	batchState
 }
 
-var _ Map = (*RobinHood)(nil)
+var _ Table = (*RobinHood)(nil)
 
 // NewRobinHood returns an empty Robin Hood table configured by cfg.
 func NewRobinHood(cfg Config) *RobinHood {
@@ -115,43 +116,99 @@ func (t *RobinHood) Get(key uint64) (uint64, bool) {
 }
 
 // Put implements Map with displacement-ordered (Robin Hood) insertion.
+// On a full growth-disabled table it grows once instead of failing.
 func (t *RobinHood) Put(key, val uint64) bool {
 	if isSentinelKey(key) {
 		return t.sent.put(key, val)
 	}
-	return t.putHashed(key, val, t.fn.Hash(key))
+	return t.mustPutHashed(key, val, t.fn.Hash(key))
 }
 
-// putHashed is Put with a precomputed hash code; see LinearProbing.putHashed.
-func (t *RobinHood) putHashed(key, val, hash uint64) bool {
+// mustPutHashed is the legacy Map insert primitive; see
+// LinearProbing.mustPutHashed.
+func (t *RobinHood) mustPutHashed(key, val, hash uint64) bool {
+	_, existed, err := t.rmwHashed(key, val, hash, true, nil)
+	if err != nil {
+		// Growth disabled and full, and the key is new (rmwHashed updates
+		// existing keys in place without needing room): grow once.
+		t.rehash(len(t.slots) * 2)
+		_, existed, _ = t.rmwHashed(key, val, hash, true, nil)
+	}
+	return !existed
+}
+
+// rmwHashed is the single-probe read-modify-write primitive; see
+// LinearProbing.rmwHashed. The walk doubles as the Robin Hood ordering
+// proof: the first position where a resident is closer to its home than we
+// are to ours is exactly where an absent key must be inserted, so the
+// lookup and the insertion displacement chain share one probe sequence.
+func (t *RobinHood) rmwHashed(key, val, hash uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error) {
+	if isSentinelKey(key) {
+		v, existed := t.sent.rmw(key, val, overwrite, fn)
+		return v, existed, nil
+	}
 	if t.maxLF != 0 {
 		t.maybeGrow()
-	} else {
-		// Keep one empty slot so probe loops (and the early-abort-free
-		// paths) always terminate.
-		checkGrowable(t.Name(), t.size+1, len(t.slots))
 	}
-	cur := pair{key, val}
 	i := hash >> t.shift
 	for d := uint64(0); ; d++ {
 		s := &t.slots[i]
-		if s.key == emptyKey {
-			*s = cur
-			t.size++
-			return true
+		if s.key == key {
+			if fn != nil {
+				s.val = fn(s.val, true)
+			} else if overwrite {
+				s.val = val
+			}
+			return s.val, true, nil
 		}
-		if s.key == cur.key {
-			// Only reachable before the first swap (keys are unique), so
-			// this is the upsert path for the original key.
-			s.val = cur.val
-			return false
+		if s.key == emptyKey {
+			if t.maxLF == 0 && t.size+1 >= len(t.slots) {
+				return 0, false, errFull(t.Name(), t.size, len(t.slots))
+			}
+			v := val
+			if fn != nil {
+				v = fn(0, false)
+			}
+			*s = pair{key, v}
+			t.size++
+			return v, false, nil
 		}
 		if de := (i - t.home(s.key)) & t.mask; de < d {
-			// Rob the rich: the resident is closer to home than we are.
+			// The resident is richer than us: our key cannot lie further
+			// on, so it is absent. Take this slot and push the rest of the
+			// displacement chain down, the standard Robin Hood insert.
+			if t.maxLF == 0 && t.size+1 >= len(t.slots) {
+				return 0, false, errFull(t.Name(), t.size, len(t.slots))
+			}
+			v := val
+			if fn != nil {
+				v = fn(0, false)
+			}
+			cur := *s
+			*s = pair{key, v}
+			t.size++
+			t.shiftChain(cur, (i+1)&t.mask, de+1)
+			return v, false, nil
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// shiftChain continues a Robin Hood displacement chain: cur was just
+// evicted from the slot before i and sits at displacement d there.
+func (t *RobinHood) shiftChain(cur pair, i, d uint64) {
+	for {
+		s := &t.slots[i]
+		if s.key == emptyKey {
+			*s = cur
+			return
+		}
+		if de := (i - t.home(s.key)) & t.mask; de < d {
 			cur, *s = *s, cur
 			d = de
 		}
 		i = (i + 1) & t.mask
+		d++
 	}
 }
 
@@ -202,6 +259,7 @@ func (t *RobinHood) maybeGrow() {
 }
 
 func (t *RobinHood) rehash(capacity int) {
+	t.grows++
 	old := t.slots
 	t.init(capacity)
 	for idx := range old {

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"errors"
 	"testing"
 
 	"repro/hashfn"
@@ -621,15 +622,27 @@ func TestClusterLengthsFullTable(t *testing.T) {
 		t.Fatalf("full table clusters = %v, want [8]", cl)
 	}
 	// And the one-empty-slot invariant: filling via the public API stops
-	// at capacity-1.
+	// at capacity-1. TryPut reports ErrFull there; legacy Put absorbs the
+	// contract breach by growing once instead of panicking.
 	m2 := NewLinearProbing(Config{InitialCapacity: 8, Seed: 29})
 	for i := uint64(1); i <= 7; i++ {
 		m2.Put(i, i)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("inserting into the last empty slot did not panic")
+	if _, err := m2.TryPut(8, 8); !errors.Is(err, ErrFull) {
+		t.Fatalf("TryPut on full table: err = %v, want ErrFull", err)
+	}
+	if m2.Len() != 7 {
+		t.Fatalf("failed TryPut mutated the table: Len = %d", m2.Len())
+	}
+	if !m2.Put(8, 8) {
+		t.Fatal("legacy Put on full table should grow and insert")
+	}
+	if m2.Capacity() != 16 || m2.Len() != 8 {
+		t.Fatalf("after safety-valve growth: capacity %d, len %d", m2.Capacity(), m2.Len())
+	}
+	for i := uint64(1); i <= 8; i++ {
+		if v, ok := m2.Get(i); !ok || v != i {
+			t.Fatalf("after growth Get(%d) = %d,%v", i, v, ok)
 		}
-	}()
-	m2.Put(8, 8)
+	}
 }

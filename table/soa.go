@@ -27,11 +27,12 @@ type LinearProbingSoA struct {
 	family hashfn.Family
 	seed   uint64
 	maxLF  float64
+	grows  int
 	sent   sentinels
 	batchState
 }
 
-var _ Map = (*LinearProbingSoA)(nil)
+var _ Table = (*LinearProbingSoA)(nil)
 
 // NewLinearProbingSoA returns an empty SoA linear-probing table.
 func NewLinearProbingSoA(cfg Config) *LinearProbingSoA {
@@ -102,48 +103,85 @@ func (t *LinearProbingSoA) Get(key uint64) (uint64, bool) {
 
 // ensureRoom keeps at least one truly empty slot so probe loops terminate;
 // see LinearProbing.ensureRoom.
-func (t *LinearProbingSoA) ensureRoom() {
+func (t *LinearProbingSoA) ensureRoom() error {
 	if t.maxLF != 0 {
 		t.maybeGrow()
-		return
+		return nil
 	}
 	if t.size+t.tombs+1 < len(t.keys) {
-		return
+		return nil
 	}
-	checkGrowable(t.Name(), t.size+1, len(t.keys))
+	if t.size+1 >= len(t.keys) {
+		return errFull(t.Name(), t.size, len(t.keys))
+	}
 	t.rehash(len(t.keys))
+	return nil
 }
 
-// Put implements Map.
+// Put implements Map; like LinearProbing.Put it grows once instead of
+// failing on a full growth-disabled table.
 func (t *LinearProbingSoA) Put(key, val uint64) bool {
 	if isSentinelKey(key) {
 		return t.sent.put(key, val)
 	}
-	return t.putHashed(key, val, t.fn.Hash(key))
+	return t.mustPutHashed(key, val, t.fn.Hash(key))
 }
 
-// putHashed is Put with a precomputed hash code; see LinearProbing.putHashed.
-func (t *LinearProbingSoA) putHashed(key, val, hash uint64) bool {
-	t.ensureRoom()
+// mustPutHashed is the legacy Map insert primitive; see
+// LinearProbing.mustPutHashed.
+func (t *LinearProbingSoA) mustPutHashed(key, val, hash uint64) bool {
+	_, existed, err := t.rmwHashed(key, val, hash, true, nil)
+	if err != nil {
+		// Growth disabled and full, and the key is new (rmwHashed updates
+		// existing keys in place without needing room): grow once.
+		t.rehash(len(t.keys) * 2)
+		_, existed, _ = t.rmwHashed(key, val, hash, true, nil)
+	}
+	return !existed
+}
+
+// rmwHashed is the single-probe read-modify-write primitive; see
+// LinearProbing.rmwHashed.
+func (t *LinearProbingSoA) rmwHashed(key, val, hash uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error) {
+	if isSentinelKey(key) {
+		v, existed := t.sent.rmw(key, val, overwrite, fn)
+		return v, existed, nil
+	}
+	if t.maxLF != 0 {
+		t.maybeGrow()
+	} else if t.size+t.tombs+1 >= len(t.keys) && t.tombs > 0 {
+		t.rehash(len(t.keys))
+	}
 	i := hash >> t.shift
 	firstTomb := -1
 	for {
 		k := t.keys[i]
 		if k == key {
-			t.vals[i] = val
-			return false
+			if fn != nil {
+				t.vals[i] = fn(t.vals[i], true)
+			} else if overwrite {
+				t.vals[i] = val
+			}
+			return t.vals[i], true, nil
 		}
 		if k == emptyKey {
+			if t.maxLF == 0 && t.size+1 >= len(t.keys) {
+				return 0, false, errFull(t.Name(), t.size, len(t.keys))
+			}
+			v := val
+			if fn != nil {
+				v = fn(0, false)
+			}
 			if firstTomb >= 0 {
 				t.keys[firstTomb] = key
-				t.vals[firstTomb] = val
+				t.vals[firstTomb] = v
 				t.tombs--
 			} else {
 				t.keys[i] = key
-				t.vals[i] = val
+				t.vals[i] = v
 			}
 			t.size++
-			return true
+			return v, false, nil
 		}
 		if k == tombKey && firstTomb < 0 {
 			firstTomb = int(i)
@@ -201,6 +239,7 @@ func (t *LinearProbingSoA) maybeGrow() {
 }
 
 func (t *LinearProbingSoA) rehash(capacity int) {
+	t.grows++
 	oldKeys, oldVals := t.keys, t.vals
 	t.init(capacity)
 	for idx, k := range oldKeys {

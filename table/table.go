@@ -34,13 +34,21 @@
 package table
 
 import (
-	"fmt"
+	"iter"
 	"math/bits"
 
 	"repro/hashfn"
 )
 
-// Map is the common interface of all hash tables in this package.
+// Map is the scalar point-operation interface of all hash tables in this
+// package.
+//
+// Deprecated: Map is kept as a thin adapter for one release. New code
+// should use Open / Handle (or the full Table interface), whose mutations
+// surface ErrFull instead of the legacy behavior: Put and PutBatch on a
+// full growth-disabled table absorb the condition by growing the table
+// once rather than failing, so the pre-allocated-capacity contract of the
+// paper's WORM experiments degrades gracefully instead of panicking.
 type Map interface {
 	// Put inserts or updates the mapping key -> val and reports whether the
 	// key was newly inserted (false means an existing value was replaced).
@@ -67,6 +75,47 @@ type Map interface {
 	// Name returns the scheme name used in the paper ("LP", "QP", "RH",
 	// "CuckooH4", "ChainedH8", "ChainedH24", ...).
 	Name() string
+}
+
+// Table is the unified operation set implemented by every scheme in this
+// package (and by partition.Partitioned): the legacy scalar Map, the
+// batched pipeline, the single-probe read-modify-write primitives, the
+// error-based mutations, and Go 1.23 iterators. Handle (see Open) wraps
+// one or more Tables behind the workload-aware façade.
+type Table interface {
+	Map
+	Batcher
+
+	// TryPut is Put that reports ErrFull instead of growing when a
+	// growth-disabled table is out of room.
+	TryPut(key, val uint64) (inserted bool, err error)
+	// GetOrPut returns the value stored under key if present (loaded
+	// true); otherwise it inserts val and returns it (loaded false).
+	// Exactly one probe sequence is issued either way — this is the
+	// primitive that kills the Get-then-Put double probe in aggregation
+	// and join builds.
+	GetOrPut(key, val uint64) (actual uint64, loaded bool, err error)
+	// Upsert applies fn to the value stored under key (exists true) or to
+	// (0, false) when absent, stores the result, and returns it. Like
+	// GetOrPut it issues exactly one probe sequence.
+	Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error)
+	// TryPutBatch is PutBatch with TryPut's error contract. On ErrFull it
+	// stops and returns the number of keys newly inserted so far; pairs
+	// before the failing one remain applied.
+	TryPutBatch(keys, vals []uint64) (inserted int, err error)
+	// GetOrPutBatch applies GetOrPut to every (keys[i], vals[i]) pair in
+	// slice order: out[i] receives the resulting value and loaded[i]
+	// whether the key already existed. out and loaded must be at least as
+	// long as keys (out may alias vals). It returns the number of newly
+	// inserted keys; on ErrFull it stops, with earlier pairs applied.
+	GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (inserted int, err error)
+	// UpsertBatch applies an Upsert to every key in slice order, passing
+	// fn the key's lane index so callers can fold per-lane payloads in a
+	// single probe per key. It returns the number of newly inserted keys.
+	UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (inserted int, err error)
+	// All returns a Go 1.23 range-over-func iterator over the entries,
+	// equivalent to Range. The table must not be mutated during iteration.
+	All() iter.Seq2[uint64, uint64]
 }
 
 const (
@@ -128,6 +177,31 @@ func (s *sentinels) delete(key uint64) bool {
 	return had
 }
 
+// rmw is the sentinel-side read-modify-write primitive behind GetOrPut,
+// Upsert and TryPut: with fn nil and overwrite false it is GetOrPut(val);
+// with overwrite true it is Put(val); with fn set it is Upsert(fn). It
+// returns the value now stored and whether the key already existed.
+func (s *sentinels) rmw(key, val uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool) {
+	has, stored := &s.hasEmpty, &s.emptyVal
+	if key == tombKey {
+		has, stored = &s.hasTomb, &s.tombVal
+	}
+	if *has {
+		if fn != nil {
+			*stored = fn(*stored, true)
+		} else if overwrite {
+			*stored = val
+		}
+		return *stored, true
+	}
+	v := val
+	if fn != nil {
+		v = fn(0, false)
+	}
+	*has, *stored = true, v
+	return v, false
+}
+
 func (s *sentinels) len() int {
 	n := 0
 	if s.hasEmpty {
@@ -186,12 +260,3 @@ func (c Config) withDefaults() Config {
 
 // log2 returns log2(n) for a power-of-two n.
 func log2(n int) uint { return uint(bits.TrailingZeros(uint(n))) }
-
-// checkGrowable panics with a clear message when a growth-disabled table
-// runs out of room; this is a programmer error in the paper's pre-allocated
-// WORM setting, not a runtime condition to handle.
-func checkGrowable(name string, size, capacity int) {
-	if size >= capacity {
-		panic(fmt.Sprintf("table: %s is full (%d/%d slots) and growth is disabled", name, size, capacity))
-	}
-}

@@ -159,12 +159,17 @@ func RunRW(cfg RWConfig) (RWResult, error) {
 	if tape == nil {
 		tape = GenRWTape(gen, cfg.InitialKeys, cfg.Ops, cfg.UpdatePct, cfg.Seed)
 	}
-	m, err := table.New(cfg.Scheme, table.Config{
-		InitialCapacity: initialCapacityFor(cfg.InitialKeys),
-		MaxLoadFactor:   cfg.GrowAt,
-		Family:          cfg.Family,
-		Seed:            cfg.Seed,
-	})
+	// The RW stream is the dynamic (OLTP-style) case — exactly what the
+	// Open façade targets — so the replay runs through a Handle: the
+	// measured numbers include the one indirection every production
+	// caller pays.
+	m, err := table.Open(
+		table.WithScheme(cfg.Scheme),
+		table.WithCapacity(initialCapacityFor(cfg.InitialKeys)),
+		table.WithMaxLoadFactor(cfg.GrowAt),
+		table.WithHashFamily(cfg.Family),
+		table.WithSeed(cfg.Seed),
+	)
 	if err != nil {
 		return RWResult{}, err
 	}

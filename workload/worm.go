@@ -56,6 +56,10 @@ type WORMResult struct {
 	LookupMops  map[int]float64 // unsuccessful-% -> M lookups/second
 	MemoryBytes uint64
 
+	// Stats is the built table's observability snapshot (probe and
+	// displacement measures, tombstones, rehashes, memory).
+	Stats table.Stats
+
 	// OverBudget is set for chained tables whose final footprint exceeded
 	// the §4.5 memory budget (110% of the open-addressing footprint); the
 	// paper excludes such configurations.
@@ -63,8 +67,11 @@ type WORMResult struct {
 }
 
 // NewWORMTable builds an empty table for a WORM experiment, applying the
-// §4.5 memory-budget directory sizing to the chained schemes.
-func NewWORMTable(scheme table.Scheme, family hashfn.Family, capacity int, alpha float64, seed uint64) (table.Map, error) {
+// §4.5 memory-budget directory sizing to the chained schemes. It stays on
+// the low-level constructor (rather than Open) because the chained
+// directory sizing bypasses the capacity heuristics, and because callers
+// inspect the concrete schemes' diagnostics through the returned Table.
+func NewWORMTable(scheme table.Scheme, family hashfn.Family, capacity int, alpha float64, seed uint64) (table.Table, error) {
 	cfg := table.Config{
 		InitialCapacity: capacity,
 		MaxLoadFactor:   0, // WORM tables are pre-allocated and never rehash
@@ -145,6 +152,7 @@ func RunWORM(cfg WORMConfig) (WORMResult, error) {
 	}
 
 	res.MemoryBytes = m.MemoryFootprint()
+	res.Stats = table.StatsOf(m)
 	budget := uint64(table.ChainedBudgetFactor * 16 * float64(cfg.Capacity))
 	if (cfg.Scheme == table.SchemeChained8 || cfg.Scheme == table.SchemeChained24) && res.MemoryBytes > budget {
 		res.OverBudget = true
