@@ -35,7 +35,8 @@ func main() {
 		writeHeavy   = flag.Bool("write-heavy", false, "more writes (inserts+deletes) than reads")
 		dynamic      = flag.Bool("dynamic", false, "table grows/shrinks over its lifetime (OLTP-like)")
 		dense        = flag.Bool("dense", false, "keys are densely distributed integers (e.g. generated primary keys)")
-		jsonOut      = flag.Bool("json", false, "emit the decision.Choice (scheme, family, label, path) as JSON")
+		threads      = flag.Int("threads", 1, "goroutines expected to share the table concurrently; >1 adds a shard-count recommendation")
+		jsonOut      = flag.Bool("json", false, "emit the decision.Choice (scheme, family, label, shards, path) as JSON")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 		Dynamic:         *dynamic,
 		Dense:           *dense,
 	}
-	if err := run(os.Stdout, w, *jsonOut); err != nil {
+	if err := run(os.Stdout, w, *threads, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "decide: %v\n", err)
 		os.Exit(2)
 	}
@@ -59,7 +60,8 @@ type jsonChoice struct {
 	Label string `json:"label"`
 }
 
-func run(out io.Writer, w decision.Workload, asJSON bool) error {
+func run(out io.Writer, w decision.Workload, threads int, asJSON bool) error {
+	shards := decision.ShardsFor(threads)
 	if asJSON {
 		// Resolve through the Open façade rather than decision.Recommend:
 		// the emitted choice is then by construction the one the library
@@ -69,7 +71,7 @@ func run(out io.Writer, w decision.Workload, asJSON bool) error {
 		if err != nil {
 			return err
 		}
-		choice := decision.Choice{Scheme: h.Scheme(), Family: h.HashName(), Path: h.DecisionPath()}
+		choice := decision.Choice{Scheme: h.Scheme(), Family: h.HashName(), Shards: shards, Path: h.DecisionPath()}
 		enc := json.NewEncoder(out)
 		return enc.Encode(jsonChoice{Choice: choice, Label: choice.Label()})
 	}
@@ -78,6 +80,9 @@ func run(out io.Writer, w decision.Workload, asJSON bool) error {
 		return err
 	}
 	fmt.Fprintf(out, "Recommendation: %s\n", choice.Label())
+	if shards > 0 {
+		fmt.Fprintf(out, "Striping: WithPartitions(%d) for %d concurrent goroutines (power of two >= 2x threads)\n", shards, threads)
+	}
 	fmt.Fprintln(out, "Decision path:")
 	for i, step := range choice.Path {
 		fmt.Fprintf(out, "  %d. %s\n", i+1, step)

@@ -12,7 +12,7 @@ import (
 func TestRunText(t *testing.T) {
 	var buf bytes.Buffer
 	w := decision.Workload{LoadFactor: 0.9, UnsuccessfulPct: 25}
-	if err := run(&buf, w, false); err != nil {
+	if err := run(&buf, w, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -22,18 +22,34 @@ func TestRunText(t *testing.T) {
 	if !strings.Contains(out, "Decision path:") {
 		t.Fatalf("text output missing path:\n%s", out)
 	}
+	if strings.Contains(out, "Striping:") {
+		t.Fatalf("single-threaded output should not recommend striping:\n%s", out)
+	}
+}
+
+func TestRunTextThreads(t *testing.T) {
+	var buf bytes.Buffer
+	w := decision.Workload{LoadFactor: 0.9, UnsuccessfulPct: 25}
+	if err := run(&buf, w, 6, false); err != nil {
+		t.Fatal(err)
+	}
+	// 6 threads -> power of two >= 12 -> 16 shards.
+	if !strings.Contains(buf.String(), "WithPartitions(16)") {
+		t.Fatalf("text output missing shard recommendation:\n%s", buf.String())
+	}
 }
 
 func TestRunJSON(t *testing.T) {
 	var buf bytes.Buffer
 	w := decision.Workload{LoadFactor: 0.9, UnsuccessfulPct: 25}
-	if err := run(&buf, w, true); err != nil {
+	if err := run(&buf, w, 8, true); err != nil {
 		t.Fatal(err)
 	}
 	var got struct {
 		Scheme string   `json:"scheme"`
 		Family string   `json:"family"`
 		Label  string   `json:"label"`
+		Shards int      `json:"shards"`
 		Path   []string `json:"path"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
@@ -48,11 +64,14 @@ func TestRunJSON(t *testing.T) {
 	if len(got.Path) == 0 {
 		t.Fatal("JSON output lost the decision path")
 	}
+	if got.Shards != 16 {
+		t.Fatalf("JSON shards = %d, want 16 for 8 threads", got.Shards)
+	}
 }
 
 func TestRunJSONInvalidWorkload(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, decision.Workload{LoadFactor: 1.5}, true); err == nil {
+	if err := run(&buf, decision.Workload{LoadFactor: 1.5}, 1, true); err == nil {
 		t.Fatal("invalid workload should error")
 	}
 }

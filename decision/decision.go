@@ -34,6 +34,7 @@ package decision
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/table"
 )
@@ -49,7 +50,12 @@ type Workload = table.Workload
 type Choice struct {
 	Scheme table.Scheme `json:"scheme"`
 	Family string       `json:"family"` // always "Mult" per the paper's Figure 8
-	Path   []string     `json:"path"`
+	// Shards is the recommended shard count for concurrent use (the
+	// argument to table.Open's WithPartitions), set when the workload was
+	// described with an expected thread count > 1; zero means
+	// single-threaded use, no striping.
+	Shards int      `json:"shards,omitempty"`
+	Path   []string `json:"path"`
 }
 
 // Label returns the paper-style table label, e.g. "RHMult".
@@ -63,6 +69,22 @@ func (c Choice) Label() string {
 // String returns the label and the decision path.
 func (c Choice) String() string {
 	return fmt.Sprintf("%s (path: %v)", c.Label(), c.Path)
+}
+
+// ShardsFor returns the recommended shard count for a table shared by
+// threads concurrent goroutines: the power of two >= 2x the thread count,
+// so collisions on a shard lock stay rare even under uniform routing
+// (birthday bound), while the per-shard tables stay large enough to keep
+// the paper's cache behavior. Zero (no striping) is returned for
+// single-threaded use; absurd thread counts clamp rather than overflow.
+func ShardsFor(threads int) int {
+	if threads <= 1 {
+		return 0
+	}
+	if threads > 1<<30 {
+		threads = 1 << 30
+	}
+	return 1 << bits.Len(uint(2*threads-1))
 }
 
 // Recommend walks the Figure 8 decision graph for w.

@@ -8,12 +8,13 @@
 // paper's Figure 8 decision graph). The library lives in the subpackages:
 //
 //	table    — the Open/Handle façade and the five hashing schemes (+ SoA layout variant)
+//	shard    — the concurrent sharded engine (RWMutex shards, incremental resize)
 //	hashfn   — the four hash-function classes
 //	dist     — the three key distributions
-//	workload — the WORM and RW workload drivers
+//	workload — the WORM, RW and concurrent-RW workload drivers
 //	stats    — displacement/cluster/chain analysis and Knuth's formulas
 //	bench    — the harness regenerating every figure of the evaluation
-//	decision — the Figure 8 practitioner decision graph
+//	decision — the Figure 8 practitioner decision graph (+ shard-count advice)
 //
 // See README.md for a tour, the new-API migration table, and how to
 // regenerate the paper's figures. The benchmarks in bench_test.go

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/agg"
@@ -82,4 +83,28 @@ func main() {
 	st := bySegment.Stats()
 	fmt.Printf("group index: %s, %d groups, mean probe %.2f, %.1f KB\n",
 		bySegment.TableName(), st.Len, st.MeanProbe, float64(st.MemoryBytes)/1024)
+
+	// The same join through the shared-memory sharded engine: no up-front
+	// radix partitioning — workers stream contiguous input chunks and the
+	// engine routes rows to shards under per-shard locks, resizing shards
+	// incrementally if the build outgrows them.
+	workers := runtime.GOMAXPROCS(0)
+	var shared int64
+	start = time.Now()
+	sharedMatches, err := join.SharedHashJoin(customers, orders, workers,
+		join.Config{Scheme: table.SchemeRH, LoadFactor: 0.7, Seed: 42},
+		func(key, segment, cents uint64) { atomic.AddInt64(&shared, int64(cents)) })
+	if err != nil {
+		panic(err)
+	}
+	sharedElapsed := time.Since(start)
+	fmt.Printf("\nshared engine (%d workers): %d matches in %v (%.1f M probes/s)\n",
+		workers, sharedMatches, sharedElapsed.Round(time.Millisecond),
+		float64(numOrders)/1e6/sharedElapsed.Seconds())
+	if sharedMatches != matches {
+		panic(fmt.Sprintf("shared join disagrees: %d != %d", sharedMatches, matches))
+	}
+	if shared != int64(totalRevenue) {
+		panic(fmt.Sprintf("shared join revenue disagrees: %d != %d", shared, totalRevenue))
+	}
 }

@@ -239,6 +239,91 @@ func PartitionedHashJoin(build, probe Relation, partitions int, cfg Config, emit
 	return total, nil
 }
 
+// SharedHashJoin is the shared-memory concurrent build/probe join: both
+// phases run with the given number of worker goroutines against ONE table
+// served by the sharded engine (a Handle opened WithPartitions, shards =
+// power of two >= 2x workers). Unlike PartitionedHashJoin there is no
+// up-front radix partitioning pass — workers take contiguous slices of
+// the input and the engine's stable batch scatter routes rows to shards
+// under per-shard locks — so it suits inputs that arrive pre-chunked
+// (scan morsels) or skewed key spaces where radix partitions would be
+// unbalanced. Build keys must be unique (PK/FK joins); when duplicates
+// occur anyway, which payload wins is unspecified (workers race on the
+// key's shard). emit may be called concurrently and must be safe for
+// that (or nil). It returns the total number of matches.
+//
+// Probe note: on a sharded handle the engine answers GetBatch with
+// migration-aware scalar probes under per-shard READ locks (any number
+// of probing workers proceed in parallel); the single-table batched
+// probe pipeline, which overlaps misses within one probe stream, runs
+// only in HashJoin's and PartitionedHashJoin's exclusively-owned tables.
+func SharedHashJoin(build, probe Relation, workers int, cfg Config, emit Emit) (int, error) {
+	cfg = cfg.withDefaults(len(build), len(probe))
+	if workers < 1 {
+		workers = 1
+	}
+	shards := decision.ShardsFor(workers)
+	if shards < 1 {
+		shards = 1
+	}
+	h, err := table.Open(
+		table.WithScheme(cfg.Scheme),
+		table.WithCapacity(capacityFor(len(build), cfg.LoadFactor)),
+		// Pre-sized for the build side like HashJoin, but growth stays
+		// enabled as a safety valve: the engine resizes incrementally, so
+		// an unlucky shard never fails the build.
+		table.WithMaxLoadFactor(table.DefaultMaxLoadFactor),
+		table.WithHashFamily(cfg.Family),
+		table.WithSeed(cfg.Seed),
+		table.WithPartitions(shards),
+	)
+	if err != nil {
+		return 0, err
+	}
+	// Build phase: workers stream contiguous row ranges through the
+	// engine's batched single-probe pipeline.
+	chunks := func(n int) [][2]int {
+		out := make([][2]int, 0, workers)
+		per := (n + workers - 1) / workers
+		for lo := 0; lo < n; lo += per {
+			out = append(out, [2]int{lo, min(lo+per, n)})
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	buildErrs := make([]error, workers)
+	for w, ext := range chunks(len(build)) {
+		wg.Add(1)
+		go func(w int, rows Relation) {
+			defer wg.Done()
+			var sc joinScratch
+			buildErrs[w] = sc.buildBatched(h, rows)
+		}(w, build[ext[0]:ext[1]])
+	}
+	wg.Wait()
+	for _, err := range buildErrs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	// Probe phase: concurrent batched lookups, matches summed at the end.
+	matches := make([]int, workers)
+	for w, ext := range chunks(len(probe)) {
+		wg.Add(1)
+		go func(w int, rows Relation) {
+			defer wg.Done()
+			var sc joinScratch
+			matches[w] = sc.probeBatched(h, rows, emit)
+		}(w, probe[ext[0]:ext[1]])
+	}
+	wg.Wait()
+	total := 0
+	for _, m := range matches {
+		total += m
+	}
+	return total, nil
+}
+
 // NestedLoopJoin is the quadratic reference join used as a test oracle.
 func NestedLoopJoin(build, probe Relation, emit Emit) int {
 	// Match HashJoin's GetOrPut build semantics: first payload per key wins.

@@ -169,3 +169,33 @@ func TestRelationKeys(t *testing.T) {
 		t.Fatalf("Keys = %v", ks)
 	}
 }
+
+// TestSharedHashJoinMatchesSerial: the shared-engine concurrent join must
+// produce exactly the sequential join's matches (build keys unique, so
+// worker interleaving cannot change the result set).
+func TestSharedHashJoinMatchesSerial(t *testing.T) {
+	build, probe := makeRelations(5000, 40000, 25, 99)
+	var mu sync.Mutex
+	got := map[uint64]uint64{}
+	matches, err := SharedHashJoin(build, probe, 8, Config{Seed: 31}, func(k, bp, pp uint64) {
+		mu.Lock()
+		got[k] = bp
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint64{}
+	serial := NestedLoopJoin(build, probe, func(k, bp, pp uint64) { want[k] = bp })
+	if matches != serial {
+		t.Fatalf("matches = %d, serial %d", matches, serial)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct matched keys = %d, serial %d", len(got), len(want))
+	}
+	for k, bp := range want {
+		if got[k] != bp {
+			t.Fatalf("key %d: payload %d, serial %d", k, got[k], bp)
+		}
+	}
+}

@@ -1,32 +1,73 @@
 package partition
 
 import (
-	"sync"
+	"fmt"
 
+	"repro/hashfn"
+	"repro/shard"
 	"repro/table"
 )
 
-// Striped wraps P inner tables with one mutex per partition — the paper's
-// "striped locking" extension for thread safety (§1). Unlike Partitioned's
-// phase-parallel ownership model, Striped is safe for arbitrary concurrent
-// use; the price is a lock acquisition per operation and contention when
-// goroutines collide on a stripe.
+// Striped is the paper's "striped locking" extension (§1) for
+// shared-memory concurrent access: keys are routed to P shards, each a
+// single-threaded table behind its own lock. It is a thin adapter over
+// shard.Engine — the repo's one striping core — retained for the legacy
+// Config-based construction and the table.Map surface.
+//
+// Concurrency contract: every method is safe for arbitrary concurrent
+// use. Read-only operations (Get, Len, LoadFactor, MemoryFootprint,
+// Range) take per-shard READ locks and run concurrently with each other;
+// mutations take the owning shard's write lock. Unlike Partitioned's
+// phase-parallel ownership model there is no phase discipline — the price
+// is a lock acquisition per operation and contention when goroutines
+// collide on a shard. Growth is the engine's incremental resize: no
+// mutation ever pays a stop-the-world rehash of a whole shard. Range is
+// weakly consistent under concurrent writers (see shard.Engine.Range).
 type Striped struct {
-	inner *Partitioned
-	locks []sync.Mutex
+	eng   *shard.Engine
+	label string // inner table label, e.g. "RHMult"
 }
 
 // NewStriped builds a striped-locking map over the same configuration as
-// New.
+// New. Striped keeps the legacy Map contract that mutations do not fail:
+// a zero (or out-of-range) Table.MaxLoadFactor is replaced by the default
+// growth threshold rather than disabling growth.
 func NewStriped(cfg Config) (*Striped, error) {
-	inner, err := New(cfg)
+	p := cfg.Partitions
+	if p < 1 {
+		p = 1
+	}
+	scheme := cfg.Scheme
+	if scheme == "" {
+		scheme = table.SchemeRH
+	}
+	family := cfg.Table.Family
+	if family == nil {
+		family = hashfn.MultFamily{}
+	}
+	growAt := cfg.Table.MaxLoadFactor
+	if growAt <= 0 || growAt >= 1 {
+		growAt = table.DefaultMaxLoadFactor
+	}
+	eng, err := shard.New(shard.Config{
+		Shards:   p,
+		Capacity: cfg.Table.InitialCapacity,
+		GrowAt:   growAt,
+		Family:   family,
+		Seed:     cfg.Table.Seed,
+		NewTable: func(capacity int, seed uint64) (shard.Table, error) {
+			return table.New(scheme, table.Config{
+				InitialCapacity: capacity,
+				MaxLoadFactor:   0, // the engine grows shards incrementally
+				Family:          family,
+				Seed:            seed,
+			})
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Striped{
-		inner: inner,
-		locks: make([]sync.Mutex, inner.Partitions()),
-	}, nil
+	return &Striped{eng: eng, label: string(scheme) + family.Name()}, nil
 }
 
 // MustNewStriped is NewStriped that panics on error.
@@ -38,76 +79,76 @@ func MustNewStriped(cfg Config) *Striped {
 	return m
 }
 
-// Put inserts or updates key under its stripe lock.
+// Engine returns the underlying shard.Engine for callers migrating to the
+// engine-level surface (RMW primitives, batched scatter/gather, migration
+// counters).
+func (m *Striped) Engine() *shard.Engine { return m.eng }
+
+// Put inserts or updates key under its shard's write lock.
 func (m *Striped) Put(key, val uint64) bool {
-	j := m.inner.Partition(key)
-	m.locks[j].Lock()
-	defer m.locks[j].Unlock()
-	return m.inner.parts[j].Put(key, val)
-}
-
-// Get looks key up under its stripe lock.
-func (m *Striped) Get(key uint64) (uint64, bool) {
-	j := m.inner.Partition(key)
-	m.locks[j].Lock()
-	defer m.locks[j].Unlock()
-	return m.inner.parts[j].Get(key)
-}
-
-// Delete removes key under its stripe lock.
-func (m *Striped) Delete(key uint64) bool {
-	j := m.inner.Partition(key)
-	m.locks[j].Lock()
-	defer m.locks[j].Unlock()
-	return m.inner.parts[j].Delete(key)
-}
-
-// Len sums partition sizes, locking each stripe in turn. The result is a
-// consistent sum only when no writers run concurrently.
-func (m *Striped) Len() int {
-	n := 0
-	for j := range m.locks {
-		m.locks[j].Lock()
-		n += m.inner.parts[j].Len()
-		m.locks[j].Unlock()
+	ins, err := m.eng.Put(key, val)
+	if err != nil {
+		// Unreachable with growth enabled (see NewStriped); a failure here
+		// means the engine could not allocate a successor table.
+		panic(fmt.Sprintf("partition: Striped.Put(%d): %v", key, err))
 	}
-	return n
+	return ins
 }
 
-// Partitions returns the stripe count.
-func (m *Striped) Partitions() int { return m.inner.Partitions() }
+// Get looks key up under its shard's read lock.
+func (m *Striped) Get(key uint64) (uint64, bool) { return m.eng.Get(key) }
 
-// MemoryFootprint sums the partition footprints.
-func (m *Striped) MemoryFootprint() uint64 { return m.inner.MemoryFootprint() }
+// Delete removes key under its shard's write lock.
+func (m *Striped) Delete(key uint64) bool { return m.eng.Delete(key) }
 
-// Range iterates all stripes, holding one stripe lock at a time.
-func (m *Striped) Range(fn func(key, val uint64) bool) {
-	for j := range m.locks {
-		m.locks[j].Lock()
-		stopped := false
-		m.inner.parts[j].Range(func(k, v uint64) bool {
-			if !fn(k, v) {
-				stopped = true
-				return false
-			}
-			return true
-		})
-		m.locks[j].Unlock()
-		if stopped {
-			return
-		}
-	}
+// Len sums shard sizes under per-shard read locks. With concurrent
+// writers the result is a per-shard-consistent sum, not a point-in-time
+// snapshot.
+func (m *Striped) Len() int { return m.eng.Len() }
+
+// Partitions returns the shard count.
+func (m *Striped) Partitions() int { return m.eng.Shards() }
+
+// MemoryFootprint sums the shard footprints.
+func (m *Striped) MemoryFootprint() uint64 { return m.eng.MemoryFootprint() }
+
+// Range iterates the shards with weak consistency, holding one shard
+// read lock at a time; fn must not call back into the map.
+func (m *Striped) Range(fn func(key, val uint64) bool) { m.eng.Range(fn) }
+
+var (
+	_ table.Map     = (*Striped)(nil)
+	_ table.Batcher = (*Striped)(nil)
+)
+
+// Name identifies the composite, e.g. "Striped[8xRHMult]".
+func (m *Striped) Name() string {
+	return fmt.Sprintf("Striped[%dx%s]", m.eng.Shards(), m.label)
 }
 
-var _ table.Map = (*Striped)(nil)
-
-// Name identifies the composite.
-func (m *Striped) Name() string { return "Striped[" + m.inner.Name() + "]" }
-
-// Capacity sums the partition capacities.
-func (m *Striped) Capacity() int { return m.inner.Capacity() }
+// Capacity sums the shard capacities.
+func (m *Striped) Capacity() int { return m.eng.Capacity() }
 
 // LoadFactor returns Len/Capacity.
-func (m *Striped) LoadFactor() float64 {
-	return float64(m.Len()) / float64(m.Capacity())
+func (m *Striped) LoadFactor() float64 { return m.eng.LoadFactor() }
+
+// Stats returns the engine snapshot (shard count, size accounting, and
+// the incremental-resize counters).
+func (m *Striped) Stats() shard.Stats { return m.eng.Stats() }
+
+// GetBatch implements table.Batcher via the engine's shard-major
+// scatter/gather pipeline.
+func (m *Striped) GetBatch(keys []uint64, vals []uint64, ok []bool) int {
+	return m.eng.GetBatch(keys, vals, ok)
+}
+
+// PutBatch implements table.Batcher. The scatter is stable, so duplicate
+// keys (which always share a shard) keep their slice order and therefore
+// sequential last-wins semantics.
+func (m *Striped) PutBatch(keys []uint64, vals []uint64) int {
+	n, err := m.eng.PutBatch(keys, vals)
+	if err != nil {
+		panic(fmt.Sprintf("partition: Striped.PutBatch: %v", err))
+	}
+	return n
 }

@@ -1,0 +1,359 @@
+package shard
+
+// Cross-shard batched operations: the key column is scattered per shard in
+// one stable pass (so duplicate keys — which always share a shard — keep
+// their slice order and therefore sequential semantics), each shard's
+// staged range is executed under that shard's lock exactly once, and
+// results gather back to the callers' lanes in input order.
+//
+// Engines are meant for concurrent callers, so the staging buffers are
+// allocated per call rather than cached: two goroutines batching on the
+// same engine must not share scratch.
+//
+// A non-migrating shard runs its table's batched pipeline (bulk-hashed,
+// round-robin probe walks). A migrating shard falls back to the scalar
+// migration-aware path per staged key, which also advances the migration —
+// batches make resize progress proportional to their size.
+
+import "repro/hashfn"
+
+// batchWidth is the router bulk-hash chunk size, matching the tables'
+// pipeline width.
+const batchWidth = hashfn.DefaultBatchWidth
+
+// GetBatch looks up keys[i] into vals[i], ok[i] for every i and returns
+// the number of hits. vals and ok must be at least as long as keys.
+//
+// Batched lookups hold only READ locks, so any number of GetBatch (and
+// Get) callers proceed in parallel on the same shard. That rules out the
+// tables' own batched probe pipeline here — it mutates a per-table
+// scratch and is only safe under the exclusive lock — so each shard's
+// staged range runs migration-aware scalar probes instead; the
+// shard-major scatter still amortizes routing and locking to once per
+// shard per batch.
+func (e *Engine) GetBatch(keys, vals []uint64, ok []bool) int {
+	if len(vals) < len(keys) || len(ok) < len(keys) {
+		panic("shard: GetBatch output slices shorter than keys")
+	}
+	if len(e.shards) == 1 {
+		s := &e.shards[0]
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		hits := 0
+		for i, k := range keys {
+			v, o := s.get(k)
+			vals[i], ok[i] = v, o
+			if o {
+				hits++
+			}
+		}
+		return hits
+	}
+	st := e.scatter(keys)
+	hits := 0
+	for j := range e.shards {
+		lo, hi := st.starts[j], st.starts[j+1]
+		if lo == hi {
+			continue
+		}
+		s := &e.shards[j]
+		s.mu.RLock()
+		for i := lo; i < hi; i++ {
+			v, o := s.get(st.keys[i])
+			st.vals[i], st.ok[i] = v, o
+			if o {
+				hits++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	for i, oi := range st.orig {
+		vals[oi], ok[oi] = st.vals[i], st.ok[i]
+	}
+	return hits
+}
+
+// roomFor reports whether n inserts into a non-migrating shard cannot
+// cross the growth threshold, i.e. whether the table's own batched
+// pipeline may run without per-key growth checks.
+func (e *Engine) roomFor(s *shardState, n int) bool {
+	if e.growAt <= 0 {
+		return true // growth disabled: the pipeline's ErrFull is the contract
+	}
+	return float64(s.cur.Len()+n) < e.growAt*float64(s.cur.Capacity())
+}
+
+// putBatchShard applies one shard's staged pairs under its write lock.
+func (e *Engine) putBatchShard(s *shardState, keys, vals []uint64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inserted := 0
+	if !s.migrating() && e.roomFor(s, len(keys)) {
+		ins, err := s.cur.TryPutBatch(keys, vals)
+		s.live += ins
+		if err == nil || e.growAt <= 0 {
+			return ins, err
+		}
+		// The pipeline refused a key (Cuckoo kick failure): grow and
+		// re-apply the whole range scalar. Re-applying already-inserted
+		// pairs is idempotent (same key, same value, classified as
+		// updates the second time — hence ins carries into the total).
+		if err := e.beginMigration(s); err != nil {
+			return ins, err
+		}
+		inserted = ins
+	}
+	for i, k := range keys {
+		ins, err := e.putLocked(s, k, vals[i])
+		if err != nil {
+			return inserted, err
+		}
+		if ins {
+			inserted++
+		}
+	}
+	return inserted, nil
+}
+
+// PutBatch upserts the pairs (keys[i], vals[i]) in slice order, returning
+// the number of newly inserted keys. With growth disabled it stops on
+// ErrFull; pairs already applied remain.
+func (e *Engine) PutBatch(keys, vals []uint64) (int, error) {
+	if len(keys) != len(vals) {
+		panic("shard: PutBatch keys/vals length mismatch")
+	}
+	if len(e.shards) == 1 {
+		return e.putBatchShard(&e.shards[0], keys, vals)
+	}
+	st := e.scatter(keys)
+	for i, oi := range st.orig {
+		st.vals[i] = vals[oi]
+	}
+	inserted := 0
+	for j := range e.shards {
+		lo, hi := st.starts[j], st.starts[j+1]
+		if lo == hi {
+			continue
+		}
+		n, err := e.putBatchShard(&e.shards[j], st.keys[lo:hi], st.vals[lo:hi])
+		inserted += n
+		if err != nil {
+			return inserted, err
+		}
+	}
+	return inserted, nil
+}
+
+// TryPutBatch is PutBatch under its table.Table-surface name.
+func (e *Engine) TryPutBatch(keys, vals []uint64) (int, error) { return e.PutBatch(keys, vals) }
+
+// getOrPutBatchShard applies one shard's staged range; out and loaded are
+// the shard-local staging views (out may alias vals).
+func (e *Engine) getOrPutBatchShard(s *shardState, keys, vals, out []uint64, loaded []bool) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inserted := 0
+	if !s.migrating() && e.roomFor(s, len(keys)) {
+		ins, err := s.cur.GetOrPutBatch(keys, vals, out, loaded)
+		s.live += ins
+		if err == nil || e.growAt <= 0 {
+			return ins, err
+		}
+		if err := e.beginMigration(s); err != nil {
+			return ins, err
+		}
+		// Re-apply scalar below, carrying the pipeline's insert count:
+		// pairs it already applied are found by GetOrPut (loaded=true)
+		// with the same value, so lanes stay correct and those keys are
+		// not double-counted; a within-batch duplicate that raced the
+		// refusal may report loaded=true for the lane that actually
+		// inserted — accepted on this pathological path.
+		inserted = ins
+	}
+	for i, k := range keys {
+		v, ld, err := e.getOrPutLocked(s, k, vals[i])
+		if err != nil {
+			return inserted, err
+		}
+		out[i], loaded[i] = v, ld
+		if !ld {
+			inserted++
+		}
+	}
+	return inserted, nil
+}
+
+// GetOrPutBatch applies GetOrPut to every (keys[i], vals[i]) pair in slice
+// order: out[i] receives the resulting value, loaded[i] whether the key
+// already existed. out may alias vals. It returns the number of newly
+// inserted keys.
+func (e *Engine) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
+	if len(vals) != len(keys) {
+		panic("shard: GetOrPutBatch keys/vals length mismatch")
+	}
+	if len(out) < len(keys) || len(loaded) < len(keys) {
+		panic("shard: GetOrPutBatch output slices shorter than keys")
+	}
+	if len(e.shards) == 1 {
+		return e.getOrPutBatchShard(&e.shards[0], keys, vals, out, loaded)
+	}
+	st := e.scatter(keys)
+	for i, oi := range st.orig {
+		st.vals[i] = vals[oi]
+	}
+	inserted := 0
+	for j := range e.shards {
+		lo, hi := st.starts[j], st.starts[j+1]
+		if lo == hi {
+			continue
+		}
+		// out aliases vals within the staged range: the tables read the
+		// insert value before writing the result lane.
+		n, err := e.getOrPutBatchShard(&e.shards[j], st.keys[lo:hi], st.vals[lo:hi], st.vals[lo:hi], st.ok[lo:hi])
+		inserted += n
+		if err != nil {
+			return inserted, err
+		}
+	}
+	for i, oi := range st.orig {
+		out[oi], loaded[oi] = st.vals[i], st.ok[i]
+	}
+	return inserted, nil
+}
+
+// upsertBatchShard applies one shard's staged keys; orig maps staged lanes
+// back to the caller's lanes for fn.
+func (e *Engine) upsertBatchShard(s *shardState, keys []uint64, orig []int32, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	callerLane := func(i int) int {
+		if orig != nil {
+			return int(orig[i])
+		}
+		return i
+	}
+	inserted := 0
+	resume := 0
+	if !s.migrating() && e.roomFor(s, len(keys)) {
+		// A half-applied UpsertBatch cannot simply be re-applied (fn
+		// would observe its own partial effects), so the wrapper records
+		// the last lane fn computed for and its value: on a refusal —
+		// unreachable for the probing and chained schemes below the
+		// threshold, a failed kick chain for Cuckoo — the pipeline's
+		// contract guarantees every earlier lane is stored, and the last
+		// computed value is re-stored directly (idempotent if it already
+		// landed) without invoking fn again.
+		lastLane := -1
+		var lastVal uint64
+		ins, err := s.cur.UpsertBatch(keys, func(lane int, old uint64, exists bool) uint64 {
+			v := fn(callerLane(lane), old, exists)
+			lastLane, lastVal = lane, v
+			return v
+		})
+		s.live += ins
+		if err == nil || e.growAt <= 0 {
+			return ins, err
+		}
+		if err := e.beginMigration(s); err != nil {
+			return ins, err
+		}
+		inserted = ins
+		if lastLane >= 0 {
+			in, err := e.putLocked(s, keys[lastLane], lastVal)
+			if err != nil {
+				return inserted, err
+			}
+			if in {
+				inserted++
+			}
+			resume = lastLane + 1
+		}
+	}
+	for i := resume; i < len(keys); i++ {
+		lane := callerLane(i)
+		_, err := e.upsertLocked(s, keys[i], func(old uint64, exists bool) uint64 {
+			if !exists {
+				inserted++
+			}
+			return fn(lane, old, exists)
+		})
+		if err != nil {
+			return inserted, err
+		}
+	}
+	return inserted, nil
+}
+
+// UpsertBatch applies an Upsert to every key in slice order, passing fn
+// the key's lane index in the original slice. Duplicate keys are processed
+// in slice order (they always share a shard). It returns the number of
+// newly inserted keys. fn runs under a shard write lock and must not call
+// back into the engine.
+func (e *Engine) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	if len(e.shards) == 1 {
+		return e.upsertBatchShard(&e.shards[0], keys, nil, fn)
+	}
+	st := e.scatter(keys)
+	inserted := 0
+	for j := range e.shards {
+		lo, hi := st.starts[j], st.starts[j+1]
+		if lo == hi {
+			continue
+		}
+		n, err := e.upsertBatchShard(&e.shards[j], st.keys[lo:hi], st.orig[lo:hi], fn)
+		inserted += n
+		if err != nil {
+			return inserted, err
+		}
+	}
+	return inserted, nil
+}
+
+// scattered is one stable shard scatter of a key column: keys regrouped by
+// shard, the original lane of every staged slot, per-shard extents, and
+// value/flag staging areas sized to match.
+type scattered struct {
+	keys   []uint64
+	vals   []uint64
+	ok     []bool
+	orig   []int32
+	starts []int32
+}
+
+// scatter routes keys with the router's bulk-hash pipeline and regroups
+// them by shard in one stable counting pass.
+func (e *Engine) scatter(keys []uint64) scattered {
+	p := len(e.shards)
+	part := make([]int32, len(keys))
+	var hash [batchWidth]uint64
+	for base := 0; base < len(keys); base += batchWidth {
+		n := min(batchWidth, len(keys)-base)
+		hashfn.HashBatch(e.router, keys[base:base+n], hash[:])
+		for i := 0; i < n; i++ {
+			part[base+i] = int32(hash[i] >> e.shift)
+		}
+	}
+	st := scattered{
+		keys:   make([]uint64, len(keys)),
+		vals:   make([]uint64, len(keys)),
+		ok:     make([]bool, len(keys)),
+		orig:   make([]int32, len(keys)),
+		starts: make([]int32, p+1),
+	}
+	for _, j := range part {
+		st.starts[j+1]++
+	}
+	for j := 0; j < p; j++ {
+		st.starts[j+1] += st.starts[j]
+	}
+	pos := make([]int32, p)
+	copy(pos, st.starts[:p])
+	for i, k := range keys {
+		j := part[i]
+		at := pos[j]
+		st.keys[at] = k
+		st.orig[at] = int32(i)
+		pos[j]++
+	}
+	return st
+}

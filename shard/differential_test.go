@@ -1,0 +1,277 @@
+package shard_test
+
+// Concurrent differential test: 8 writer goroutines replay interleaved RW
+// op tapes (workload.GenRWTape) against one shard.Engine and validate
+// every operation's result against a mutex-guarded builtin-map oracle.
+// The goroutines' tapes draw from disjoint index ranges of one injective
+// distribution, so each goroutine's keys are private — its oracle view is
+// exact — while all goroutines contend on the shared shards. A ninth
+// goroutine hammers the sentinel keys (0 and 2^64-1, whose literal values
+// collide with the empty/tombstone slot markers), and a tenth runs the
+// weakly-consistent iterator throughout, checking the invariants that
+// survive concurrent writers: no key yielded twice in one pass, and every
+// yielded value is one some writer actually stored.
+//
+// The engine starts near its growth threshold with a small migration
+// chunk, so shards resize incrementally throughout the run and the reads,
+// writes and iterations constantly cross mid-migration state. This is the
+// test the CI job runs with -race (go test -run Differential -race
+// ./shard/...).
+
+import (
+	"sync"
+	"testing"
+
+	"repro/dist"
+	"repro/shard"
+	"repro/table"
+	"repro/workload"
+)
+
+// valTag makes stored values a checkable function of their key, so the
+// iterator can validate entries it observes mid-write.
+const valTag = 0x5ca1_ab1e_ca5c_ade5
+
+// stride spaces the goroutines' generator index ranges. It sits above
+// GenRWTape's guaranteed-miss offset (2^40), so each goroutine's whole
+// index window — inserts plus 2^40-offset miss probes — fits inside its
+// own stride and never collides with another goroutine's.
+const stride = uint64(1) << 41
+
+// offsetGen carves a disjoint per-goroutine index range out of one
+// injective distribution.
+type offsetGen struct {
+	gen  dist.Generator
+	base uint64
+}
+
+func (g offsetGen) Kind() dist.Kind     { return g.gen.Kind() }
+func (g offsetGen) Key(i uint64) uint64 { return g.gen.Key(g.base + i) }
+func (g offsetGen) Keys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.Key(uint64(i))
+	}
+	return out
+}
+func (g offsetGen) AbsentKeys(n, m int) []uint64 {
+	out := make([]uint64, m)
+	for i := range out {
+		out[i] = g.Key(uint64(n + i))
+	}
+	return out
+}
+
+func TestDifferentialConcurrentTapes(t *testing.T) {
+	const (
+		goroutines = 8
+		initial    = 500
+		ops        = 15000
+		updatePct  = 60
+	)
+	e := shard.MustNew(shard.Config{
+		Shards:         8,
+		Capacity:       1 << 12, // small: growth starts early and recurs
+		GrowAt:         0.8,
+		Seed:           17,
+		MigrationChunk: 64, // long migration windows: more mid-migration ops
+		NewTable: func(capacity int, seed uint64) (shard.Table, error) {
+			return table.New(table.SchemeRH, table.Config{InitialCapacity: capacity, MaxLoadFactor: 0, Seed: seed})
+		},
+	})
+
+	var omu sync.Mutex
+	oracle := map[uint64]uint64{}
+
+	gen := dist.New(dist.Sparse, 23)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	// Writer goroutines: interleaved tape replay, oracle-checked per op.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			og := offsetGen{gen: gen, base: uint64(g) * stride}
+			tape := workload.GenRWTape(og, initial, ops, updatePct, uint64(g)*977+1)
+			// Pre-fill this goroutine's initial live set (concurrently with
+			// the other goroutines' replays — the tape's first ops assume
+			// these keys are live).
+			for i := 0; i < initial; i++ {
+				k := og.Key(uint64(i))
+				if _, err := e.Put(k, k^valTag); err != nil {
+					t.Errorf("g%d prefill Put(%d): %v", g, k, err)
+					return
+				}
+				omu.Lock()
+				oracle[k] = k ^ valTag
+				omu.Unlock()
+			}
+			for i, kind := range tape.Kinds {
+				k := tape.Keys[i]
+				switch kind {
+				case workload.OpInsert:
+					omu.Lock()
+					_, existed := oracle[k]
+					omu.Unlock()
+					if i%3 == 0 {
+						_, loaded, err := e.GetOrPut(k, k^valTag)
+						if err != nil {
+							t.Errorf("g%d GetOrPut(%d): %v", g, k, err)
+							return
+						}
+						if loaded != existed {
+							t.Errorf("g%d GetOrPut(%d) loaded=%v, oracle existed=%v", g, k, loaded, existed)
+							return
+						}
+					} else {
+						ins, err := e.Put(k, k^valTag)
+						if err != nil {
+							t.Errorf("g%d Put(%d): %v", g, k, err)
+							return
+						}
+						if ins == existed {
+							t.Errorf("g%d Put(%d) inserted=%v, oracle existed=%v", g, k, ins, existed)
+							return
+						}
+					}
+					omu.Lock()
+					oracle[k] = k ^ valTag
+					omu.Unlock()
+				case workload.OpDelete:
+					omu.Lock()
+					_, existed := oracle[k]
+					delete(oracle, k)
+					omu.Unlock()
+					if had := e.Delete(k); had != existed {
+						t.Errorf("g%d Delete(%d) = %v, oracle existed=%v", g, k, had, existed)
+						return
+					}
+				case workload.OpLookupHit, workload.OpLookupMiss:
+					omu.Lock()
+					want, existed := oracle[k]
+					omu.Unlock()
+					v, ok := e.Get(k)
+					if ok != existed || (ok && v != want) {
+						t.Errorf("g%d Get(%d) = (%d,%v), oracle (%d,%v)", g, k, v, ok, want, existed)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Sentinel goroutine: the keys 0 and 2^64-1 cycle through
+	// insert/update/upsert/delete while everything else churns. Only this
+	// goroutine touches them, so its checks are exact.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sentinels := []uint64{0, ^uint64(0)}
+		for round := 0; round < 2000; round++ {
+			for _, k := range sentinels {
+				if _, err := e.Put(k, k^valTag); err != nil {
+					t.Errorf("sentinel Put(%d): %v", k, err)
+					return
+				}
+				if v, ok := e.Get(k); !ok || v != k^valTag {
+					t.Errorf("sentinel Get(%d) = (%d,%v)", k, v, ok)
+					return
+				}
+				if _, err := e.Upsert(k, func(old uint64, exists bool) uint64 {
+					if !exists || old != k^valTag {
+						t.Errorf("sentinel Upsert(%d) got (%d,%v)", k, old, exists)
+					}
+					return k ^ valTag
+				}); err != nil {
+					t.Errorf("sentinel Upsert(%d): %v", k, err)
+					return
+				}
+				if round%5 == 4 {
+					if !e.Delete(k) {
+						t.Errorf("sentinel Delete(%d) missed", k)
+						return
+					}
+					if _, ok := e.Get(k); ok {
+						t.Errorf("sentinel %d visible after delete", k)
+						return
+					}
+					if _, err := e.Put(k, k^valTag); err != nil {
+						t.Errorf("sentinel re-Put(%d): %v", k, err)
+						return
+					}
+				}
+			}
+		}
+		// Leave the sentinels deleted so the final oracle comparison
+		// (which never tracked them) holds.
+		e.Delete(0)
+		e.Delete(^uint64(0))
+	}()
+
+	// Iterator goroutine: weakly-consistent passes during the churn. It
+	// runs on its own WaitGroup — it only stops once the writers (tracked
+	// by wg) are done.
+	var iterWG sync.WaitGroup
+	iterWG.Add(1)
+	go func() {
+		defer iterWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			seen := make(map[uint64]struct{}, 1<<13)
+			for k, v := range e.All() {
+				if _, dup := seen[k]; dup {
+					t.Errorf("iterator yielded key %d twice in one pass", k)
+					return
+				}
+				seen[k] = struct{}{}
+				if v != k^valTag {
+					t.Errorf("iterator observed impossible value %d for key %d", v, k)
+					return
+				}
+			}
+		}
+	}()
+
+	// Writers + sentinel finish first, then the iterator is released.
+	wg.Wait()
+	close(done)
+	iterWG.Wait()
+
+	if t.Failed() {
+		return
+	}
+	// Full final comparison against the oracle.
+	if e.Len() != len(oracle) {
+		t.Fatalf("final Len = %d, oracle %d", e.Len(), len(oracle))
+	}
+	got := map[uint64]uint64{}
+	e.Range(func(k, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(oracle) {
+		t.Fatalf("final iteration yielded %d entries, oracle %d", len(got), len(oracle))
+	}
+	for k, v := range oracle {
+		if gv, ok := got[k]; !ok || gv != v {
+			t.Fatalf("final content: key %d = (%d,%v), oracle %d", k, gv, ok, v)
+		}
+	}
+	st := e.Stats()
+	if st.MigrationsDone == 0 {
+		t.Fatal("run never exercised an incremental migration")
+	}
+	if st.Migrating > 0 || st.MigrationsDone != st.MigrationsStarted {
+		// Drain: mutations finish in-flight migrations deterministically.
+		for e.Stats().Migrating > 0 {
+			e.Delete(1) // key 1 is absent (sparse dist); advances migration
+		}
+	}
+	t.Logf("final: %d entries, %d shards, %d migrations, %d entries migrated incrementally, %d rebuilds",
+		len(oracle), st.Shards, st.MigrationsDone, st.MigratedEntries, st.Rebuilds)
+}

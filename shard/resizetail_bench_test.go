@@ -1,0 +1,158 @@
+package shard_test
+
+// BenchmarkResizeTail measures the tail latency of individual inserts
+// while a table grows through several doublings — the experiment behind
+// the engine's incremental resize. Two paths insert the same keys:
+//
+//   - rehash: a plain scheme table with growth enabled. The insert that
+//     crosses the threshold pays a full stop-the-world rehash, so the max
+//     (and, as the table gets big, the p99.9) per-op latency spikes with
+//     table size.
+//   - incremental: a one-shard Engine with the same threshold. Every
+//     mutation pays at most one bounded migration chunk; the spike is
+//     gone and the worst observed op stays within a small constant factor
+//     of the median.
+//
+// Per-op latencies are recorded and reported as p50/p99/p99.9/max
+// ns/op metrics. When the BENCH_SHARD_JSON environment variable names a
+// file, the collected distribution summary is written there as JSON (the
+// CI bench-smoke step uploads it as the BENCH_shard.json artifact).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/shard"
+	"repro/table"
+)
+
+// benchKeys is how many inserts each path performs: from 4k initial
+// capacity through ~5 doublings.
+const benchKeys = 1 << 17
+
+// tailSummary is one path's latency distribution, in nanoseconds.
+type tailSummary struct {
+	Path   string  `json:"path"`
+	Keys   int     `json:"keys"`
+	P50    float64 `json:"p50_ns"`
+	P99    float64 `json:"p99_ns"`
+	P999   float64 `json:"p999_ns"`
+	Max    float64 `json:"max_ns"`
+	MeanNs float64 `json:"mean_ns"`
+}
+
+// benchResults accumulates sub-benchmark summaries for the JSON artifact.
+var benchResults []tailSummary
+
+func summarize(path string, lat []time.Duration) tailSummary {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i])
+	}
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	return tailSummary{
+		Path:   path,
+		Keys:   len(lat),
+		P50:    pick(0.50),
+		P99:    pick(0.99),
+		P999:   pick(0.999),
+		Max:    float64(lat[len(lat)-1]),
+		MeanNs: float64(sum) / float64(len(lat)),
+	}
+}
+
+func reportTail(b *testing.B, s tailSummary) {
+	b.ReportMetric(s.P50, "p50-ns/op")
+	b.ReportMetric(s.P99, "p99-ns/op")
+	b.ReportMetric(s.P999, "p99.9-ns/op")
+	b.ReportMetric(s.Max, "max-ns/op")
+}
+
+// runTail inserts benchKeys sequential keys through put, timing each op.
+// A forced GC beforehand keeps collector assists from polluting the tail.
+func runTail(put func(k uint64)) []time.Duration {
+	runtime.GC()
+	lat := make([]time.Duration, benchKeys)
+	for i := 0; i < benchKeys; i++ {
+		k := uint64(i) + 1
+		start := time.Now()
+		put(k)
+		lat[i] = time.Since(start)
+	}
+	return lat
+}
+
+func BenchmarkResizeTail(b *testing.B) {
+	const initialCapacity = 1 << 12
+	b.Run("rehash", func(b *testing.B) {
+		var s tailSummary
+		for i := 0; i < b.N; i++ {
+			t := table.MustNew(table.SchemeRH, table.Config{
+				InitialCapacity: initialCapacity,
+				MaxLoadFactor:   0.85,
+				Seed:            1,
+			})
+			lat := runTail(func(k uint64) {
+				if _, err := t.TryPut(k, k); err != nil {
+					b.Fatal(err)
+				}
+			})
+			s = summarize("rehash", lat)
+		}
+		reportTail(b, s)
+		benchResults = append(benchResults, s)
+	})
+	// incremental-1 isolates the resize mechanism (one shard, same keys);
+	// incremental-8 is the production configuration, where sharding also
+	// divides the one remaining per-migration cost — the successor-table
+	// allocation — by the shard count.
+	for _, shards := range []int{1, 8} {
+		name := fmt.Sprintf("incremental-%dshard", shards)
+		b.Run(name, func(b *testing.B) {
+			var s tailSummary
+			for i := 0; i < b.N; i++ {
+				e := shard.MustNew(shard.Config{
+					Shards:   shards,
+					Capacity: initialCapacity,
+					GrowAt:   0.85,
+					Seed:     1,
+					NewTable: func(capacity int, seed uint64) (shard.Table, error) {
+						return table.New(table.SchemeRH, table.Config{InitialCapacity: capacity, MaxLoadFactor: 0, Seed: seed})
+					},
+				})
+				lat := runTail(func(k uint64) {
+					if _, err := e.Put(k, k); err != nil {
+						b.Fatal(err)
+					}
+				})
+				if st := e.Stats(); st.MigrationsStarted == 0 || st.Rebuilds != 0 {
+					b.Fatalf("incremental path degenerate: %+v", st)
+				}
+				s = summarize(name, lat)
+			}
+			reportTail(b, s)
+			benchResults = append(benchResults, s)
+		})
+	}
+	if path := os.Getenv("BENCH_SHARD_JSON"); path != "" && len(benchResults) > 0 {
+		out, err := json.MarshalIndent(struct {
+			Benchmark string        `json:"benchmark"`
+			Paths     []tailSummary `json:"paths"`
+		}{Benchmark: "BenchmarkResizeTail", Paths: benchResults}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,718 @@
+// Package shard implements the repo's one striping core: Engine, a
+// concurrency-safe sharded hash-table engine with incremental resize. It
+// replaces the two earlier copies of the paper's striped-locking extension
+// (§1) — table.Handle's partitioned mode and partition.Striped — both of
+// which now delegate here.
+//
+// # Architecture
+//
+// An Engine routes every key to one of P shards (P a power of two) by the
+// top bits of an independent router hash, exactly like the partitioned
+// radix scheme the paper cites for parallel joins. Each shard owns one
+// single-threaded table behind a sync.RWMutex: read-only operations (Get,
+// GetBatch, Len, Stats, Range) take the read lock and run concurrently;
+// mutations take the write lock. Cross-shard batch operations scatter the
+// key column per shard in one stable pass, execute shard-major so each
+// lock is taken once per batch, and gather results back to the callers'
+// lanes in input order.
+//
+// # Incremental resize
+//
+// The schemes' own growth path is a stop-the-world rehash: the mutation
+// that crosses the load threshold pays for re-inserting every live entry.
+// Under concurrent traffic that is a tail-latency spike proportional to
+// the shard size. Engine disables scheme-level growth and grows shards
+// itself, incrementally:
+//
+//   - When a shard crosses the configured threshold, the engine allocates
+//     the next-power-of-two successor table and FREEZES the old one: from
+//     that point no write ever touches the old table again. New and
+//     updated values go to the successor; deletes of keys still living in
+//     the old table are recorded in a small overlay of dead keys.
+//   - Because the old table is immutable, a resumable cursor over it is
+//     safe. Every subsequent mutation on the shard first migrates a
+//     bounded chunk of entries (Config.MigrationChunk) from the cursor
+//     into the successor, then applies itself. Reads consult the
+//     successor first, then the frozen table (minus the dead overlay).
+//   - When the cursor is exhausted the successor becomes the shard's
+//     table and the frozen one is dropped wholesale.
+//
+// No operation ever pays a full-shard rehash; the worst-case mutation
+// cost is one bounded migration chunk plus the operation itself (see
+// BenchmarkResizeTail). The successor is sized so that migration always
+// completes before it can itself fill: each mutation moves at least one
+// entry, so at most capacity(old) mutations run against a successor with
+// capacity(old) spare slots beyond the threshold.
+//
+// # Concurrency contract
+//
+// Every Engine method is safe for arbitrary concurrent use. Point and
+// batched operations are linearizable per key (each key lives in exactly
+// one shard, and that shard's lock serializes its writers against its
+// readers). There is no cross-shard snapshot: Len, Stats and iteration
+// lock one shard at a time and may observe different shards at different
+// instants. Callbacks passed to Upsert/UpsertBatch/Range/All run while a
+// shard lock is held and must not call back into the engine.
+package shard
+
+import (
+	"fmt"
+	"iter"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/hashfn"
+)
+
+// Table is the operation set Engine needs from each shard's table. It is a
+// structural subset of table.Table, so every scheme in the table package
+// (and anything wrapping one) satisfies it without this package importing
+// table — which is what lets table.Handle delegate here without an import
+// cycle.
+type Table interface {
+	Get(key uint64) (uint64, bool)
+	Delete(key uint64) bool
+	TryPut(key, val uint64) (inserted bool, err error)
+	GetOrPut(key, val uint64) (actual uint64, loaded bool, err error)
+	Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error)
+	GetBatch(keys, vals []uint64, ok []bool) int
+	TryPutBatch(keys, vals []uint64) (inserted int, err error)
+	GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (inserted int, err error)
+	UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (inserted int, err error)
+	Len() int
+	Capacity() int
+	MemoryFootprint() uint64
+	Range(fn func(key, val uint64) bool)
+	Name() string
+}
+
+// DefaultMigrationChunk is the number of frozen-table entries a mutation
+// migrates when Config.MigrationChunk is zero: large enough to finish a
+// migration in a small fraction of the mutations that fit the successor,
+// small enough to stay in the microsecond range per operation.
+const DefaultMigrationChunk = 256
+
+// routerSeedMix derives the router function's seed stream from the
+// engine seed; it must stay independent of the per-shard table seeds.
+const routerSeedMix = 0x9a77_e4b0_0f00_d001
+
+// shardSeedStep spaces the per-shard table seeds (golden-ratio step).
+const shardSeedStep = 0x9e3779b97f4a7c15
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the number of shards, rounded up to a power of two
+	// (minimum 1). A good default for N concurrent goroutines is the
+	// power of two >= 2N.
+	Shards int
+	// Capacity is the initial TOTAL slot capacity, split evenly across
+	// shards.
+	Capacity int
+	// GrowAt is the per-shard load factor at which incremental resize
+	// begins. Zero disables growth entirely: mutations on a full shard
+	// then surface the table's ErrFull. Values must be < 1.
+	GrowAt float64
+	// Family is the hash-function class the ROUTER is drawn from
+	// (default Mult). The per-shard tables hash with their own functions,
+	// configured by whatever NewTable builds; the router is seeded from
+	// an independent stream so its bits are uncorrelated with theirs.
+	Family hashfn.Family
+	// Seed derives the router and the per-shard table seeds. Two engines
+	// built from the same Config are identical.
+	Seed uint64
+	// MigrationChunk bounds the entries migrated per mutation during a
+	// resize (default DefaultMigrationChunk).
+	MigrationChunk int
+	// NewTable builds one shard's table with the given slot capacity and
+	// seed. It is called Shards times at construction and once per
+	// resize. The tables it returns must have scheme-level growth
+	// DISABLED (the engine grows shards itself) and are only ever used
+	// single-threaded under the shard lock. Required.
+	NewTable func(capacity int, seed uint64) (Table, error)
+}
+
+// shardState is one shard: a table behind a RWMutex, plus the incremental
+// migration state while a resize is in flight.
+type shardState struct {
+	mu   sync.RWMutex
+	cur  Table
+	live int    // live entries (engine-maintained; cur+next dedup'd)
+	seed uint64 // table seed, reused for every successor generation
+
+	// Migration state; all nil/zero when no resize is in flight.
+	next Table               // successor table; all writes go here
+	dead map[uint64]struct{} // keys whose frozen-cur entry is deleted
+	pull func() (k, v uint64, ok bool)
+	stop func()
+}
+
+// migrating reports whether a resize is in flight (callers hold mu).
+func (s *shardState) migrating() bool { return s.next != nil }
+
+// Engine is the sharded concurrent engine. See the package documentation
+// for the architecture and the concurrency contract. The zero value is
+// not usable; construct with New.
+type Engine struct {
+	shards []shardState
+	router hashfn.Function
+	shift  uint // 64 - log2(len(shards))
+	growAt float64
+	chunk  int
+	label  string // shard-0 table name, cached at construction (lock-free Name)
+	create func(capacity int, seed uint64) (Table, error)
+
+	migStarted atomic.Uint64
+	migDone    atomic.Uint64
+	migMoved   atomic.Uint64
+	rebuilds   atomic.Uint64
+}
+
+// New builds an Engine from cfg.
+func New(cfg Config) (*Engine, error) {
+	if cfg.NewTable == nil {
+		return nil, fmt.Errorf("shard: Config.NewTable is required")
+	}
+	if cfg.GrowAt < 0 || cfg.GrowAt >= 1 {
+		return nil, fmt.Errorf("shard: grow threshold %v outside [0, 1); use 0 to disable growth", cfg.GrowAt)
+	}
+	if cfg.Capacity < 0 {
+		return nil, fmt.Errorf("shard: negative capacity %d", cfg.Capacity)
+	}
+	p := cfg.Shards
+	if p < 1 {
+		p = 1
+	}
+	p = 1 << uint(bits.Len(uint(p-1)))
+	family := cfg.Family
+	if family == nil {
+		family = hashfn.MultFamily{}
+	}
+	chunk := cfg.MigrationChunk
+	if chunk <= 0 {
+		chunk = DefaultMigrationChunk
+	}
+	e := &Engine{
+		shards: make([]shardState, p),
+		router: family.New(cfg.Seed ^ routerSeedMix),
+		shift:  uint(64 - bits.TrailingZeros(uint(p))),
+		growAt: cfg.GrowAt,
+		chunk:  chunk,
+		create: cfg.NewTable,
+	}
+	perShard := cfg.Capacity / p
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.seed = cfg.Seed + uint64(i)*shardSeedStep
+		t, err := cfg.NewTable(perShard, s.seed)
+		if err != nil {
+			return nil, err
+		}
+		s.cur = t
+	}
+	e.label = e.shards[0].cur.Name()
+	return e, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Name identifies the engine, e.g. "Sharded[8xRHMult]". The table label
+// is cached at construction, so Name is lock-free and safe concurrently
+// with migrations swapping shard tables.
+func (e *Engine) Name() string {
+	return fmt.Sprintf("Sharded[%dx%s]", len(e.shards), e.label)
+}
+
+// shardFor returns the shard owning key.
+func (e *Engine) shardFor(key uint64) *shardState {
+	if len(e.shards) == 1 {
+		return &e.shards[0]
+	}
+	return &e.shards[e.router.Hash(key)>>e.shift]
+}
+
+// shardIndex returns the index of the shard owning key.
+func (e *Engine) shardIndex(key uint64) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	return int(e.router.Hash(key) >> e.shift)
+}
+
+// ---------------------------------------------------------------------------
+// Reads (shard read lock)
+// ---------------------------------------------------------------------------
+
+// Get returns the value stored under key and whether it is present.
+func (e *Engine) Get(key uint64) (uint64, bool) {
+	s := e.shardFor(key)
+	s.mu.RLock()
+	v, ok := s.get(key)
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// get is the migration-aware lookup (callers hold mu, read or write).
+func (s *shardState) get(key uint64) (uint64, bool) {
+	if s.next != nil {
+		if v, ok := s.next.Get(key); ok {
+			return v, true
+		}
+		if _, dead := s.dead[key]; dead {
+			return 0, false
+		}
+	}
+	return s.cur.Get(key)
+}
+
+// curLive looks key up in the frozen table, honoring the dead overlay
+// (callers hold the write lock during a migration).
+func (s *shardState) curLive(key uint64) (uint64, bool) {
+	if _, dead := s.dead[key]; dead {
+		return 0, false
+	}
+	return s.cur.Get(key)
+}
+
+// Len returns the number of live entries across all shards. With
+// concurrent writers the result is a per-shard-consistent sum, not a
+// point-in-time snapshot.
+func (e *Engine) Len() int {
+	n := 0
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		n += s.live
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Capacity returns the total slot capacity across shards; a migrating
+// shard counts its successor's capacity (the one being filled).
+func (e *Engine) Capacity() int {
+	n := 0
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		if s.next != nil {
+			n += s.next.Capacity()
+		} else {
+			n += s.cur.Capacity()
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// LoadFactor returns Len/Capacity.
+func (e *Engine) LoadFactor() float64 {
+	return float64(e.Len()) / float64(e.Capacity())
+}
+
+// MemoryFootprint returns the total bytes across shards, counting both
+// tables of a migrating shard.
+func (e *Engine) MemoryFootprint() uint64 {
+	var n uint64
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		n += s.cur.MemoryFootprint()
+		if s.next != nil {
+			n += s.next.MemoryFootprint()
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Incremental migration machinery (shard write lock held)
+// ---------------------------------------------------------------------------
+
+// beginMigration freezes s.cur and installs the successor table and the
+// migration cursor.
+func (e *Engine) beginMigration(s *shardState) error {
+	nt, err := e.create(2*s.cur.Capacity(), s.seed)
+	if err != nil {
+		return err
+	}
+	s.next = nt
+	s.dead = make(map[uint64]struct{})
+	cur := s.cur
+	s.pull, s.stop = iter.Pull2(iter.Seq2[uint64, uint64](func(yield func(uint64, uint64) bool) {
+		cur.Range(yield)
+	}))
+	e.migStarted.Add(1)
+	return nil
+}
+
+// finishMigration promotes the successor and drops the frozen table.
+func (e *Engine) finishMigration(s *shardState) {
+	s.stop()
+	s.cur = s.next
+	s.next, s.dead, s.pull, s.stop = nil, nil, nil, nil
+	e.migDone.Add(1)
+}
+
+// advance migrates up to n cursor entries into the successor. Entries the
+// overlay marks dead are skipped; entries already written to the successor
+// (updated or re-inserted since the freeze) keep the successor's value —
+// GetOrPut never overwrites.
+func (e *Engine) advance(s *shardState, n int) error {
+	if s.next == nil {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		k, v, ok := s.pull()
+		if !ok {
+			e.finishMigration(s)
+			return nil
+		}
+		if _, dead := s.dead[k]; dead {
+			continue
+		}
+		_, loaded, err := s.next.GetOrPut(k, v)
+		if err != nil {
+			// The successor refused the key (a Cuckoo kick chain can fail
+			// below any load threshold). Fall back to a one-off rebuild.
+			return e.rebuild(s)
+		}
+		if !loaded {
+			e.migMoved.Add(1)
+		}
+	}
+	return nil
+}
+
+// maybeGrow starts a migration when s has crossed the threshold.
+func (e *Engine) maybeGrow(s *shardState) error {
+	if e.growAt <= 0 || s.next != nil {
+		return nil
+	}
+	if float64(s.cur.Len()) < e.growAt*float64(s.cur.Capacity()) {
+		return nil
+	}
+	return e.beginMigration(s)
+}
+
+// rebuild is the pathological-path escape hatch: when the successor itself
+// refuses an insert mid-migration, the shard is rebuilt stop-the-world
+// into a fresh table (doubling until everything fits). This is the only
+// path that pays a full-shard copy; it is unreachable for the probing and
+// chained schemes (their growth-disabled tables refuse only when 100%
+// full, which the threshold prevents) and requires a failed kick chain
+// for Cuckoo.
+func (e *Engine) rebuild(s *shardState) error {
+	capacity := s.cur.Capacity() * 2
+	if s.next != nil {
+		capacity = s.next.Capacity() * 2
+	}
+	for {
+		nt, err := e.create(capacity, s.seed)
+		if err != nil {
+			return err
+		}
+		ok := true
+		if s.next != nil {
+			s.next.Range(func(k, v uint64) bool {
+				if _, err = nt.TryPut(k, v); err != nil {
+					ok = false
+				}
+				return ok
+			})
+		}
+		if ok {
+			s.cur.Range(func(k, v uint64) bool {
+				if _, isDead := s.dead[k]; isDead {
+					return true
+				}
+				// Keep-first: keys already copied from the successor hold
+				// the fresh value; the frozen table's copy is stale.
+				if _, _, err = nt.GetOrPut(k, v); err != nil {
+					ok = false
+				}
+				return ok
+			})
+		}
+		if !ok {
+			capacity *= 2
+			continue
+		}
+		if s.stop != nil {
+			s.stop()
+		}
+		s.cur = nt
+		s.next, s.dead, s.pull, s.stop = nil, nil, nil, nil
+		e.rebuilds.Add(1)
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Mutations (shard write lock)
+// ---------------------------------------------------------------------------
+
+// Put inserts or updates key -> val, reporting whether the key was newly
+// inserted. With growth enabled the error is always nil; with GrowAt zero
+// a full shard surfaces the table's ErrFull.
+func (e *Engine) Put(key, val uint64) (bool, error) {
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return e.putLocked(s, key, val)
+}
+
+func (e *Engine) putLocked(s *shardState, key, val uint64) (bool, error) {
+	if err := e.advance(s, e.chunk); err != nil {
+		return false, err
+	}
+	if !s.migrating() {
+		ins, err := s.cur.TryPut(key, val)
+		if err == nil {
+			if ins {
+				s.live++
+				err = e.maybeGrow(s)
+			}
+			return ins, err
+		}
+		if e.growAt <= 0 {
+			return false, err
+		}
+		// The table refused the insert (full, or a failed Cuckoo kick
+		// chain below the threshold): grow now, write to the successor.
+		if err := e.beginMigration(s); err != nil {
+			return false, err
+		}
+	}
+	// Migrating: the frozen table is read-only, so the write lands in the
+	// successor; one probe sequence there decides update-vs-insert, with
+	// the frozen table consulted only on a successor miss.
+	inserted := false
+	_, err := s.next.Upsert(key, func(_ uint64, exists bool) uint64 {
+		if !exists {
+			if _, ok := s.curLive(key); !ok {
+				inserted = true
+			}
+		}
+		return val
+	})
+	if err != nil {
+		if err = e.rebuild(s); err != nil {
+			return false, err
+		}
+		ins, err := s.cur.TryPut(key, val)
+		if ins {
+			s.live++
+		}
+		return ins, err
+	}
+	if inserted {
+		s.live++
+	}
+	return inserted, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (e *Engine) Delete(key uint64) bool {
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Deletes advance the migration too: every mutation makes progress.
+	// An advance failure (the NewTable factory refusing a fallback
+	// rebuild) is ignored here: the delete itself allocates nothing and
+	// works against whatever migration state the shard is left in.
+	_ = e.advance(s, e.chunk)
+	return s.deleteLocked(key)
+}
+
+func (s *shardState) deleteLocked(key uint64) bool {
+	if !s.migrating() {
+		if s.cur.Delete(key) {
+			s.live--
+			return true
+		}
+		return false
+	}
+	deleted := s.next.Delete(key)
+	// The frozen table may hold the key too (its only copy, or a stale
+	// shadow of the successor's); either way its entry is now dead.
+	if _, dead := s.dead[key]; !dead {
+		if _, ok := s.cur.Get(key); ok {
+			s.dead[key] = struct{}{}
+			deleted = true
+		}
+	}
+	if deleted {
+		s.live--
+	}
+	return deleted
+}
+
+// GetOrPut returns the value stored under key if present (loaded true);
+// otherwise it inserts val and returns it (loaded false). One probe
+// sequence in the steady state; during a migration a successor miss adds
+// one probe of the frozen table.
+func (e *Engine) GetOrPut(key, val uint64) (actual uint64, loaded bool, err error) {
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return e.getOrPutLocked(s, key, val)
+}
+
+func (e *Engine) getOrPutLocked(s *shardState, key, val uint64) (uint64, bool, error) {
+	if err := e.advance(s, e.chunk); err != nil {
+		return 0, false, err
+	}
+	if !s.migrating() {
+		actual, loaded, err := s.cur.GetOrPut(key, val)
+		if err == nil {
+			if !loaded {
+				s.live++
+				err = e.maybeGrow(s)
+			}
+			return actual, loaded, err
+		}
+		if e.growAt <= 0 {
+			return 0, false, err
+		}
+		if err := e.beginMigration(s); err != nil {
+			return 0, false, err
+		}
+	}
+	actual, loaded := uint64(0), false
+	_, err := s.next.Upsert(key, func(old uint64, exists bool) uint64 {
+		if exists {
+			actual, loaded = old, true
+			return old
+		}
+		if cv, ok := s.curLive(key); ok {
+			// Eager migration: the key's value moves to the successor so
+			// the one probe sequence that found its slot also claims it.
+			actual, loaded = cv, true
+			return cv
+		}
+		actual = val
+		return val
+	})
+	if err != nil {
+		if err = e.rebuild(s); err != nil {
+			return 0, false, err
+		}
+		actual, loaded, err = s.cur.GetOrPut(key, val)
+		if err == nil && !loaded {
+			s.live++
+		}
+		return actual, loaded, err
+	}
+	if !loaded {
+		s.live++
+	}
+	return actual, loaded, nil
+}
+
+// Upsert applies fn to the value stored under key (exists true) or to
+// (0, false) when absent, stores the result, and returns it. fn runs under
+// the shard's write lock and must not call back into the engine. fn is
+// invoked exactly once per call.
+func (e *Engine) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	s := e.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return e.upsertLocked(s, key, fn)
+}
+
+func (e *Engine) upsertLocked(s *shardState, key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	if err := e.advance(s, e.chunk); err != nil {
+		return 0, err
+	}
+	// The computed value is captured so the rare grow-and-retry paths
+	// below re-store it without invoking fn a second time.
+	var computed uint64
+	haveComputed := false
+	inserted := false
+	wrap := func(old uint64, exists bool) uint64 {
+		if !exists {
+			inserted = true
+		}
+		computed = fn(old, exists)
+		haveComputed = true
+		return computed
+	}
+	if !s.migrating() {
+		nv, err := s.cur.Upsert(key, wrap)
+		if err == nil {
+			if inserted {
+				s.live++
+				err = e.maybeGrow(s)
+			}
+			return nv, err
+		}
+		if e.growAt <= 0 {
+			return 0, err
+		}
+		if err := e.beginMigration(s); err != nil {
+			return 0, err
+		}
+		// The refusal means key was absent: exists=false semantics.
+		if !haveComputed {
+			computed = fn(0, false)
+		}
+		if _, err := s.next.TryPut(key, computed); err != nil {
+			if err = e.rebuild(s); err != nil {
+				return 0, err
+			}
+			if _, err := s.cur.TryPut(key, computed); err != nil {
+				return 0, err
+			}
+		}
+		s.live++
+		return computed, nil
+	}
+	inserted = false
+	nv, err := s.next.Upsert(key, func(old uint64, exists bool) uint64 {
+		if exists {
+			return wrap(old, true)
+		}
+		if cv, ok := s.curLive(key); ok {
+			return wrap(cv, true) // eager migration of the frozen value
+		}
+		inserted = true
+		return wrap(0, false)
+	})
+	if err != nil {
+		if err = e.rebuild(s); err != nil {
+			return 0, err
+		}
+		if !haveComputed {
+			// The successor refused before probing far enough to call fn;
+			// the engine-level view says the key was absent.
+			computed = fn(0, false)
+			inserted = true
+		}
+		if _, err := s.cur.TryPut(key, computed); err != nil {
+			return 0, err
+		}
+		if inserted {
+			s.live++
+		}
+		return computed, nil
+	}
+	if inserted {
+		s.live++
+	}
+	return nv, nil
+}
+
+// TryPut is Put under its historical name on the table.Table surface.
+func (e *Engine) TryPut(key, val uint64) (bool, error) { return e.Put(key, val) }

@@ -1,0 +1,358 @@
+package shard_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/shard"
+	"repro/table"
+)
+
+// newEngine builds an engine over the given scheme with scheme-level
+// growth disabled (the engine grows shards itself).
+func newEngine(t testing.TB, scheme table.Scheme, shards, capacity int, growAt float64, seed uint64) *shard.Engine {
+	t.Helper()
+	e, err := shard.New(shard.Config{
+		Shards:   shards,
+		Capacity: capacity,
+		GrowAt:   growAt,
+		Seed:     seed,
+		NewTable: func(capacity int, seed uint64) (shard.Table, error) {
+			return table.New(scheme, table.Config{InitialCapacity: capacity, MaxLoadFactor: 0, Seed: seed})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	if _, err := shard.New(shard.Config{}); err == nil {
+		t.Fatal("nil NewTable accepted")
+	}
+	nt := func(capacity int, seed uint64) (shard.Table, error) {
+		return table.New(table.SchemeLP, table.Config{InitialCapacity: capacity, Seed: seed})
+	}
+	if _, err := shard.New(shard.Config{GrowAt: 1.0, NewTable: nt}); err == nil {
+		t.Fatal("grow threshold 1.0 accepted")
+	}
+	if _, err := shard.New(shard.Config{GrowAt: -0.1, NewTable: nt}); err == nil {
+		t.Fatal("negative grow threshold accepted")
+	}
+	if _, err := shard.New(shard.Config{Capacity: -1, NewTable: nt}); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	e, err := shard.New(shard.Config{Shards: 5, Capacity: 1 << 10, GrowAt: 0.8, NewTable: nt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Shards() != 8 {
+		t.Fatalf("Shards = %d, want 8 (rounded up)", e.Shards())
+	}
+}
+
+// TestEngineIncrementalResize drives one shard through several growth
+// generations and checks that (a) migrations actually run incrementally —
+// there is an observable mid-migration state — and (b) every operation
+// stays exact against an oracle throughout, including the sentinel keys
+// and deletes/updates of entries still sitting in the frozen table.
+func TestEngineIncrementalResize(t *testing.T) {
+	for _, scheme := range append(table.Schemes(), table.SchemeLPSoA) {
+		t.Run(string(scheme), func(t *testing.T) {
+			e := newEngine(t, scheme, 1, 64, 0.8, 42)
+			oracle := map[uint64]uint64{}
+			sawMigrating := false
+
+			check := func(k uint64) {
+				got, ok := e.Get(k)
+				want, exists := oracle[k]
+				if ok != exists || (ok && got != want) {
+					t.Fatalf("Get(%d) = (%d,%v), oracle (%d,%v)", k, got, ok, want, exists)
+				}
+			}
+			put := func(k, v uint64) {
+				ins, err := e.Put(k, v)
+				if err != nil {
+					t.Fatalf("Put(%d): %v", k, err)
+				}
+				_, existed := oracle[k]
+				if ins == existed {
+					t.Fatalf("Put(%d) inserted=%v, oracle existed=%v", k, ins, existed)
+				}
+				oracle[k] = v
+			}
+			del := func(k uint64) {
+				had := e.Delete(k)
+				_, existed := oracle[k]
+				if had != existed {
+					t.Fatalf("Delete(%d) = %v, oracle existed=%v", k, had, existed)
+				}
+				delete(oracle, k)
+			}
+
+			// Sentinels first: they must survive every migration.
+			put(0, 111)
+			put(^uint64(0), 222)
+			for k := uint64(1); k <= 4000; k++ {
+				put(k, k*10)
+				if e.Stats().Migrating > 0 {
+					sawMigrating = true
+					// Exercise the mid-migration paths: read/update/delete
+					// keys that are still in the frozen table (older keys),
+					// and re-insert a deleted one.
+					check(k / 2)
+					put(k/2, k) // update while (possibly) frozen
+					del(k / 3)
+					put(k/3, k+1) // re-insert a dead key
+					check(0)
+					check(^uint64(0))
+				}
+				if k%701 == 0 {
+					del(k - 1)
+				}
+			}
+			if !sawMigrating {
+				t.Fatal("growth never went through an observable incremental migration")
+			}
+			if e.Len() != len(oracle) {
+				t.Fatalf("Len = %d, oracle %d", e.Len(), len(oracle))
+			}
+			// Drain any in-flight migration with further mutations, then
+			// compare full contents via iteration.
+			for e.Stats().Migrating > 0 {
+				del(1<<40 + 1) // absent key: delete is a no-op but advances
+			}
+			st := e.Stats()
+			if st.MigrationsStarted == 0 || st.MigrationsDone != st.MigrationsStarted || st.MigratedEntries == 0 {
+				t.Fatalf("migration counters = %+v", st)
+			}
+			if st.Rebuilds != 0 && scheme != table.SchemeCuckooH4 {
+				t.Fatalf("unexpected stop-the-world rebuilds: %+v", st)
+			}
+			seen := map[uint64]uint64{}
+			for k, v := range e.All() {
+				if _, dup := seen[k]; dup {
+					t.Fatalf("iterator yielded key %d twice", k)
+				}
+				seen[k] = v
+			}
+			if len(seen) != len(oracle) {
+				t.Fatalf("iterated %d entries, oracle %d", len(seen), len(oracle))
+			}
+			for k, v := range oracle {
+				if seen[k] != v {
+					t.Fatalf("iterated value for %d = %d, oracle %d", k, seen[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineGetOrPutUpsertMidMigration covers the RMW primitives while a
+// migration is in flight, where values may live in the frozen table.
+func TestEngineGetOrPutUpsertMidMigration(t *testing.T) {
+	e := newEngine(t, table.SchemeRH, 1, 64, 0.8, 7)
+	oracle := map[uint64]uint64{}
+	for k := uint64(1); k <= 3000; k++ {
+		v, loaded, err := e.GetOrPut(k, k*3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded || v != k*3 {
+			t.Fatalf("GetOrPut(%d) = (%d,%v) on fresh key", k, v, loaded)
+		}
+		oracle[k] = k * 3
+		if k%7 == 0 {
+			// Fold into an older key — often one still in the frozen table.
+			old := k / 2
+			nv, err := e.Upsert(old, func(o uint64, exists bool) uint64 {
+				if exists != (oracle[old] != 0) {
+					t.Fatalf("Upsert(%d) exists=%v, oracle has %d", old, exists, oracle[old])
+				}
+				return o + 1
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle[old]++
+			if nv != oracle[old] {
+				t.Fatalf("Upsert(%d) = %d, oracle %d", old, nv, oracle[old])
+			}
+		}
+		if k%11 == 0 {
+			v, loaded, err := e.GetOrPut(k/2, 999999)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !loaded || v != oracle[k/2] {
+				t.Fatalf("GetOrPut(%d) = (%d,%v), oracle %d", k/2, v, loaded, oracle[k/2])
+			}
+		}
+	}
+	if e.Stats().MigrationsStarted == 0 {
+		t.Fatal("test never triggered a migration")
+	}
+	if e.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", e.Len(), len(oracle))
+	}
+}
+
+// TestEngineGrowthDisabled preserves the WORM contract: GrowAt zero means
+// a full shard surfaces ErrFull instead of migrating.
+func TestEngineGrowthDisabled(t *testing.T) {
+	e := newEngine(t, table.SchemeLP, 2, 32, 0, 3)
+	sawFull := false
+	for k := uint64(1); k <= 64; k++ {
+		if _, err := e.Put(k, k); err != nil {
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("growth-disabled engine never reported ErrFull")
+	}
+	if st := e.Stats(); st.MigrationsStarted != 0 {
+		t.Fatalf("growth-disabled engine migrated: %+v", st)
+	}
+}
+
+// TestEngineBatchMatchesScalar checks the scatter/gather batch surface
+// against scalar replays across a growth boundary.
+func TestEngineBatchMatchesScalar(t *testing.T) {
+	eb := newEngine(t, table.SchemeQP, 4, 256, 0.8, 5)
+	es := newEngine(t, table.SchemeQP, 4, 256, 0.8, 5)
+	n := 6000
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i%2500) + 1 // duplicates exercise last-wins order
+		vals[i] = uint64(i)
+	}
+	bi, err := eb.PutBatch(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := 0
+	for i, k := range keys {
+		ins, err := es.Put(k, vals[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ins {
+			si++
+		}
+	}
+	if bi != si || eb.Len() != es.Len() {
+		t.Fatalf("batched inserted=%d len=%d, scalar inserted=%d len=%d", bi, eb.Len(), si, es.Len())
+	}
+	gv := make([]uint64, n)
+	gok := make([]bool, n)
+	hits := eb.GetBatch(keys, gv, gok)
+	if hits != n {
+		t.Fatalf("GetBatch hits = %d, want %d", hits, n)
+	}
+	for i, k := range keys {
+		sv, sok := es.Get(k)
+		if !gok[i] || !sok || gv[i] != sv {
+			t.Fatalf("lane %d key %d: batched (%d,%v) scalar (%d,%v)", i, k, gv[i], gok[i], sv, sok)
+		}
+	}
+}
+
+// refusingTable wraps a real table and synthesizes one mid-batch
+// UpsertBatch refusal: earlier lanes are stored, the failing lane's fn is
+// invoked but its value is NOT stored — exactly the state a failed Cuckoo
+// kick chain leaves behind. The engine must recover without invoking any
+// lane's fn a second time.
+type refusingTable struct {
+	shard.Table
+	refused bool
+}
+
+func (r *refusingTable) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	if r.refused || len(keys) < 3 {
+		return r.Table.UpsertBatch(keys, fn)
+	}
+	r.refused = true
+	j := len(keys) / 2
+	ins, err := r.Table.UpsertBatch(keys[:j], fn)
+	if err != nil {
+		return ins, err
+	}
+	old, exists := r.Table.Get(keys[j])
+	_ = fn(j, old, exists) // computed but never stored
+	return ins, errors.New("synthetic kick-chain refusal")
+}
+
+func TestEngineUpsertBatchRefusalRecovery(t *testing.T) {
+	first := true
+	e := shard.MustNew(shard.Config{
+		Shards: 1, Capacity: 1 << 10, GrowAt: 0.85, Seed: 4,
+		NewTable: func(capacity int, seed uint64) (shard.Table, error) {
+			inner, err := table.New(table.SchemeLP, table.Config{InitialCapacity: capacity, MaxLoadFactor: 0, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			if first {
+				first = false
+				return &refusingTable{Table: inner}, nil
+			}
+			return inner, nil
+		},
+	})
+	// Seed some existing keys so the batch mixes updates and inserts.
+	for k := uint64(1); k <= 40; k++ {
+		if _, err := e.Put(k, k*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := make([]uint64, 100)
+	calls := make([]int, 100)
+	oracle := map[uint64]uint64{}
+	for k := uint64(1); k <= 40; k++ {
+		oracle[k] = k * 100
+	}
+	for i := range keys {
+		keys[i] = uint64(i) + 1 // 1..100: 40 updates, 60 inserts
+	}
+	wantInserted := 0
+	for _, k := range keys {
+		if _, ok := oracle[k]; !ok {
+			wantInserted++
+		}
+		oracle[k] = oracle[k] + k + 7
+	}
+	inserted, err := e.UpsertBatch(keys, func(lane int, old uint64, exists bool) uint64 {
+		calls[lane]++
+		if exists != (old != 0) && old == 0 {
+			// old==0 with exists=true is possible only for a stored zero,
+			// which this test never writes.
+			t.Fatalf("lane %d: exists=%v old=%d", lane, exists, old)
+		}
+		return old + keys[lane] + 7
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inserted != wantInserted {
+		t.Fatalf("inserted = %d, want %d", inserted, wantInserted)
+	}
+	for lane, c := range calls {
+		if c != 1 {
+			t.Fatalf("fn called %d times for lane %d, want exactly 1", c, lane)
+		}
+	}
+	if e.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", e.Len(), len(oracle))
+	}
+	for k, v := range oracle {
+		if got, ok := e.Get(k); !ok || got != v {
+			t.Fatalf("Get(%d) = (%d,%v), oracle %d", k, got, ok, v)
+		}
+	}
+	// The refusal must have forced a migration (the recovery path).
+	if st := e.Stats(); st.MigrationsStarted == 0 {
+		t.Fatalf("recovery never began a migration: %+v", st)
+	}
+}

@@ -1,0 +1,134 @@
+package shard
+
+import "iter"
+
+// Stats is an engine-level point-in-time snapshot: merged size accounting
+// plus the incremental-resize counters. Per-scheme probe diagnostics stay
+// with the tables; visit them with ForEachTable.
+type Stats struct {
+	Shards int `json:"shards"`
+	// Migrating counts shards with a resize currently in flight.
+	Migrating int `json:"migrating,omitempty"`
+
+	Len         int     `json:"len"`
+	Capacity    int     `json:"capacity"`
+	LoadFactor  float64 `json:"load_factor"`
+	MemoryBytes uint64  `json:"memory_bytes"`
+
+	// MigrationsStarted / MigrationsDone count incremental resizes; their
+	// difference is the number currently in flight (== Migrating when no
+	// writer races the snapshot).
+	MigrationsStarted uint64 `json:"migrations_started"`
+	MigrationsDone    uint64 `json:"migrations_done"`
+	// MigratedEntries counts entries moved by the bounded per-mutation
+	// migration steps (eagerly migrated keys are not counted).
+	MigratedEntries uint64 `json:"migrated_entries"`
+	// Rebuilds counts stop-the-world fallback rebuilds (see Engine docs;
+	// zero in any healthy configuration).
+	Rebuilds uint64 `json:"rebuilds,omitempty"`
+}
+
+// Stats collects the engine snapshot, locking one shard at a time (no
+// cross-shard point-in-time consistency; see the package documentation).
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Shards:            len(e.shards),
+		MigrationsStarted: e.migStarted.Load(),
+		MigrationsDone:    e.migDone.Load(),
+		MigratedEntries:   e.migMoved.Load(),
+		Rebuilds:          e.rebuilds.Load(),
+	}
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		st.Len += s.live
+		st.MemoryBytes += s.cur.MemoryFootprint()
+		if s.next != nil {
+			st.Migrating++
+			st.Capacity += s.next.Capacity()
+			st.MemoryBytes += s.next.MemoryFootprint()
+		} else {
+			st.Capacity += s.cur.Capacity()
+		}
+		s.mu.RUnlock()
+	}
+	if st.Capacity > 0 {
+		st.LoadFactor = float64(st.Len) / float64(st.Capacity)
+	}
+	return st
+}
+
+// ForEachTable visits every shard's table(s) under that shard's read
+// lock: the active table, and during a migration the frozen table too
+// (whose entries may be stale shadows of the successor's). fn must not
+// mutate the table or call back into the engine. Intended for
+// observability aggregation, e.g. table.StatsOf merges.
+func (e *Engine) ForEachTable(fn func(shard int, t Table)) {
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		if s.next != nil {
+			fn(i, s.next)
+		}
+		fn(i, s.cur)
+		s.mu.RUnlock()
+	}
+}
+
+// Range calls fn for every entry until fn returns false.
+//
+// Iteration is WEAKLY CONSISTENT: one shard is read-locked at a time, so
+// concurrent writers proceed on other shards mid-iteration. Within one
+// shard the view is consistent and each key is yielded at most once
+// (during a migration the successor is walked first and frozen-table
+// entries shadowed by it, or marked dead, are skipped); across shards
+// there is no snapshot — an entry written concurrently may or may not be
+// observed, and Len may disagree with the visit count. fn must not call
+// back into the engine (the shard lock is held; a same-shard write would
+// deadlock).
+func (e *Engine) Range(fn func(key, val uint64) bool) {
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.RLock()
+		stopped := false
+		if s.next == nil {
+			s.cur.Range(func(k, v uint64) bool {
+				if !fn(k, v) {
+					stopped = true
+				}
+				return !stopped
+			})
+		} else {
+			s.next.Range(func(k, v uint64) bool {
+				if !fn(k, v) {
+					stopped = true
+				}
+				return !stopped
+			})
+			if !stopped {
+				s.cur.Range(func(k, v uint64) bool {
+					if _, dead := s.dead[k]; dead {
+						return true
+					}
+					if _, shadowed := s.next.Get(k); shadowed {
+						return true
+					}
+					if !fn(k, v) {
+						stopped = true
+					}
+					return !stopped
+				})
+			}
+		}
+		s.mu.RUnlock()
+		if stopped {
+			return
+		}
+	}
+}
+
+// All returns a Go 1.23 range-over-func iterator over the entries, with
+// Range's weak-consistency contract.
+func (e *Engine) All() iter.Seq2[uint64, uint64] {
+	return func(yield func(uint64, uint64) bool) { e.Range(yield) }
+}

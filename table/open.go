@@ -11,10 +11,9 @@ package table
 import (
 	"fmt"
 	"iter"
-	"math/bits"
-	"sync"
 
 	"repro/hashfn"
+	"repro/shard"
 )
 
 // DefaultMaxLoadFactor is the growth threshold Open uses when
@@ -112,11 +111,14 @@ func WithSeed(seed uint64) Option {
 	}
 }
 
-// WithPartitions stripes the handle across n independently locked tables
+// WithPartitions shards the handle across n independently locked tables
 // (rounded up to a power of two) — the paper's "striped locking" extension
-// for shared-memory concurrency (§1). Keys are routed by a dedicated
-// partition hash drawn independently of the per-stripe table functions.
-// n <= 1 keeps the handle single-table and lock-free.
+// for shared-memory concurrency (§1), served by a shard.Engine. Keys are
+// routed by a dedicated router hash drawn independently of the per-shard
+// table functions; reads take per-shard read locks, and growth (when a
+// positive max load factor is configured) is the engine's incremental
+// resize instead of a stop-the-world rehash. n <= 1 keeps the handle
+// single-table and lock-free.
 func WithPartitions(n int) Option {
 	return func(c *openConfig) error {
 		if n < 0 {
@@ -129,15 +131,20 @@ func WithPartitions(n int) Option {
 
 // Handle is the unified table façade produced by Open: scalar and batched
 // point operations, single-probe read-modify-write primitives, error-based
-// growth (ErrFull), iterators, and a Stats snapshot. A single-partition
-// Handle is a zero-lock pass-through to one scheme and inherits its
-// single-threaded contract; a Handle opened WithPartitions(n > 1) is safe
-// for arbitrary concurrent use, one mutex per stripe.
+// growth (ErrFull), iterators, and a Stats snapshot.
+//
+// Concurrency contract: a single-partition Handle is a zero-lock
+// pass-through to one scheme and inherits its single-threaded contract —
+// external synchronization is required for concurrent use. A Handle
+// opened WithPartitions(n > 1) delegates every operation to a
+// shard.Engine and is safe for arbitrary concurrent use: read-only
+// operations (Get, GetBatch, Len, Stats, Range/All) take per-shard read
+// locks and proceed in parallel, mutations take per-shard write locks,
+// and growth is the engine's incremental resize. Iteration over a
+// partitioned handle is weakly consistent (see shard.Engine.Range).
 type Handle struct {
-	tables []Table
-	locks  []sync.Mutex // nil when single-partition
-	router hashfn.Function
-	shift  uint // 64 - log2(len(tables)); stripe = routerHash >> shift
+	single Table         // the one table of an unpartitioned handle (nil when sharded)
+	eng    *shard.Engine // the sharded engine (nil when single)
 	scheme Scheme
 	family string
 	path   []string // Figure 8 decision trail when opened WithWorkload
@@ -181,32 +188,42 @@ func Open(opts ...Option) (*Handle, error) {
 		h.scheme, h.path = scheme, path
 	}
 
-	p := cfg.partitions
-	if p < 1 {
-		p = 1
-	}
-	p = 1 << uint(bits.Len(uint(p-1)))
-	perStripe := cfg.capacity / p
-	h.tables = make([]Table, p)
-	for i := range h.tables {
+	if cfg.partitions <= 1 {
 		t, err := New(h.scheme, Config{
-			InitialCapacity: perStripe,
+			InitialCapacity: cfg.capacity,
 			MaxLoadFactor:   cfg.maxLF,
 			Family:          cfg.family,
-			Seed:            cfg.seed + uint64(i)*0x9e3779b97f4a7c15,
+			Seed:            cfg.seed,
 		})
 		if err != nil {
 			return nil, err
 		}
-		h.tables[i] = t
+		h.single = t
+		return h, nil
 	}
-	if p > 1 {
-		h.locks = make([]sync.Mutex, p)
-		// The router must be independent of the per-stripe functions;
-		// derive it from a distinct seed stream.
-		h.router = cfg.family.New(cfg.seed ^ 0x9a77_e4b0_0f00_d001)
-		h.shift = uint(64 - bits.TrailingZeros(uint(p)))
+	// Partitioned: one shard.Engine over per-shard tables with scheme-level
+	// growth disabled — the engine grows shards incrementally at the
+	// configured threshold (or not at all when it is zero, preserving the
+	// WORM ErrFull contract).
+	eng, err := shard.New(shard.Config{
+		Shards:   cfg.partitions,
+		Capacity: cfg.capacity,
+		GrowAt:   cfg.maxLF,
+		Family:   cfg.family,
+		Seed:     cfg.seed,
+		NewTable: func(capacity int, seed uint64) (shard.Table, error) {
+			return New(h.scheme, Config{
+				InitialCapacity: capacity,
+				MaxLoadFactor:   0,
+				Family:          cfg.family,
+				Seed:            seed,
+			})
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
+	h.eng = eng
 	return h, nil
 }
 
@@ -220,14 +237,6 @@ func MustOpen(opts ...Option) *Handle {
 	return h
 }
 
-// stripe returns the index of the partition owning key.
-func (h *Handle) stripe(key uint64) int {
-	if h.locks == nil {
-		return 0
-	}
-	return int(h.router.Hash(key) >> h.shift)
-}
-
 // Scheme returns the hashing scheme behind the handle.
 func (h *Handle) Scheme() Scheme { return h.scheme }
 
@@ -235,17 +244,28 @@ func (h *Handle) Scheme() Scheme { return h.scheme }
 func (h *Handle) HashName() string { return h.family }
 
 // Name returns the paper-style label, e.g. "RHMult", prefixed with the
-// stripe count when partitioned.
+// shard count when partitioned.
 func (h *Handle) Name() string {
-	if h.locks != nil {
-		return fmt.Sprintf("Striped[%dx%s%s]", len(h.tables), h.scheme, h.family)
+	if h.eng != nil {
+		return fmt.Sprintf("Striped[%dx%s%s]", h.eng.Shards(), h.scheme, h.family)
 	}
 	return string(h.scheme) + h.family
 }
 
-// Partitions returns the number of stripes (1 for an unpartitioned
+// Partitions returns the number of shards (1 for an unpartitioned
 // handle).
-func (h *Handle) Partitions() int { return len(h.tables) }
+func (h *Handle) Partitions() int {
+	if h.eng != nil {
+		return h.eng.Shards()
+	}
+	return 1
+}
+
+// Engine returns the shard.Engine serving a partitioned handle, for
+// callers that want the engine-level surface (migration counters,
+// weakly-consistent iteration, direct batched access). It is nil for a
+// single-partition handle.
+func (h *Handle) Engine() *shard.Engine { return h.eng }
 
 // DecisionPath returns the Figure 8 audit trail when the handle was opened
 // WithWorkload, nil otherwise.
@@ -255,91 +275,65 @@ func (h *Handle) DecisionPath() []string { return h.path }
 // inserted. On a full growth-disabled handle it returns ErrFull (wrapped
 // in a *FullError) and leaves the table unchanged.
 func (h *Handle) Put(key, val uint64) (bool, error) {
-	if h.locks == nil {
-		return h.tables[0].TryPut(key, val)
+	if h.eng != nil {
+		return h.eng.Put(key, val)
 	}
-	j := h.stripe(key)
-	h.locks[j].Lock()
-	defer h.locks[j].Unlock()
-	return h.tables[j].TryPut(key, val)
+	return h.single.TryPut(key, val)
 }
 
-// Get returns the value stored under key and whether it is present.
+// Get returns the value stored under key and whether it is present. On a
+// partitioned handle this takes only the owning shard's read lock, so
+// lookups proceed concurrently with each other.
 func (h *Handle) Get(key uint64) (uint64, bool) {
-	if h.locks == nil {
-		return h.tables[0].Get(key)
+	if h.eng != nil {
+		return h.eng.Get(key)
 	}
-	j := h.stripe(key)
-	h.locks[j].Lock()
-	defer h.locks[j].Unlock()
-	return h.tables[j].Get(key)
+	return h.single.Get(key)
 }
 
 // Delete removes key, reporting whether it was present.
 func (h *Handle) Delete(key uint64) bool {
-	if h.locks == nil {
-		return h.tables[0].Delete(key)
+	if h.eng != nil {
+		return h.eng.Delete(key)
 	}
-	j := h.stripe(key)
-	h.locks[j].Lock()
-	defer h.locks[j].Unlock()
-	return h.tables[j].Delete(key)
+	return h.single.Delete(key)
 }
 
 // GetOrPut returns the value stored under key if present (loaded true);
 // otherwise it inserts val and returns it (loaded false). Exactly one
 // probe sequence is issued either way.
 func (h *Handle) GetOrPut(key, val uint64) (actual uint64, loaded bool, err error) {
-	if h.locks == nil {
-		return h.tables[0].GetOrPut(key, val)
+	if h.eng != nil {
+		return h.eng.GetOrPut(key, val)
 	}
-	j := h.stripe(key)
-	h.locks[j].Lock()
-	defer h.locks[j].Unlock()
-	return h.tables[j].GetOrPut(key, val)
+	return h.single.GetOrPut(key, val)
 }
 
 // Upsert applies fn to the value stored under key (exists true) or to
 // (0, false) when absent, stores the result, and returns it — one probe
 // sequence. fn must not call back into the handle.
 func (h *Handle) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
-	if h.locks == nil {
-		return h.tables[0].Upsert(key, fn)
+	if h.eng != nil {
+		return h.eng.Upsert(key, fn)
 	}
-	j := h.stripe(key)
-	h.locks[j].Lock()
-	defer h.locks[j].Unlock()
-	return h.tables[j].Upsert(key, fn)
+	return h.single.Upsert(key, fn)
 }
 
-// Len returns the number of live entries across all stripes.
+// Len returns the number of live entries (read-locked per shard when
+// partitioned).
 func (h *Handle) Len() int {
-	n := 0
-	for j, t := range h.tables {
-		if h.locks != nil {
-			h.locks[j].Lock()
-		}
-		n += t.Len()
-		if h.locks != nil {
-			h.locks[j].Unlock()
-		}
+	if h.eng != nil {
+		return h.eng.Len()
 	}
-	return n
+	return h.single.Len()
 }
 
-// Capacity returns the total slot capacity across all stripes.
+// Capacity returns the total slot capacity across all shards.
 func (h *Handle) Capacity() int {
-	n := 0
-	for j, t := range h.tables {
-		if h.locks != nil {
-			h.locks[j].Lock()
-		}
-		n += t.Capacity()
-		if h.locks != nil {
-			h.locks[j].Unlock()
-		}
+	if h.eng != nil {
+		return h.eng.Capacity()
 	}
-	return n
+	return h.single.Capacity()
 }
 
 // LoadFactor returns Len/Capacity.
@@ -347,44 +341,23 @@ func (h *Handle) LoadFactor() float64 {
 	return float64(h.Len()) / float64(h.Capacity())
 }
 
-// MemoryFootprint returns the total bytes across all stripes.
+// MemoryFootprint returns the total bytes across all shards.
 func (h *Handle) MemoryFootprint() uint64 {
-	var n uint64
-	for j, t := range h.tables {
-		if h.locks != nil {
-			h.locks[j].Lock()
-		}
-		n += t.MemoryFootprint()
-		if h.locks != nil {
-			h.locks[j].Unlock()
-		}
+	if h.eng != nil {
+		return h.eng.MemoryFootprint()
 	}
-	return n
+	return h.single.MemoryFootprint()
 }
 
 // Range calls fn for every entry until fn returns false. On a partitioned
-// handle one stripe lock is held at a time; entries written concurrently
-// may or may not be observed.
+// handle iteration is weakly consistent (one shard read-locked at a time;
+// see shard.Engine.Range) and fn must not call back into the handle.
 func (h *Handle) Range(fn func(key, val uint64) bool) {
-	for j, t := range h.tables {
-		if h.locks != nil {
-			h.locks[j].Lock()
-		}
-		stopped := false
-		t.Range(func(k, v uint64) bool {
-			if !fn(k, v) {
-				stopped = true
-				return false
-			}
-			return true
-		})
-		if h.locks != nil {
-			h.locks[j].Unlock()
-		}
-		if stopped {
-			return
-		}
+	if h.eng != nil {
+		h.eng.Range(fn)
+		return
 	}
+	h.single.Range(fn)
 }
 
 // All returns a Go 1.23 range-over-func iterator over the entries,
@@ -393,25 +366,47 @@ func (h *Handle) All() iter.Seq2[uint64, uint64] {
 	return func(yield func(uint64, uint64) bool) { h.Range(yield) }
 }
 
-// Stats collects a point-in-time snapshot across all stripes. It walks
-// every table (O(capacity)); intended for observability, not hot paths.
+// Stats collects a point-in-time snapshot. It walks every table
+// (O(capacity)); intended for observability, not hot paths. On a
+// partitioned handle the scheme-level probe diagnostics are merged across
+// shards, and the size accounting comes from the engine (so Len matches
+// Len() even while a shard migrates and briefly holds an entry in both
+// its tables).
 func (h *Handle) Stats() Stats {
+	if h.eng == nil {
+		return StatsOf(h.single)
+	}
 	var s Stats
-	for j, t := range h.tables {
-		if h.locks != nil {
-			h.locks[j].Lock()
+	first := true
+	h.eng.ForEachTable(func(_ int, t shard.Table) {
+		m, ok := t.(Map)
+		if !ok {
+			return
 		}
-		st := StatsOf(t)
-		if h.locks != nil {
-			h.locks[j].Unlock()
-		}
-		if j == 0 {
-			s = st
+		st := StatsOf(m)
+		if first {
+			s, first = st, false
 		} else {
 			s.merge(st)
 		}
-	}
+	})
+	es := h.eng.Stats()
+	s.Partitions = es.Shards
+	s.Len = es.Len
+	s.Capacity = es.Capacity
+	s.LoadFactor = es.LoadFactor
+	s.MemoryBytes = es.MemoryBytes
 	return s
+}
+
+// EngineStats returns the shard-engine snapshot of a partitioned handle —
+// shard count plus the incremental-resize counters. The zero Stats is
+// returned for a single-partition handle.
+func (h *Handle) EngineStats() shard.Stats {
+	if h.eng == nil {
+		return shard.Stats{}
+	}
+	return h.eng.Stats()
 }
 
 // ---------------------------------------------------------------------------
@@ -421,54 +416,20 @@ func (h *Handle) Stats() Stats {
 // GetBatch looks up keys[i] into vals[i], ok[i] for every i and returns
 // the number of hits. vals and ok must be at least as long as keys.
 func (h *Handle) GetBatch(keys, vals []uint64, ok []bool) int {
-	if h.locks == nil {
-		return h.tables[0].GetBatch(keys, vals, ok)
+	if h.eng != nil {
+		return h.eng.GetBatch(keys, vals, ok)
 	}
-	checkBatchGet(len(keys), len(vals), len(ok))
-	st := h.scatter(keys)
-	hits := 0
-	for j := range h.tables {
-		lo, hi := st.starts[j], st.starts[j+1]
-		if lo == hi {
-			continue
-		}
-		h.locks[j].Lock()
-		hits += h.tables[j].GetBatch(st.keys[lo:hi], st.vals[lo:hi], st.ok[lo:hi])
-		h.locks[j].Unlock()
-	}
-	for i, oi := range st.orig {
-		vals[oi], ok[oi] = st.vals[i], st.ok[i]
-	}
-	return hits
+	return h.single.GetBatch(keys, vals, ok)
 }
 
 // PutBatch upserts the pairs (keys[i], vals[i]) in slice order, returning
 // the number of newly inserted keys. On ErrFull it stops; pairs already
 // applied remain.
 func (h *Handle) PutBatch(keys, vals []uint64) (int, error) {
-	if h.locks == nil {
-		return h.tables[0].TryPutBatch(keys, vals)
+	if h.eng != nil {
+		return h.eng.PutBatch(keys, vals)
 	}
-	checkBatchPut(len(keys), len(vals))
-	st := h.scatter(keys)
-	for i, oi := range st.orig {
-		st.vals[i] = vals[oi]
-	}
-	inserted := 0
-	for j := range h.tables {
-		lo, hi := st.starts[j], st.starts[j+1]
-		if lo == hi {
-			continue
-		}
-		h.locks[j].Lock()
-		n, err := h.tables[j].TryPutBatch(st.keys[lo:hi], st.vals[lo:hi])
-		h.locks[j].Unlock()
-		inserted += n
-		if err != nil {
-			return inserted, err
-		}
-	}
-	return inserted, nil
+	return h.single.TryPutBatch(keys, vals)
 }
 
 // GetOrPutBatch applies GetOrPut to every (keys[i], vals[i]) pair in slice
@@ -476,111 +437,19 @@ func (h *Handle) PutBatch(keys, vals []uint64) (int, error) {
 // already existed. It returns the number of newly inserted keys; on
 // ErrFull it stops, with earlier pairs applied.
 func (h *Handle) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
-	if h.locks == nil {
-		return h.tables[0].GetOrPutBatch(keys, vals, out, loaded)
+	if h.eng != nil {
+		return h.eng.GetOrPutBatch(keys, vals, out, loaded)
 	}
-	checkBatchGetOrPut(len(keys), len(vals), len(out), len(loaded))
-	st := h.scatter(keys)
-	for i, oi := range st.orig {
-		st.vals[i] = vals[oi]
-	}
-	inserted := 0
-	for j := range h.tables {
-		lo, hi := st.starts[j], st.starts[j+1]
-		if lo == hi {
-			continue
-		}
-		h.locks[j].Lock()
-		// out aliases vals within each stripe's staged range: the schemes
-		// read the insert value before writing the result lane.
-		n, err := h.tables[j].GetOrPutBatch(st.keys[lo:hi], st.vals[lo:hi], st.vals[lo:hi], st.ok[lo:hi])
-		h.locks[j].Unlock()
-		inserted += n
-		if err != nil {
-			return inserted, err
-		}
-	}
-	for i, oi := range st.orig {
-		out[oi], loaded[oi] = st.vals[i], st.ok[i]
-	}
-	return inserted, nil
+	return h.single.GetOrPutBatch(keys, vals, out, loaded)
 }
 
 // UpsertBatch applies an Upsert to every key, passing fn the key's lane
 // index in the original slice. Duplicate keys are processed in slice order
-// (they always share a stripe). It returns the number of newly inserted
+// (they always share a shard). It returns the number of newly inserted
 // keys.
 func (h *Handle) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
-	if h.locks == nil {
-		return h.tables[0].UpsertBatch(keys, fn)
+	if h.eng != nil {
+		return h.eng.UpsertBatch(keys, fn)
 	}
-	st := h.scatter(keys)
-	inserted := 0
-	for j := range h.tables {
-		lo, hi := st.starts[j], st.starts[j+1]
-		if lo == hi {
-			continue
-		}
-		orig := st.orig[lo:hi]
-		h.locks[j].Lock()
-		n, err := h.tables[j].UpsertBatch(st.keys[lo:hi], func(lane int, old uint64, exists bool) uint64 {
-			return fn(int(orig[lane]), old, exists)
-		})
-		h.locks[j].Unlock()
-		inserted += n
-		if err != nil {
-			return inserted, err
-		}
-	}
-	return inserted, nil
-}
-
-// scattered is one stable stripe scatter of a key column: keys regrouped
-// by stripe, the original lane of every staged slot, per-stripe extents,
-// and value/flag staging areas sized to match.
-type scattered struct {
-	keys   []uint64
-	vals   []uint64
-	ok     []bool
-	orig   []int32
-	starts []int32
-}
-
-// scatter routes keys and regroups them by stripe in one stable pass.
-// Partitioned handles are meant for concurrent callers, so the staging
-// buffers are allocated per call rather than cached on the handle.
-func (h *Handle) scatter(keys []uint64) scattered {
-	p := len(h.tables)
-	part := make([]int32, len(keys))
-	hash := make([]uint64, BatchWidth)
-	for base := 0; base < len(keys); base += BatchWidth {
-		n := min(BatchWidth, len(keys)-base)
-		hashfn.HashBatch(h.router, keys[base:base+n], hash)
-		for i := 0; i < n; i++ {
-			part[base+i] = int32(hash[i] >> h.shift)
-		}
-	}
-	st := scattered{
-		keys:   make([]uint64, len(keys)),
-		vals:   make([]uint64, len(keys)),
-		ok:     make([]bool, len(keys)),
-		orig:   make([]int32, len(keys)),
-		starts: make([]int32, p+1),
-	}
-	for _, j := range part {
-		st.starts[j+1]++
-	}
-	for j := 0; j < p; j++ {
-		st.starts[j+1] += st.starts[j]
-	}
-	pos := make([]int32, p)
-	copy(pos, st.starts[:p])
-	for i, k := range keys {
-		j := part[i]
-		at := pos[j]
-		st.keys[at] = k
-		st.orig[at] = int32(i)
-		pos[j]++
-	}
-	return st
+	return h.single.UpsertBatch(keys, fn)
 }

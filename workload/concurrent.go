@@ -1,0 +1,193 @@
+package workload
+
+// The shared-memory concurrent variant of the RW experiment: the same
+// mixed insert/delete/lookup stream as RunRW, replayed by T goroutines
+// against ONE table served by the sharded engine (a Handle opened
+// WithPartitions). Each goroutine replays its own tape over a disjoint
+// index range of the distribution — dist generators are injective, so the
+// goroutines' key sets are disjoint and every goroutine's hit/miss counts
+// remain exactly checkable while all of them contend on the shared
+// shards, including mid-migration reads while shards resize
+// incrementally under the write load.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/decision"
+	"repro/dist"
+	"repro/hashfn"
+	"repro/table"
+)
+
+// threadStride spaces the goroutines' generator index ranges. Each
+// goroutine's whole window — inserts below missBase (2^40) plus miss
+// lookups at missBase+i — must fit inside its stride, so the stride sits
+// a factor of two above missBase: goroutine g uses indexes in
+// [g*2^41, g*2^41 + 2^40 + tapeLen), disjoint from every other
+// goroutine's window for any thread count.
+const threadStride = uint64(1) << 41
+
+// offsetGen shifts a distribution's index space by a fixed base, carving
+// disjoint per-goroutine key ranges out of one injective generator.
+type offsetGen struct {
+	gen  dist.Generator
+	base uint64
+}
+
+func (g offsetGen) Kind() dist.Kind     { return g.gen.Kind() }
+func (g offsetGen) Key(i uint64) uint64 { return g.gen.Key(g.base + i) }
+
+func (g offsetGen) Keys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.Key(uint64(i))
+	}
+	return out
+}
+
+func (g offsetGen) AbsentKeys(n, m int) []uint64 {
+	out := make([]uint64, m)
+	for i := range out {
+		out[i] = g.Key(uint64(n + i))
+	}
+	return out
+}
+
+// RWConcurrentResult reports one concurrent RW experiment point.
+type RWConcurrentResult struct {
+	Label   string
+	Threads int
+	Shards  int
+	// Ops is the total operation count across all goroutines; Mops is
+	// aggregate wall-clock throughput (all goroutines running together).
+	Ops         int
+	Mops        float64
+	MemoryBytes uint64
+	FinalLen    int
+	// Migrations is the number of incremental shard resizes completed
+	// during the run (pre-fill included).
+	Migrations uint64
+}
+
+// RunRWConcurrent replays cfg's RW workload with threads goroutines
+// sharing one sharded handle (shards = power of two >= 2x threads). Each
+// goroutine generates and replays its own tape of cfg.Ops operations over
+// a disjoint key range, with cfg.InitialKeys pre-filled per goroutine
+// untimed; lookup hit/miss counts are validated per goroutine and the
+// final table size against the tapes. cfg.Tape is ignored (tapes are
+// per-goroutine by construction).
+func RunRWConcurrent(cfg RWConfig, threads int) (RWConcurrentResult, error) {
+	if threads < 1 {
+		return RWConcurrentResult{}, fmt.Errorf("workload: concurrent RW needs at least 1 thread, got %d", threads)
+	}
+	if cfg.Family == nil {
+		cfg.Family = hashfn.MultFamily{}
+	}
+	if cfg.GrowAt <= 0 || cfg.GrowAt >= 1 {
+		return RWConcurrentResult{}, fmt.Errorf("workload: RW grow-at threshold must be in (0,1), got %v", cfg.GrowAt)
+	}
+	shards := decision.ShardsFor(threads)
+	if shards < 1 {
+		shards = 1
+	}
+	m, err := table.Open(
+		table.WithScheme(cfg.Scheme),
+		table.WithCapacity(initialCapacityFor(cfg.InitialKeys*threads)),
+		table.WithMaxLoadFactor(cfg.GrowAt),
+		table.WithHashFamily(cfg.Family),
+		table.WithSeed(cfg.Seed),
+		table.WithPartitions(shards),
+	)
+	if err != nil {
+		return RWConcurrentResult{}, err
+	}
+	res := RWConcurrentResult{
+		Label:   fmt.Sprintf("%s%s/%dthr", cfg.Scheme, cfg.Family.Name(), threads),
+		Threads: threads,
+		Shards:  m.Partitions(),
+	}
+
+	base := dist.New(cfg.Dist, cfg.Seed)
+	gens := make([]offsetGen, threads)
+	tapes := make([]*Tape, threads)
+	for g := range gens {
+		gens[g] = offsetGen{gen: base, base: uint64(g) * threadStride}
+		tapes[g] = GenRWTape(gens[g], cfg.InitialKeys, cfg.Ops, cfg.UpdatePct, cfg.Seed+uint64(g))
+		res.Ops += tapes[g].Len()
+	}
+
+	// Untimed concurrent pre-fill (growth/migrations start here already).
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < cfg.InitialKeys; i++ {
+				m.Put(gens[g].Key(uint64(i)), uint64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Len() != cfg.InitialKeys*threads {
+		return res, fmt.Errorf("workload: concurrent RW prefill expected %d entries, table has %d", cfg.InitialKeys*threads, m.Len())
+	}
+
+	// Timed replay: all tapes at once against the shared handle.
+	errs := make([]error, threads)
+	start := time.Now()
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tape := tapes[g]
+			var hits, misses int
+			var sink uint64
+			for i, kind := range tape.Kinds {
+				k := tape.Keys[i]
+				switch kind {
+				case OpInsert:
+					if _, err := m.Put(k, k); err != nil {
+						errs[g] = err
+						return
+					}
+				case OpDelete:
+					m.Delete(k)
+				default:
+					if v, ok := m.Get(k); ok {
+						hits++
+						sink ^= v
+					} else {
+						misses++
+					}
+				}
+			}
+			_ = sink
+			if hits != tape.Hits || misses != tape.Misses {
+				errs[g] = fmt.Errorf("workload: goroutine %d observed %d hits/%d misses, tape has %d/%d",
+					g, hits, misses, tape.Hits, tape.Misses)
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+
+	want := 0
+	for _, tape := range tapes {
+		want += cfg.InitialKeys + tape.Inserts - tape.Deletes
+	}
+	if m.Len() != want {
+		return res, fmt.Errorf("workload: concurrent RW replay left %d entries, want %d", m.Len(), want)
+	}
+	res.Mops = mops(res.Ops, elapsed)
+	res.MemoryBytes = m.MemoryFootprint()
+	res.FinalLen = m.Len()
+	res.Migrations = m.EngineStats().MigrationsDone
+	return res, nil
+}
