@@ -12,7 +12,9 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/agg"
@@ -160,11 +162,10 @@ func BenchmarkFig7(b *testing.B) {
 // Micro-benchmarks: single operations per scheme and function
 // ---------------------------------------------------------------------------
 
-var microSchemes = []table.Scheme{
-	table.SchemeChained8, table.SchemeChained24,
-	table.SchemeLP, table.SchemeLPSoA, table.SchemeQP, table.SchemeRH,
-	table.SchemeCuckooH4,
-}
+// microSchemes is every scheme the micro-benchmarks sweep — the full
+// registry, including the LPSoA layout variant and the DH probe-kernel
+// extension.
+var microSchemes = table.AllSchemes()
 
 var microFamilies = []hashfn.Family{hashfn.MultFamily{}, hashfn.MurmurFamily{}}
 
@@ -342,9 +343,58 @@ var escapeSink *slab.Entry
 // ---------------------------------------------------------------------------
 
 // reportNsPerKey converts a benchmark that processes table.BatchWidth keys
-// per iteration into the paper-tracking ns/key metric.
+// per iteration into the paper-tracking ns/key metric, and records the
+// datapoint for the BENCH_table.json artifact.
 func reportNsPerKey(b *testing.B) {
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*table.BatchWidth), "ns/key")
+	reportKeyedNs(b, b.N*table.BatchWidth)
+}
+
+// reportKeyedNs reports ns/key for a benchmark that processed total keys,
+// recording the datapoint for the BENCH_table.json artifact.
+func reportKeyedNs(b *testing.B, total int) {
+	ns := float64(b.Elapsed().Nanoseconds()) / float64(total)
+	b.ReportMetric(ns, "ns/key")
+	// The framework reruns a sub-benchmark with ramping b.N while
+	// calibrating; keep only the final (longest) run's datapoint.
+	if n := len(tableBenchResults); n > 0 && tableBenchResults[n-1].Case == b.Name() {
+		tableBenchResults[n-1].NsPerKey = ns
+		return
+	}
+	tableBenchResults = append(tableBenchResults, tableBenchPoint{Case: b.Name(), NsPerKey: ns})
+}
+
+// tableBenchPoint is one ⟨sub-benchmark, ns/key⟩ datapoint of the batch
+// probe/insert sweeps.
+type tableBenchPoint struct {
+	Case     string  `json:"case"`
+	NsPerKey float64 `json:"ns_per_key"`
+}
+
+// tableBenchResults accumulates datapoints across the batch benchmarks
+// for the JSON artifact.
+var tableBenchResults []tableBenchPoint
+
+// writeTableBenchJSON dumps the accumulated ns/key datapoints to the file
+// named by the BENCH_TABLE_JSON environment variable (the CI bench-smoke
+// step uploads it as the BENCH_table.json artifact tracking the repo's
+// batch-pipeline trajectory). Both batch benchmarks call it; the file is
+// rewritten with everything collected so far, so the invocation order
+// does not matter.
+func writeTableBenchJSON(b *testing.B) {
+	path := os.Getenv("BENCH_TABLE_JSON")
+	if path == "" || len(tableBenchResults) == 0 {
+		return
+	}
+	out, err := json.MarshalIndent(struct {
+		Benchmark string            `json:"benchmark"`
+		Points    []tableBenchPoint `json:"points"`
+	}{Benchmark: "BenchmarkBatchProbe/BenchmarkBatchInsert", Points: tableBenchResults}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkBatchProbe compares the scalar probe loop against the batched
@@ -417,6 +467,7 @@ func BenchmarkBatchProbe(b *testing.B) {
 			})
 		}
 	}
+	writeTableBenchJSON(b)
 }
 
 // BenchmarkBatchInsert compares scalar and batched WORM builds per scheme:
@@ -447,7 +498,7 @@ func BenchmarkBatchInsert(b *testing.B) {
 					m.Put(k, vals[j])
 				}
 			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/key")
+			reportKeyedNs(b, b.N*n)
 		})
 		b.Run(fmt.Sprintf("%s/batch%d", s, table.BatchWidth), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -456,9 +507,10 @@ func BenchmarkBatchInsert(b *testing.B) {
 				b.StartTimer()
 				table.PutBatch(m, keys, vals)
 			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/key")
+			reportKeyedNs(b, b.N*n)
 		})
 	}
+	writeTableBenchJSON(b)
 }
 
 // BenchmarkHashJoin measures the classic build/probe equi-join per scheme:

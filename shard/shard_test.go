@@ -58,7 +58,7 @@ func TestEngineConfigValidation(t *testing.T) {
 // stays exact against an oracle throughout, including the sentinel keys
 // and deletes/updates of entries still sitting in the frozen table.
 func TestEngineIncrementalResize(t *testing.T) {
-	for _, scheme := range append(table.Schemes(), table.SchemeLPSoA) {
+	for _, scheme := range table.AllSchemes() {
 		t.Run(string(scheme), func(t *testing.T) {
 			e := newEngine(t, scheme, 1, 64, 0.8, 42)
 			oracle := map[uint64]uint64{}

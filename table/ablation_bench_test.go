@@ -292,7 +292,7 @@ func rhDeleteTailRehash(t *RobinHood, key uint64) bool {
 		j = (j + 1) & t.mask
 	}
 	for _, e := range tail {
-		t.reinsert(e)
+		t.reinsert(e.key, e.val)
 	}
 	return true
 }

@@ -72,7 +72,7 @@ func (t *LinearProbing) PutVec(key, val uint64) bool {
 		// but only when an insert is actually needed; an update of an
 		// existing key proceeds in place on the full table.
 		if _, exists := t.GetVec(key); !exists {
-			t.rehash(len(t.slots) * 2)
+			t.rehashTo(len(t.slots) * 2)
 		}
 	}
 	i := t.home(key)
@@ -163,7 +163,7 @@ func (t *LinearProbingSoA) PutVec(key, val uint64) bool {
 		// Legacy Map contract: grow once instead of failing (see Put) —
 		// but only when an insert is actually needed.
 		if _, exists := t.GetVec(key); !exists {
-			t.rehash(len(t.keys) * 2)
+			t.rehashTo(len(t.keys) * 2)
 		}
 	}
 	i := t.home(key)

@@ -22,11 +22,10 @@ package table
 // duplicate keys inside a batch behave like consecutive scalar Puts. The
 // property tests cross-check both on randomized workloads.
 //
-// The PutBatch bodies of the open-addressing schemes are deliberately
-// near-identical copies of one chunk loop (bulk hash, sentinel routing,
-// mustPutHashed): collapsing them behind a per-key func value would put an
-// indirect call on an insert path that costs only tens of nanoseconds per
-// key. A change to the loop must be mirrored across the four schemes.
+// The open-addressing schemes share one generic implementation of the
+// chunk loops and lane walks (kernel.go), monomorphized per scheme so no
+// indirect call sits on a per-key path; Chained8/24 and Cuckoo keep
+// bespoke walks over their chain and candidate-set structures.
 
 import "repro/hashfn"
 
@@ -90,6 +89,7 @@ var (
 	_ Batcher = (*LinearProbingSoA)(nil)
 	_ Batcher = (*QuadraticProbing)(nil)
 	_ Batcher = (*RobinHood)(nil)
+	_ Batcher = (*DoubleHashing)(nil)
 	_ Batcher = (*Cuckoo)(nil)
 )
 

@@ -1,7 +1,5 @@
 package table
 
-import "repro/hashfn"
-
 // LinearProbing is an open-addressing hash table with linear probing in
 // array-of-structs layout (§2.2 of the paper). It is the simplest probing
 // scheme: on a collision the next slots are scanned circularly until a free
@@ -15,300 +13,22 @@ import "repro/hashfn"
 // simply cleared, and any tombstones immediately preceding a new cluster
 // end are cleared as well. Inserts recycle tombstones after confirming the
 // key is not already present.
+//
+// The scheme is an instantiation of the policy-driven probe kernel
+// (kernel.go): the linear probe sequence over the AoS layout with no
+// displacement, from which the scalar operations, batch walks, RMW
+// primitives, iterators and diagnostics all derive.
 type LinearProbing struct {
-	slots  []pair
-	shift  uint // 64 - log2(len(slots)); index = hash >> shift
-	mask   uint64
-	size   int // live entries in slots (sentinel-keyed entries excluded)
-	tombs  int
-	fn     hashfn.Function
-	family hashfn.Family
-	seed   uint64
-	maxLF  float64
-	grows  int // rehash events (growth and in-place), for Stats
-	sent   sentinels
-	batchState
+	kern
 }
 
 var _ Table = (*LinearProbing)(nil)
 
 // NewLinearProbing returns an empty linear-probing table configured by cfg.
 func NewLinearProbing(cfg Config) *LinearProbing {
-	cfg = cfg.withDefaults()
-	t := &LinearProbing{
-		family: cfg.Family,
-		seed:   cfg.Seed,
-		maxLF:  cfg.MaxLoadFactor,
-	}
-	t.fn = cfg.Family.New(cfg.Seed)
-	t.init(cfg.InitialCapacity)
+	t := &LinearProbing{}
+	t.setup(cfg, "LP", aosLayout{}, linearSeq{}, noDisplace{})
 	return t
-}
-
-func (t *LinearProbing) init(capacity int) {
-	t.slots = make([]pair, capacity)
-	t.shift = 64 - log2(capacity)
-	t.mask = uint64(capacity - 1)
-	t.size = 0
-	t.tombs = 0
-}
-
-// home returns the optimal slot of key: the paper's h(k, 0).
-func (t *LinearProbing) home(key uint64) uint64 { return t.fn.Hash(key) >> t.shift }
-
-// Name implements Map.
-func (t *LinearProbing) Name() string { return "LP" }
-
-// HashName returns the hash-function family name (e.g. "Mult").
-func (t *LinearProbing) HashName() string { return t.fn.Name() }
-
-// Len implements Map.
-func (t *LinearProbing) Len() int { return t.size + t.sent.len() }
-
-// Capacity implements Map.
-func (t *LinearProbing) Capacity() int { return len(t.slots) }
-
-// LoadFactor implements Map.
-func (t *LinearProbing) LoadFactor() float64 {
-	return float64(t.Len()) / float64(len(t.slots))
-}
-
-// Tombstones returns the number of tombstoned slots (diagnostics).
-func (t *LinearProbing) Tombstones() int { return t.tombs }
-
-// MemoryFootprint implements Map: capacity x 16-byte slots.
-func (t *LinearProbing) MemoryFootprint() uint64 {
-	return uint64(len(t.slots)) * pairBytes
-}
-
-// Get implements Map.
-func (t *LinearProbing) Get(key uint64) (uint64, bool) {
-	if isSentinelKey(key) {
-		return t.sent.get(key)
-	}
-	i := t.home(key)
-	for {
-		s := &t.slots[i]
-		if s.key == key {
-			return s.val, true
-		}
-		if s.key == emptyKey {
-			return 0, false
-		}
-		i = (i + 1) & t.mask
-	}
-}
-
-// ensureRoom keeps the probing invariant that at least one truly empty slot
-// exists (probe loops terminate on empties). With growth enabled it defers
-// to maybeGrow; with growth disabled it sheds tombstone pressure by
-// rehashing in place, and reports ErrFull only when live entries alone
-// exhaust the fixed capacity.
-func (t *LinearProbing) ensureRoom() error {
-	if t.maxLF != 0 {
-		t.maybeGrow()
-		return nil
-	}
-	if t.size+t.tombs+1 < len(t.slots) {
-		return nil
-	}
-	if t.size+1 >= len(t.slots) {
-		return errFull(t.Name(), t.size, len(t.slots))
-	}
-	t.rehash(len(t.slots))
-	return nil
-}
-
-// Put implements Map. On a full growth-disabled table it grows once
-// instead of failing; use TryPut for the ErrFull-reporting contract.
-func (t *LinearProbing) Put(key, val uint64) bool {
-	if isSentinelKey(key) {
-		return t.sent.put(key, val)
-	}
-	return t.mustPutHashed(key, val, t.fn.Hash(key))
-}
-
-// mustPutHashed is the insert primitive of the legacy Map contract: a
-// full growth-disabled table grows once instead of failing.
-func (t *LinearProbing) mustPutHashed(key, val, hash uint64) bool {
-	_, existed, err := t.rmwHashed(key, val, hash, true, nil)
-	if err != nil {
-		// Growth disabled and full, and the key is new (rmwHashed updates
-		// existing keys in place without needing room): grow once.
-		t.rehash(len(t.slots) * 2)
-		_, existed, _ = t.rmwHashed(key, val, hash, true, nil)
-	}
-	return !existed
-}
-
-// rmwHashed is the single-probe read-modify-write primitive behind
-// GetOrPut, Upsert and the error-based put: one probe sequence finds the
-// key or its insertion point. With fn nil and overwrite false it is
-// GetOrPut(val); with overwrite true it is a plain put; with fn set it is
-// Upsert(fn). It returns the value now stored and whether the key already
-// existed. The growth-disabled full check
-// fires only when an insert is actually needed, so operations that resolve
-// to an existing key keep working on a full table.
-func (t *LinearProbing) rmwHashed(key, val, hash uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error) {
-	if isSentinelKey(key) {
-		v, existed := t.sent.rmw(key, val, overwrite, fn)
-		return v, existed, nil
-	}
-	if t.maxLF != 0 {
-		t.maybeGrow()
-	} else if t.size+t.tombs+1 >= len(t.slots) && t.tombs > 0 {
-		// Shed tombstone pressure so the probe below is guaranteed a
-		// truly empty slot to terminate on.
-		t.rehash(len(t.slots))
-	}
-	i := hash >> t.shift
-	firstTomb := -1
-	for {
-		s := &t.slots[i]
-		if s.key == key {
-			if fn != nil {
-				s.val = fn(s.val, true)
-			} else if overwrite {
-				s.val = val
-			}
-			return s.val, true, nil
-		}
-		if s.key == emptyKey {
-			if t.maxLF == 0 && t.size+1 >= len(t.slots) {
-				return 0, false, errFull(t.Name(), t.size, len(t.slots))
-			}
-			v := val
-			if fn != nil {
-				v = fn(0, false)
-			}
-			if firstTomb >= 0 {
-				t.slots[firstTomb] = pair{key, v}
-				t.tombs--
-			} else {
-				*s = pair{key, v}
-			}
-			t.size++
-			return v, false, nil
-		}
-		if s.key == tombKey && firstTomb < 0 {
-			firstTomb = int(i)
-		}
-		i = (i + 1) & t.mask
-	}
-}
-
-// Delete implements Map using the optimized tombstone strategy.
-func (t *LinearProbing) Delete(key uint64) bool {
-	if isSentinelKey(key) {
-		return t.sent.delete(key)
-	}
-	i := t.home(key)
-	for {
-		s := &t.slots[i]
-		if s.key == key {
-			next := (i + 1) & t.mask
-			if t.slots[next].key == emptyKey {
-				// Cluster ends here: no tombstone needed. Clearing this
-				// slot may also strand tombstones directly before it at
-				// the new cluster end; clear those too.
-				s.key, s.val = emptyKey, 0
-				j := (i - 1) & t.mask
-				for t.slots[j].key == tombKey {
-					t.slots[j].key, t.slots[j].val = emptyKey, 0
-					t.tombs--
-					j = (j - 1) & t.mask
-				}
-			} else {
-				s.key, s.val = tombKey, 0
-				t.tombs++
-			}
-			t.size--
-			return true
-		}
-		if s.key == emptyKey {
-			return false
-		}
-		i = (i + 1) & t.mask
-	}
-}
-
-// maybeGrow rehashes when occupancy (live + tombstones) would exceed the
-// configured threshold: it doubles when live entries alone demand it, and
-// rehashes in place when the pressure comes from tombstones.
-func (t *LinearProbing) maybeGrow() {
-	if t.maxLF == 0 {
-		return
-	}
-	threshold := int(t.maxLF * float64(len(t.slots)))
-	if t.size+t.tombs+1 <= threshold {
-		return
-	}
-	newCap := len(t.slots)
-	if t.size+1 > threshold {
-		newCap *= 2
-	}
-	t.rehash(newCap)
-}
-
-// rehash rebuilds the table with the given capacity, dropping tombstones.
-func (t *LinearProbing) rehash(capacity int) {
-	t.grows++
-	old := t.slots
-	t.init(capacity)
-	for idx := range old {
-		k := old[idx].key
-		if k == emptyKey || k == tombKey {
-			continue
-		}
-		i := t.home(k)
-		for t.slots[i].key != emptyKey {
-			i = (i + 1) & t.mask
-		}
-		t.slots[i] = old[idx]
-		t.size++
-	}
-}
-
-// Range implements Map.
-func (t *LinearProbing) Range(fn func(key, val uint64) bool) {
-	if !t.sent.rng(fn) {
-		return
-	}
-	for i := range t.slots {
-		k := t.slots[i].key
-		if k == emptyKey || k == tombKey {
-			continue
-		}
-		if !fn(k, t.slots[i].val) {
-			return
-		}
-	}
-}
-
-// Displacements returns, for every live entry, its displacement d: the
-// number of probe steps from its optimal slot (§2.2). The sum of the
-// returned values is the table's total displacement, the paper's measure of
-// linear-probing health.
-func (t *LinearProbing) Displacements() []int {
-	out := make([]int, 0, t.size)
-	for i := range t.slots {
-		k := t.slots[i].key
-		if k == emptyKey || k == tombKey {
-			continue
-		}
-		d := (uint64(i) - t.home(k)) & t.mask
-		out = append(out, int(d))
-	}
-	return out
-}
-
-// ClusterLengths returns the lengths of all maximal runs of occupied slots
-// (tombstones count as occupied, since probes must traverse them). Primary
-// clustering shows up as a heavy tail here.
-func (t *LinearProbing) ClusterLengths() []int {
-	n := len(t.slots)
-	occupied := func(i int) bool { return t.slots[i].key != emptyKey }
-	return clusterLengths(n, occupied)
 }
 
 // clusterLengths computes maximal circular runs of occupied slots.
@@ -339,27 +59,4 @@ func clusterLengths(n int, occupied func(int) bool) []int {
 		out = append(out, run)
 	}
 	return out
-}
-
-// ProbeSlots invokes visit for every slot a lookup of key examines, in
-// probe order, ending at the matching or first empty slot (inclusive), or
-// earlier if visit returns false. Sentinel-routed keys (0 and 2^64-1) touch
-// no slots. This diagnostic feeds the §7 layout/cache analysis: the slot
-// trace converts to cache-line traces under AoS (16 B/slot) or SoA
-// (8 B/slot key column) layout.
-func (t *LinearProbing) ProbeSlots(key uint64, visit func(slot int) bool) {
-	if isSentinelKey(key) {
-		return
-	}
-	i := t.home(key)
-	for {
-		if !visit(int(i)) {
-			return
-		}
-		s := &t.slots[i]
-		if s.key == key || s.key == emptyKey {
-			return
-		}
-		i = (i + 1) & t.mask
-	}
 }

@@ -1,7 +1,5 @@
 package table
 
-import "repro/hashfn"
-
 // QuadraticProbing is an open-addressing hash table with quadratic probing
 // (§2.3 of the paper): the i-th probe lands at
 //
@@ -20,19 +18,12 @@ import "repro/hashfn"
 // because probe sequences through a slot are not physically contiguous.
 // Inserts recycle tombstones, and tombstone pressure triggers an in-place
 // rehash when growth is enabled.
+//
+// The scheme is an instantiation of the policy-driven probe kernel
+// (kernel.go): the triangular quadratic sequence over the AoS layout with
+// no displacement.
 type QuadraticProbing struct {
-	slots  []pair
-	shift  uint
-	mask   uint64
-	size   int
-	tombs  int
-	fn     hashfn.Function
-	family hashfn.Family
-	seed   uint64
-	maxLF  float64
-	grows  int
-	sent   sentinels
-	batchState
+	kern
 }
 
 var _ Table = (*QuadraticProbing)(nil)
@@ -40,237 +31,7 @@ var _ Table = (*QuadraticProbing)(nil)
 // NewQuadraticProbing returns an empty quadratic-probing table configured
 // by cfg.
 func NewQuadraticProbing(cfg Config) *QuadraticProbing {
-	cfg = cfg.withDefaults()
-	t := &QuadraticProbing{
-		family: cfg.Family,
-		seed:   cfg.Seed,
-		maxLF:  cfg.MaxLoadFactor,
-	}
-	t.fn = cfg.Family.New(cfg.Seed)
-	t.init(cfg.InitialCapacity)
+	t := &QuadraticProbing{}
+	t.setup(cfg, "QP", aosLayout{}, quadSeq{}, noDisplace{})
 	return t
-}
-
-func (t *QuadraticProbing) init(capacity int) {
-	t.slots = make([]pair, capacity)
-	t.shift = 64 - log2(capacity)
-	t.mask = uint64(capacity - 1)
-	t.size = 0
-	t.tombs = 0
-}
-
-func (t *QuadraticProbing) home(key uint64) uint64 { return t.fn.Hash(key) >> t.shift }
-
-// Name implements Map.
-func (t *QuadraticProbing) Name() string { return "QP" }
-
-// HashName returns the hash-function family name.
-func (t *QuadraticProbing) HashName() string { return t.fn.Name() }
-
-// Len implements Map.
-func (t *QuadraticProbing) Len() int { return t.size + t.sent.len() }
-
-// Capacity implements Map.
-func (t *QuadraticProbing) Capacity() int { return len(t.slots) }
-
-// LoadFactor implements Map.
-func (t *QuadraticProbing) LoadFactor() float64 {
-	return float64(t.Len()) / float64(len(t.slots))
-}
-
-// Tombstones returns the number of tombstoned slots (diagnostics).
-func (t *QuadraticProbing) Tombstones() int { return t.tombs }
-
-// MemoryFootprint implements Map.
-func (t *QuadraticProbing) MemoryFootprint() uint64 {
-	return uint64(len(t.slots)) * pairBytes
-}
-
-// Get implements Map.
-func (t *QuadraticProbing) Get(key uint64) (uint64, bool) {
-	if isSentinelKey(key) {
-		return t.sent.get(key)
-	}
-	i := t.home(key)
-	for step := uint64(1); ; step++ {
-		s := &t.slots[i]
-		if s.key == key {
-			return s.val, true
-		}
-		if s.key == emptyKey {
-			return 0, false
-		}
-		if step > t.mask {
-			// Probed every slot (triangular numbers are a permutation of a
-			// power-of-two table): the key is absent and no empty slot
-			// exists on its sequence.
-			return 0, false
-		}
-		i = (i + step) & t.mask
-	}
-}
-
-// Put implements Map; like LinearProbing.Put it grows once instead of
-// failing on a full growth-disabled table.
-func (t *QuadraticProbing) Put(key, val uint64) bool {
-	if isSentinelKey(key) {
-		return t.sent.put(key, val)
-	}
-	return t.mustPutHashed(key, val, t.fn.Hash(key))
-}
-
-// mustPutHashed is the legacy Map insert primitive; see
-// LinearProbing.mustPutHashed.
-func (t *QuadraticProbing) mustPutHashed(key, val, hash uint64) bool {
-	_, existed, err := t.rmwHashed(key, val, hash, true, nil)
-	if err != nil {
-		// Growth disabled and full, and the key is new (rmwHashed updates
-		// existing keys in place without needing room): grow once.
-		t.rehash(len(t.slots) * 2)
-		_, existed, _ = t.rmwHashed(key, val, hash, true, nil)
-	}
-	return !existed
-}
-
-// rmwHashed is the single-probe read-modify-write primitive; see
-// LinearProbing.rmwHashed. The growth-disabled full check happens
-// naturally at the end of the triangular sweep, so existing-key
-// operations keep working on a completely full table.
-func (t *QuadraticProbing) rmwHashed(key, val, hash uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error) {
-	if isSentinelKey(key) {
-		v, existed := t.sent.rmw(key, val, overwrite, fn)
-		return v, existed, nil
-	}
-	if t.maxLF != 0 {
-		t.maybeGrow()
-	} else if t.size+t.tombs == len(t.slots) && t.tombs > 0 {
-		t.rehash(len(t.slots))
-	}
-	i := hash >> t.shift
-	firstTomb := -1
-	for step := uint64(1); ; step++ {
-		s := &t.slots[i]
-		if s.key == key {
-			if fn != nil {
-				s.val = fn(s.val, true)
-			} else if overwrite {
-				s.val = val
-			}
-			return s.val, true, nil
-		}
-		atEmpty := s.key == emptyKey
-		if atEmpty || step > t.mask {
-			if !atEmpty && firstTomb < 0 {
-				return 0, false, errFull(t.Name(), t.size, len(t.slots))
-			}
-			v := val
-			if fn != nil {
-				v = fn(0, false)
-			}
-			if firstTomb >= 0 {
-				t.slots[firstTomb] = pair{key, v}
-				t.tombs--
-			} else {
-				*s = pair{key, v}
-			}
-			t.size++
-			return v, false, nil
-		}
-		if s.key == tombKey && firstTomb < 0 {
-			firstTomb = int(i)
-		}
-		i = (i + step) & t.mask
-	}
-}
-
-// Delete implements Map; see the type comment for why QP always tombstones.
-func (t *QuadraticProbing) Delete(key uint64) bool {
-	if isSentinelKey(key) {
-		return t.sent.delete(key)
-	}
-	i := t.home(key)
-	for step := uint64(1); ; step++ {
-		s := &t.slots[i]
-		if s.key == key {
-			s.key, s.val = tombKey, 0
-			t.tombs++
-			t.size--
-			return true
-		}
-		if s.key == emptyKey || step > t.mask {
-			return false
-		}
-		i = (i + step) & t.mask
-	}
-}
-
-func (t *QuadraticProbing) maybeGrow() {
-	if t.maxLF == 0 {
-		return
-	}
-	threshold := int(t.maxLF * float64(len(t.slots)))
-	if t.size+t.tombs+1 <= threshold {
-		return
-	}
-	newCap := len(t.slots)
-	if t.size+1 > threshold {
-		newCap *= 2
-	}
-	t.rehash(newCap)
-}
-
-func (t *QuadraticProbing) rehash(capacity int) {
-	t.grows++
-	old := t.slots
-	t.init(capacity)
-	for idx := range old {
-		k := old[idx].key
-		if k == emptyKey || k == tombKey {
-			continue
-		}
-		i := t.home(k)
-		for step := uint64(1); t.slots[i].key != emptyKey; step++ {
-			i = (i + step) & t.mask
-		}
-		t.slots[i] = old[idx]
-		t.size++
-	}
-}
-
-// Range implements Map.
-func (t *QuadraticProbing) Range(fn func(key, val uint64) bool) {
-	if !t.sent.rng(fn) {
-		return
-	}
-	for i := range t.slots {
-		k := t.slots[i].key
-		if k == emptyKey || k == tombKey {
-			continue
-		}
-		if !fn(k, t.slots[i].val) {
-			return
-		}
-	}
-}
-
-// Displacements returns, for every live entry, the number of probe steps i
-// needed to reach it from its optimal slot along the quadratic sequence
-// (the paper's QP displacement, §2.3). Unlike LP this requires replaying
-// the probe sequence per entry, so it costs O(n * avg displacement).
-func (t *QuadraticProbing) Displacements() []int {
-	out := make([]int, 0, t.size)
-	for idx := range t.slots {
-		k := t.slots[idx].key
-		if k == emptyKey || k == tombKey {
-			continue
-		}
-		i := t.home(k)
-		d := 0
-		for step := uint64(1); i != uint64(idx); step++ {
-			i = (i + step) & t.mask
-			d++
-		}
-		out = append(out, d)
-	}
-	return out
 }

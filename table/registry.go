@@ -2,11 +2,12 @@ package table
 
 import "fmt"
 
-// Scheme identifies one of the paper's hashing schemes.
+// Scheme identifies one of the hashing schemes in this package.
 type Scheme string
 
 // The schemes studied in the paper (§2), plus the SoA layout variant of LP
-// used by the §7 layout study.
+// used by the §7 layout study and the double-hashing extension shipped as
+// a probe-kernel policy (see DoubleHashing).
 const (
 	SchemeChained8  Scheme = "ChainedH8"
 	SchemeChained24 Scheme = "ChainedH24"
@@ -14,11 +15,14 @@ const (
 	SchemeLPSoA     Scheme = "LPSoA"
 	SchemeQP        Scheme = "QP"
 	SchemeRH        Scheme = "RH"
+	SchemeDH        Scheme = "DH"
 	SchemeCuckooH4  Scheme = "CuckooH4"
 )
 
-// Schemes returns the paper's five schemes in presentation order (chained
-// variants first, then open addressing).
+// Schemes returns the paper's six schemes in presentation order (chained
+// variants first, then open addressing). It deliberately omits the LPSoA
+// layout variant and the DH extension, which the paper's figures do not
+// plot; use AllSchemes for everything this package implements.
 func Schemes() []Scheme {
 	return []Scheme{
 		SchemeChained8, SchemeChained24,
@@ -26,9 +30,25 @@ func Schemes() []Scheme {
 	}
 }
 
-// OpenAddressingSchemes returns the four open-addressing schemes.
+// OpenAddressingSchemes returns the six open-addressing schemes: the
+// paper's LP, QP, RH and CuckooH4 plus the LPSoA layout variant and the
+// DH extension.
 func OpenAddressingSchemes() []Scheme {
-	return []Scheme{SchemeLP, SchemeQP, SchemeRH, SchemeCuckooH4}
+	return []Scheme{SchemeLP, SchemeLPSoA, SchemeQP, SchemeRH, SchemeDH, SchemeCuckooH4}
+}
+
+// KernelSchemes returns the schemes served by the policy-driven probe
+// kernel (kernel.go) — every open-addressing scheme except Cuckoo, whose
+// bounded candidate set needs a structurally different core.
+func KernelSchemes() []Scheme {
+	return []Scheme{SchemeLP, SchemeLPSoA, SchemeQP, SchemeRH, SchemeDH}
+}
+
+// AllSchemes returns every scheme this package implements, in presentation
+// order: the chained variants, then all open-addressing schemes including
+// the LPSoA layout variant and the DH extension.
+func AllSchemes() []Scheme {
+	return append([]Scheme{SchemeChained8, SchemeChained24}, OpenAddressingSchemes()...)
 }
 
 // New constructs an empty table of the given scheme. It returns an error
@@ -48,6 +68,8 @@ func New(s Scheme, cfg Config) (Table, error) {
 		return NewQuadraticProbing(cfg), nil
 	case SchemeRH:
 		return NewRobinHood(cfg), nil
+	case SchemeDH:
+		return NewDoubleHashing(cfg), nil
 	case SchemeCuckooH4:
 		return NewCuckoo(cfg), nil
 	}

@@ -1,9 +1,11 @@
 package table
 
-// This file wires the per-scheme single-probe read-modify-write primitive
-// (rmwHashed, defined next to each scheme's probe loops) into the unified
-// Table surface: TryPut, GetOrPut, Upsert and their batched forms, plus
-// the Go 1.23 All iterator and the Rehashes observability accessor.
+// This file wires the single-probe read-modify-write primitive (rmwHashed)
+// of the two structurally distinct cores — chained hashing and Cuckoo —
+// into the unified Table surface: TryPut, GetOrPut, Upsert and their
+// batched forms, plus the Go 1.23 All iterator and the Rehashes
+// observability accessor. The four open-addressing schemes get the same
+// surface from the probe kernel (kernel.go) instead.
 //
 // The batched forms bulk-hash each chunk exactly like the GetBatch /
 // PutBatch pipeline, then drive the scheme's rmwHashed with the
@@ -25,23 +27,17 @@ import (
 
 // rmwTable is the internal hook the generic batched implementations need:
 // the scheme's bulk-hashable function, its chunk buffer, and its
-// single-probe RMW primitive. The helpers below are type-parameterized on
-// the concrete scheme so each instantiation dispatches rmwHashed
-// statically — per table/batched.go's rule, no indirect call sits on a
-// per-key insert path. Cuckoo is not included — its candidate slots come
-// from k scheme-owned functions, so it gets bespoke loops below.
+// single-probe RMW primitive. Cuckoo is not included — its candidate slots
+// come from k scheme-owned functions, so there is no shared bulk-hash pass
+// to reuse and it gets bespoke loops below.
 type rmwTable interface {
 	hashFn() hashfn.Function
 	buf() *batchBuf
 	rmwHashed(key, val, hash uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error)
 }
 
-func (t *LinearProbing) hashFn() hashfn.Function    { return t.fn }
-func (t *LinearProbingSoA) hashFn() hashfn.Function { return t.fn }
-func (t *QuadraticProbing) hashFn() hashfn.Function { return t.fn }
-func (t *RobinHood) hashFn() hashfn.Function        { return t.fn }
-func (t *Chained8) hashFn() hashfn.Function         { return t.fn }
-func (t *Chained24) hashFn() hashfn.Function        { return t.fn }
+func (t *Chained8) hashFn() hashfn.Function  { return t.fn }
+func (t *Chained24) hashFn() hashfn.Function { return t.fn }
 
 func checkBatchGetOrPut(nKeys, nVals, nOut, nLoaded int) {
 	if nVals != nKeys {
@@ -128,183 +124,6 @@ func upsertBatchImpl[T rmwTable](t T, keys []uint64, fn func(lane int, old uint6
 func allOf(m Map) iter.Seq2[uint64, uint64] {
 	return func(yield func(uint64, uint64) bool) { m.Range(yield) }
 }
-
-// ---------------------------------------------------------------------------
-// LinearProbing
-// ---------------------------------------------------------------------------
-
-// TryPut implements Table. Unlike the legacy Put it reports ErrFull on a
-// full growth-disabled table; an update of an existing key still succeeds
-// there (the full check fires only when an insert is needed).
-func (t *LinearProbing) TryPut(key, val uint64) (bool, error) {
-	_, existed, err := t.rmwHashed(key, val, t.fn.Hash(key), true, nil)
-	return !existed && err == nil, err
-}
-
-// GetOrPut implements Table.
-func (t *LinearProbing) GetOrPut(key, val uint64) (uint64, bool, error) {
-	return t.rmwHashed(key, val, t.fn.Hash(key), false, nil)
-}
-
-// Upsert implements Table.
-func (t *LinearProbing) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
-	v, _, err := t.rmwHashed(key, 0, t.fn.Hash(key), false, fn)
-	return v, err
-}
-
-// TryPutBatch implements Table.
-func (t *LinearProbing) TryPutBatch(keys, vals []uint64) (int, error) {
-	return tryPutBatchImpl(t, keys, vals)
-}
-
-// GetOrPutBatch implements Table.
-func (t *LinearProbing) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
-	return getOrPutBatchImpl(t, keys, vals, out, loaded)
-}
-
-// UpsertBatch implements Table.
-func (t *LinearProbing) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
-	return upsertBatchImpl(t, keys, fn)
-}
-
-// All implements Table.
-func (t *LinearProbing) All() iter.Seq2[uint64, uint64] { return allOf(t) }
-
-// Rehashes returns the number of rehash events (growth and in-place) so
-// far, for Stats.
-func (t *LinearProbing) Rehashes() int { return t.grows }
-
-// ---------------------------------------------------------------------------
-// LinearProbingSoA
-// ---------------------------------------------------------------------------
-
-// TryPut implements Table. Unlike the legacy Put it reports ErrFull on a
-// full growth-disabled table; an update of an existing key still succeeds
-// there (the full check fires only when an insert is needed).
-func (t *LinearProbingSoA) TryPut(key, val uint64) (bool, error) {
-	_, existed, err := t.rmwHashed(key, val, t.fn.Hash(key), true, nil)
-	return !existed && err == nil, err
-}
-
-// GetOrPut implements Table.
-func (t *LinearProbingSoA) GetOrPut(key, val uint64) (uint64, bool, error) {
-	return t.rmwHashed(key, val, t.fn.Hash(key), false, nil)
-}
-
-// Upsert implements Table.
-func (t *LinearProbingSoA) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
-	v, _, err := t.rmwHashed(key, 0, t.fn.Hash(key), false, fn)
-	return v, err
-}
-
-// TryPutBatch implements Table.
-func (t *LinearProbingSoA) TryPutBatch(keys, vals []uint64) (int, error) {
-	return tryPutBatchImpl(t, keys, vals)
-}
-
-// GetOrPutBatch implements Table.
-func (t *LinearProbingSoA) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
-	return getOrPutBatchImpl(t, keys, vals, out, loaded)
-}
-
-// UpsertBatch implements Table.
-func (t *LinearProbingSoA) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
-	return upsertBatchImpl(t, keys, fn)
-}
-
-// All implements Table.
-func (t *LinearProbingSoA) All() iter.Seq2[uint64, uint64] { return allOf(t) }
-
-// Rehashes returns the number of rehash events so far, for Stats.
-func (t *LinearProbingSoA) Rehashes() int { return t.grows }
-
-// ---------------------------------------------------------------------------
-// QuadraticProbing
-// ---------------------------------------------------------------------------
-
-// TryPut implements Table. Unlike the legacy Put it reports ErrFull on a
-// full growth-disabled table; an update of an existing key still succeeds
-// there (the full check fires only when an insert is needed).
-func (t *QuadraticProbing) TryPut(key, val uint64) (bool, error) {
-	_, existed, err := t.rmwHashed(key, val, t.fn.Hash(key), true, nil)
-	return !existed && err == nil, err
-}
-
-// GetOrPut implements Table.
-func (t *QuadraticProbing) GetOrPut(key, val uint64) (uint64, bool, error) {
-	return t.rmwHashed(key, val, t.fn.Hash(key), false, nil)
-}
-
-// Upsert implements Table.
-func (t *QuadraticProbing) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
-	v, _, err := t.rmwHashed(key, 0, t.fn.Hash(key), false, fn)
-	return v, err
-}
-
-// TryPutBatch implements Table.
-func (t *QuadraticProbing) TryPutBatch(keys, vals []uint64) (int, error) {
-	return tryPutBatchImpl(t, keys, vals)
-}
-
-// GetOrPutBatch implements Table.
-func (t *QuadraticProbing) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
-	return getOrPutBatchImpl(t, keys, vals, out, loaded)
-}
-
-// UpsertBatch implements Table.
-func (t *QuadraticProbing) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
-	return upsertBatchImpl(t, keys, fn)
-}
-
-// All implements Table.
-func (t *QuadraticProbing) All() iter.Seq2[uint64, uint64] { return allOf(t) }
-
-// Rehashes returns the number of rehash events so far, for Stats.
-func (t *QuadraticProbing) Rehashes() int { return t.grows }
-
-// ---------------------------------------------------------------------------
-// RobinHood
-// ---------------------------------------------------------------------------
-
-// TryPut implements Table. Unlike the legacy Put it reports ErrFull on a
-// full growth-disabled table; an update of an existing key still succeeds
-// there (the full check fires only when an insert is needed).
-func (t *RobinHood) TryPut(key, val uint64) (bool, error) {
-	_, existed, err := t.rmwHashed(key, val, t.fn.Hash(key), true, nil)
-	return !existed && err == nil, err
-}
-
-// GetOrPut implements Table.
-func (t *RobinHood) GetOrPut(key, val uint64) (uint64, bool, error) {
-	return t.rmwHashed(key, val, t.fn.Hash(key), false, nil)
-}
-
-// Upsert implements Table.
-func (t *RobinHood) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
-	v, _, err := t.rmwHashed(key, 0, t.fn.Hash(key), false, fn)
-	return v, err
-}
-
-// TryPutBatch implements Table.
-func (t *RobinHood) TryPutBatch(keys, vals []uint64) (int, error) {
-	return tryPutBatchImpl(t, keys, vals)
-}
-
-// GetOrPutBatch implements Table.
-func (t *RobinHood) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
-	return getOrPutBatchImpl(t, keys, vals, out, loaded)
-}
-
-// UpsertBatch implements Table.
-func (t *RobinHood) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
-	return upsertBatchImpl(t, keys, fn)
-}
-
-// All implements Table.
-func (t *RobinHood) All() iter.Seq2[uint64, uint64] { return allOf(t) }
-
-// Rehashes returns the number of rehash events so far, for Stats.
-func (t *RobinHood) Rehashes() int { return t.grows }
 
 // ---------------------------------------------------------------------------
 // Chained8 / Chained24

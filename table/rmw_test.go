@@ -192,7 +192,7 @@ func TestGetOrPutMatchesGetThenPut(t *testing.T) {
 // it reports ErrFull, then verifies nothing was lost, that the batched
 // forms agree, and that no public operation panics.
 func TestErrFullContract(t *testing.T) {
-	for _, s := range []Scheme{SchemeLP, SchemeLPSoA, SchemeQP, SchemeRH, SchemeCuckooH4} {
+	for _, s := range []Scheme{SchemeLP, SchemeLPSoA, SchemeQP, SchemeRH, SchemeDH, SchemeCuckooH4} {
 		t.Run(string(s), func(t *testing.T) {
 			m := MustNew(s, Config{InitialCapacity: 64, MaxLoadFactor: 0, Seed: 13})
 			var inserted []uint64

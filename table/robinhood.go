@@ -1,7 +1,5 @@
 package table
 
-import "repro/hashfn"
-
 // RobinHood is the paper's tuned Robin Hood hashing on linear probing
 // (§2.4). It keeps the probe sequences of linear probing but resolves every
 // collision in favour of the "poorer" key — the one farther from its
@@ -22,316 +20,20 @@ import "repro/hashfn"
 // the ordering): the hole is filled by shifting the remainder of the
 // cluster back one slot, which re-establishes every invariant and is
 // exactly the result of rehashing the cluster tail in place.
+//
+// The scheme is an instantiation of the policy-driven probe kernel
+// (kernel.go): the linear probe sequence over the AoS layout with Robin
+// Hood displacement — i.e. exactly LinearProbing with the displacement
+// dimension flipped, which is the paper's own description of the scheme.
 type RobinHood struct {
-	slots  []pair
-	shift  uint
-	mask   uint64
-	size   int
-	fn     hashfn.Function
-	family hashfn.Family
-	seed   uint64
-	maxLF  float64
-	grows  int
-	sent   sentinels
-	batchState
+	kern
 }
 
 var _ Table = (*RobinHood)(nil)
 
 // NewRobinHood returns an empty Robin Hood table configured by cfg.
 func NewRobinHood(cfg Config) *RobinHood {
-	cfg = cfg.withDefaults()
-	t := &RobinHood{
-		family: cfg.Family,
-		seed:   cfg.Seed,
-		maxLF:  cfg.MaxLoadFactor,
-	}
-	t.fn = cfg.Family.New(cfg.Seed)
-	t.init(cfg.InitialCapacity)
+	t := &RobinHood{}
+	t.setup(cfg, "RH", aosLayout{}, linearSeq{}, robinDisplace{})
 	return t
-}
-
-func (t *RobinHood) init(capacity int) {
-	t.slots = make([]pair, capacity)
-	t.shift = 64 - log2(capacity)
-	t.mask = uint64(capacity - 1)
-	t.size = 0
-}
-
-func (t *RobinHood) home(key uint64) uint64 { return t.fn.Hash(key) >> t.shift }
-
-// displacementAt returns the displacement of the entry stored at slot i.
-// The slot must be occupied.
-func (t *RobinHood) displacementAt(i uint64) uint64 {
-	return (i - t.home(t.slots[i].key)) & t.mask
-}
-
-// Name implements Map.
-func (t *RobinHood) Name() string { return "RH" }
-
-// HashName returns the hash-function family name.
-func (t *RobinHood) HashName() string { return t.fn.Name() }
-
-// Len implements Map.
-func (t *RobinHood) Len() int { return t.size + t.sent.len() }
-
-// Capacity implements Map.
-func (t *RobinHood) Capacity() int { return len(t.slots) }
-
-// LoadFactor implements Map.
-func (t *RobinHood) LoadFactor() float64 {
-	return float64(t.Len()) / float64(len(t.slots))
-}
-
-// MemoryFootprint implements Map.
-func (t *RobinHood) MemoryFootprint() uint64 {
-	return uint64(len(t.slots)) * pairBytes
-}
-
-// Get implements Map, including the cache-line-granular early abort for
-// unsuccessful lookups.
-func (t *RobinHood) Get(key uint64) (uint64, bool) {
-	if isSentinelKey(key) {
-		return t.sent.get(key)
-	}
-	i := t.home(key)
-	for d := uint64(0); ; d++ {
-		s := &t.slots[i]
-		if s.key == key {
-			return s.val, true
-		}
-		if s.key == emptyKey {
-			return 0, false
-		}
-		// Early abort, checked once at the end of each cache line: if the
-		// entry we just passed is closer to its home than we are to ours,
-		// the Robin Hood ordering proves our key cannot lie further on.
-		if i&(slotsPerCacheLine-1) == slotsPerCacheLine-1 {
-			if (i-t.home(s.key))&t.mask < d {
-				return 0, false
-			}
-		}
-		i = (i + 1) & t.mask
-	}
-}
-
-// Put implements Map with displacement-ordered (Robin Hood) insertion.
-// On a full growth-disabled table it grows once instead of failing.
-func (t *RobinHood) Put(key, val uint64) bool {
-	if isSentinelKey(key) {
-		return t.sent.put(key, val)
-	}
-	return t.mustPutHashed(key, val, t.fn.Hash(key))
-}
-
-// mustPutHashed is the legacy Map insert primitive; see
-// LinearProbing.mustPutHashed.
-func (t *RobinHood) mustPutHashed(key, val, hash uint64) bool {
-	_, existed, err := t.rmwHashed(key, val, hash, true, nil)
-	if err != nil {
-		// Growth disabled and full, and the key is new (rmwHashed updates
-		// existing keys in place without needing room): grow once.
-		t.rehash(len(t.slots) * 2)
-		_, existed, _ = t.rmwHashed(key, val, hash, true, nil)
-	}
-	return !existed
-}
-
-// rmwHashed is the single-probe read-modify-write primitive; see
-// LinearProbing.rmwHashed. The walk doubles as the Robin Hood ordering
-// proof: the first position where a resident is closer to its home than we
-// are to ours is exactly where an absent key must be inserted, so the
-// lookup and the insertion displacement chain share one probe sequence.
-func (t *RobinHood) rmwHashed(key, val, hash uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error) {
-	if isSentinelKey(key) {
-		v, existed := t.sent.rmw(key, val, overwrite, fn)
-		return v, existed, nil
-	}
-	if t.maxLF != 0 {
-		t.maybeGrow()
-	}
-	i := hash >> t.shift
-	for d := uint64(0); ; d++ {
-		s := &t.slots[i]
-		if s.key == key {
-			if fn != nil {
-				s.val = fn(s.val, true)
-			} else if overwrite {
-				s.val = val
-			}
-			return s.val, true, nil
-		}
-		if s.key == emptyKey {
-			if t.maxLF == 0 && t.size+1 >= len(t.slots) {
-				return 0, false, errFull(t.Name(), t.size, len(t.slots))
-			}
-			v := val
-			if fn != nil {
-				v = fn(0, false)
-			}
-			*s = pair{key, v}
-			t.size++
-			return v, false, nil
-		}
-		if de := (i - t.home(s.key)) & t.mask; de < d {
-			// The resident is richer than us: our key cannot lie further
-			// on, so it is absent. Take this slot and push the rest of the
-			// displacement chain down, the standard Robin Hood insert.
-			if t.maxLF == 0 && t.size+1 >= len(t.slots) {
-				return 0, false, errFull(t.Name(), t.size, len(t.slots))
-			}
-			v := val
-			if fn != nil {
-				v = fn(0, false)
-			}
-			cur := *s
-			*s = pair{key, v}
-			t.size++
-			t.shiftChain(cur, (i+1)&t.mask, de+1)
-			return v, false, nil
-		}
-		i = (i + 1) & t.mask
-	}
-}
-
-// shiftChain continues a Robin Hood displacement chain: cur was just
-// evicted from the slot before i and sits at displacement d there.
-func (t *RobinHood) shiftChain(cur pair, i, d uint64) {
-	for {
-		s := &t.slots[i]
-		if s.key == emptyKey {
-			*s = cur
-			return
-		}
-		if de := (i - t.home(s.key)) & t.mask; de < d {
-			cur, *s = *s, cur
-			d = de
-		}
-		i = (i + 1) & t.mask
-		d++
-	}
-}
-
-// Delete implements Map with partial cluster rehash: the cluster tail after
-// the deleted entry is shifted back one slot until an entry in its optimal
-// position (displacement 0) or an empty slot ends the cluster.
-func (t *RobinHood) Delete(key uint64) bool {
-	if isSentinelKey(key) {
-		return t.sent.delete(key)
-	}
-	i := t.home(key)
-	for d := uint64(0); ; d++ {
-		s := &t.slots[i]
-		if s.key == emptyKey {
-			return false
-		}
-		if s.key == key {
-			break
-		}
-		if (i-t.home(s.key))&t.mask < d {
-			return false
-		}
-		i = (i + 1) & t.mask
-	}
-	// Backward-shift the rest of the cluster.
-	for {
-		j := (i + 1) & t.mask
-		n := &t.slots[j]
-		if n.key == emptyKey || (j-t.home(n.key))&t.mask == 0 {
-			t.slots[i] = pair{}
-			break
-		}
-		t.slots[i] = *n
-		i = j
-	}
-	t.size--
-	return true
-}
-
-func (t *RobinHood) maybeGrow() {
-	if t.maxLF == 0 {
-		return
-	}
-	if t.size+1 <= int(t.maxLF*float64(len(t.slots))) {
-		return
-	}
-	t.rehash(len(t.slots) * 2)
-}
-
-func (t *RobinHood) rehash(capacity int) {
-	t.grows++
-	old := t.slots
-	t.init(capacity)
-	for idx := range old {
-		if old[idx].key == emptyKey {
-			continue
-		}
-		t.reinsert(old[idx])
-	}
-}
-
-// reinsert places an entry known to be absent, maintaining RH order.
-func (t *RobinHood) reinsert(cur pair) {
-	i := t.home(cur.key)
-	for d := uint64(0); ; d++ {
-		s := &t.slots[i]
-		if s.key == emptyKey {
-			*s = cur
-			t.size++
-			return
-		}
-		if de := (i - t.home(s.key)) & t.mask; de < d {
-			cur, *s = *s, cur
-			d = de
-		}
-		i = (i + 1) & t.mask
-	}
-}
-
-// Range implements Map.
-func (t *RobinHood) Range(fn func(key, val uint64) bool) {
-	if !t.sent.rng(fn) {
-		return
-	}
-	for i := range t.slots {
-		if t.slots[i].key == emptyKey {
-			continue
-		}
-		if !fn(t.slots[i].key, t.slots[i].val) {
-			return
-		}
-	}
-}
-
-// Displacements returns the displacement of every live entry. Robin Hood
-// does not change the total compared to LP on the same inputs; it minimizes
-// the variance (§2.4).
-func (t *RobinHood) Displacements() []int {
-	out := make([]int, 0, t.size)
-	for i := range t.slots {
-		if t.slots[i].key == emptyKey {
-			continue
-		}
-		out = append(out, int(t.displacementAt(uint64(i))))
-	}
-	return out
-}
-
-// MaxDisplacement returns the maximum displacement among live entries, the
-// paper's d_max (often an order of magnitude above the mean at high load
-// factors, which is why the naive d_max abort criterion underperforms).
-func (t *RobinHood) MaxDisplacement() int {
-	max := 0
-	for _, d := range t.Displacements() {
-		if d > max {
-			max = d
-		}
-	}
-	return max
-}
-
-// ClusterLengths returns the lengths of maximal occupied runs, as for LP.
-func (t *RobinHood) ClusterLengths() []int {
-	occupied := func(i int) bool { return t.slots[i].key != emptyKey }
-	return clusterLengths(len(t.slots), occupied)
 }

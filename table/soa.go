@@ -1,7 +1,5 @@
 package table
 
-import "repro/hashfn"
-
 // LinearProbingSoA is linear probing in struct-of-arrays layout (§7 of the
 // paper): keys and values live in two separate, aligned arrays, like a
 // column layout. Compared to the array-of-structs LinearProbing:
@@ -15,270 +13,17 @@ import "repro/hashfn"
 //     the paper's SIMD variant favours SoA (see GetVec in batch.go).
 //
 // Semantics are identical to LinearProbing, including the optimized
-// tombstone deletion.
+// tombstone deletion: the two schemes are the same kernel instantiated
+// over different layout policies (the §7 dimension made a type).
 type LinearProbingSoA struct {
-	keys   []uint64
-	vals   []uint64
-	shift  uint
-	mask   uint64
-	size   int
-	tombs  int
-	fn     hashfn.Function
-	family hashfn.Family
-	seed   uint64
-	maxLF  float64
-	grows  int
-	sent   sentinels
-	batchState
+	kern
 }
 
 var _ Table = (*LinearProbingSoA)(nil)
 
 // NewLinearProbingSoA returns an empty SoA linear-probing table.
 func NewLinearProbingSoA(cfg Config) *LinearProbingSoA {
-	cfg = cfg.withDefaults()
-	t := &LinearProbingSoA{
-		family: cfg.Family,
-		seed:   cfg.Seed,
-		maxLF:  cfg.MaxLoadFactor,
-	}
-	t.fn = cfg.Family.New(cfg.Seed)
-	t.init(cfg.InitialCapacity)
+	t := &LinearProbingSoA{}
+	t.setup(cfg, "LPSoA", soaLayout{}, linearSeq{}, noDisplace{})
 	return t
-}
-
-func (t *LinearProbingSoA) init(capacity int) {
-	t.keys = make([]uint64, capacity)
-	t.vals = make([]uint64, capacity)
-	t.shift = 64 - log2(capacity)
-	t.mask = uint64(capacity - 1)
-	t.size = 0
-	t.tombs = 0
-}
-
-func (t *LinearProbingSoA) home(key uint64) uint64 { return t.fn.Hash(key) >> t.shift }
-
-// Name implements Map.
-func (t *LinearProbingSoA) Name() string { return "LPSoA" }
-
-// HashName returns the hash-function family name.
-func (t *LinearProbingSoA) HashName() string { return t.fn.Name() }
-
-// Len implements Map.
-func (t *LinearProbingSoA) Len() int { return t.size + t.sent.len() }
-
-// Capacity implements Map.
-func (t *LinearProbingSoA) Capacity() int { return len(t.keys) }
-
-// LoadFactor implements Map.
-func (t *LinearProbingSoA) LoadFactor() float64 {
-	return float64(t.Len()) / float64(len(t.keys))
-}
-
-// Tombstones returns the number of tombstoned slots.
-func (t *LinearProbingSoA) Tombstones() int { return t.tombs }
-
-// MemoryFootprint implements Map: two 8-byte arrays, same total as AoS.
-func (t *LinearProbingSoA) MemoryFootprint() uint64 {
-	return uint64(len(t.keys)) * 16
-}
-
-// Get implements Map.
-func (t *LinearProbingSoA) Get(key uint64) (uint64, bool) {
-	if isSentinelKey(key) {
-		return t.sent.get(key)
-	}
-	i := t.home(key)
-	for {
-		k := t.keys[i]
-		if k == key {
-			return t.vals[i], true
-		}
-		if k == emptyKey {
-			return 0, false
-		}
-		i = (i + 1) & t.mask
-	}
-}
-
-// ensureRoom keeps at least one truly empty slot so probe loops terminate;
-// see LinearProbing.ensureRoom.
-func (t *LinearProbingSoA) ensureRoom() error {
-	if t.maxLF != 0 {
-		t.maybeGrow()
-		return nil
-	}
-	if t.size+t.tombs+1 < len(t.keys) {
-		return nil
-	}
-	if t.size+1 >= len(t.keys) {
-		return errFull(t.Name(), t.size, len(t.keys))
-	}
-	t.rehash(len(t.keys))
-	return nil
-}
-
-// Put implements Map; like LinearProbing.Put it grows once instead of
-// failing on a full growth-disabled table.
-func (t *LinearProbingSoA) Put(key, val uint64) bool {
-	if isSentinelKey(key) {
-		return t.sent.put(key, val)
-	}
-	return t.mustPutHashed(key, val, t.fn.Hash(key))
-}
-
-// mustPutHashed is the legacy Map insert primitive; see
-// LinearProbing.mustPutHashed.
-func (t *LinearProbingSoA) mustPutHashed(key, val, hash uint64) bool {
-	_, existed, err := t.rmwHashed(key, val, hash, true, nil)
-	if err != nil {
-		// Growth disabled and full, and the key is new (rmwHashed updates
-		// existing keys in place without needing room): grow once.
-		t.rehash(len(t.keys) * 2)
-		_, existed, _ = t.rmwHashed(key, val, hash, true, nil)
-	}
-	return !existed
-}
-
-// rmwHashed is the single-probe read-modify-write primitive; see
-// LinearProbing.rmwHashed.
-func (t *LinearProbingSoA) rmwHashed(key, val, hash uint64, overwrite bool, fn func(uint64, bool) uint64) (uint64, bool, error) {
-	if isSentinelKey(key) {
-		v, existed := t.sent.rmw(key, val, overwrite, fn)
-		return v, existed, nil
-	}
-	if t.maxLF != 0 {
-		t.maybeGrow()
-	} else if t.size+t.tombs+1 >= len(t.keys) && t.tombs > 0 {
-		t.rehash(len(t.keys))
-	}
-	i := hash >> t.shift
-	firstTomb := -1
-	for {
-		k := t.keys[i]
-		if k == key {
-			if fn != nil {
-				t.vals[i] = fn(t.vals[i], true)
-			} else if overwrite {
-				t.vals[i] = val
-			}
-			return t.vals[i], true, nil
-		}
-		if k == emptyKey {
-			if t.maxLF == 0 && t.size+1 >= len(t.keys) {
-				return 0, false, errFull(t.Name(), t.size, len(t.keys))
-			}
-			v := val
-			if fn != nil {
-				v = fn(0, false)
-			}
-			if firstTomb >= 0 {
-				t.keys[firstTomb] = key
-				t.vals[firstTomb] = v
-				t.tombs--
-			} else {
-				t.keys[i] = key
-				t.vals[i] = v
-			}
-			t.size++
-			return v, false, nil
-		}
-		if k == tombKey && firstTomb < 0 {
-			firstTomb = int(i)
-		}
-		i = (i + 1) & t.mask
-	}
-}
-
-// Delete implements Map with the optimized tombstone strategy (see
-// LinearProbing.Delete).
-func (t *LinearProbingSoA) Delete(key uint64) bool {
-	if isSentinelKey(key) {
-		return t.sent.delete(key)
-	}
-	i := t.home(key)
-	for {
-		k := t.keys[i]
-		if k == key {
-			next := (i + 1) & t.mask
-			if t.keys[next] == emptyKey {
-				t.keys[i], t.vals[i] = emptyKey, 0
-				j := (i - 1) & t.mask
-				for t.keys[j] == tombKey {
-					t.keys[j] = emptyKey
-					t.tombs--
-					j = (j - 1) & t.mask
-				}
-			} else {
-				t.keys[i], t.vals[i] = tombKey, 0
-				t.tombs++
-			}
-			t.size--
-			return true
-		}
-		if k == emptyKey {
-			return false
-		}
-		i = (i + 1) & t.mask
-	}
-}
-
-func (t *LinearProbingSoA) maybeGrow() {
-	if t.maxLF == 0 {
-		return
-	}
-	threshold := int(t.maxLF * float64(len(t.keys)))
-	if t.size+t.tombs+1 <= threshold {
-		return
-	}
-	newCap := len(t.keys)
-	if t.size+1 > threshold {
-		newCap *= 2
-	}
-	t.rehash(newCap)
-}
-
-func (t *LinearProbingSoA) rehash(capacity int) {
-	t.grows++
-	oldKeys, oldVals := t.keys, t.vals
-	t.init(capacity)
-	for idx, k := range oldKeys {
-		if k == emptyKey || k == tombKey {
-			continue
-		}
-		i := t.home(k)
-		for t.keys[i] != emptyKey {
-			i = (i + 1) & t.mask
-		}
-		t.keys[i] = k
-		t.vals[i] = oldVals[idx]
-		t.size++
-	}
-}
-
-// Range implements Map.
-func (t *LinearProbingSoA) Range(fn func(key, val uint64) bool) {
-	if !t.sent.rng(fn) {
-		return
-	}
-	for i, k := range t.keys {
-		if k == emptyKey || k == tombKey {
-			continue
-		}
-		if !fn(k, t.vals[i]) {
-			return
-		}
-	}
-}
-
-// Displacements returns per-entry displacements, as for LinearProbing.
-func (t *LinearProbingSoA) Displacements() []int {
-	out := make([]int, 0, t.size)
-	for i, k := range t.keys {
-		if k == emptyKey || k == tombKey {
-			continue
-		}
-		out = append(out, int((uint64(i)-t.home(k))&t.mask))
-	}
-	return out
 }

@@ -16,7 +16,15 @@
 //   - Cuckoo: k-ary Cuckoo hashing (default k = 4, the paper's CuckooH4).
 //
 // plus LinearProbingSoA, the struct-of-arrays layout variant used by the
-// paper's §7 layout and SIMD study.
+// paper's §7 layout and SIMD study, and DoubleHashing, an extension scheme
+// expressed purely as a probe-sequence policy of the shared kernel.
+//
+// The open-addressing schemes are instantiations of one policy-driven
+// probe kernel (kernel.go) over the paper's design dimensions made types
+// (policy.go): probe sequence x slot layout x displacement policy, with
+// the deletion strategy derived from them. Chained hashing and Cuckoo
+// keep structurally different cores but share the sentinel routing and
+// batch staging machinery.
 //
 // All tables store 64-bit integer keys and 64-bit values with map
 // semantics (Put is an upsert). They are deliberately single-threaded,

@@ -8,13 +8,11 @@ import (
 	"repro/internal/prng"
 )
 
-// allSchemes lists every scheme, including the SoA layout variant.
-func allSchemes() []Scheme {
-	return []Scheme{
-		SchemeChained8, SchemeChained24,
-		SchemeLP, SchemeLPSoA, SchemeQP, SchemeRH, SchemeCuckooH4,
-	}
-}
+// allSchemes lists every scheme, including the SoA layout variant and the
+// DH kernel extension — the registry's AllSchemes, so a newly registered
+// scheme is picked up by the whole differential/property suite
+// automatically.
+func allSchemes() []Scheme { return AllSchemes() }
 
 func allFamilies() []hashfn.Family { return hashfn.Families() }
 
@@ -287,6 +285,67 @@ func TestDeleteThenReinsert(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestRegistryDrift pins the registry's advertised scheme lists against
+// each other, so a newly registered scheme cannot silently drop out of a
+// list again (as LPSoA once did from Schemes and OpenAddressingSchemes).
+func TestRegistryDrift(t *testing.T) {
+	all := AllSchemes()
+	if len(all) != 8 {
+		t.Fatalf("AllSchemes lists %d schemes, want 8: %v", len(all), all)
+	}
+	in := func(list []Scheme, s Scheme) bool {
+		for _, x := range list {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	// Every scheme in every list constructs, with a matching Name.
+	for _, s := range all {
+		m, err := New(s, Config{InitialCapacity: 64})
+		if err != nil {
+			t.Fatalf("New(%s): %v", s, err)
+		}
+		if m.Name() != string(s) {
+			t.Errorf("New(%s).Name() = %s", s, m.Name())
+		}
+	}
+	// Schemes is the paper's six; it must omit only the two extensions.
+	if len(Schemes()) != 6 {
+		t.Fatalf("Schemes lists %d schemes, want the paper's 6", len(Schemes()))
+	}
+	for _, s := range Schemes() {
+		if !in(all, s) {
+			t.Errorf("Schemes lists %s but AllSchemes does not", s)
+		}
+		if s == SchemeLPSoA || s == SchemeDH {
+			t.Errorf("Schemes must not list extension scheme %s", s)
+		}
+	}
+	// OpenAddressingSchemes = AllSchemes minus the chained variants.
+	oa := OpenAddressingSchemes()
+	if len(oa) != len(all)-2 {
+		t.Fatalf("OpenAddressingSchemes lists %d schemes, want %d", len(oa), len(all)-2)
+	}
+	for _, s := range []Scheme{SchemeLPSoA, SchemeDH, SchemeLP, SchemeQP, SchemeRH, SchemeCuckooH4} {
+		if !in(oa, s) {
+			t.Errorf("OpenAddressingSchemes omits %s", s)
+		}
+	}
+	// KernelSchemes = the kernel instantiations: open addressing minus
+	// Cuckoo.
+	ks := KernelSchemes()
+	if len(ks) != len(oa)-1 {
+		t.Fatalf("KernelSchemes lists %d schemes, want %d", len(ks), len(oa)-1)
+	}
+	for _, s := range ks {
+		if !in(oa, s) || s == SchemeCuckooH4 {
+			t.Errorf("KernelSchemes lists %s unexpectedly", s)
+		}
+	}
 }
 
 func TestRegistry(t *testing.T) {

@@ -179,7 +179,7 @@ func replayDifferential(t *testing.T, scheme table.Scheme, partitions int, seed 
 
 // TestDifferentialTapeReplay drives every scheme through the façade.
 func TestDifferentialTapeReplay(t *testing.T) {
-	schemes := append(table.Schemes(), table.SchemeLPSoA)
+	schemes := table.AllSchemes()
 	for _, scheme := range schemes {
 		t.Run(string(scheme), func(t *testing.T) {
 			replayDifferential(t, scheme, 1, 42)
