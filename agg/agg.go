@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/exec"
 	"repro/hashfn"
 	"repro/table"
 )
@@ -110,6 +111,7 @@ type Config struct {
 
 // GroupBy is a streaming hash aggregation operator.
 type GroupBy struct {
+	cfg    Config // post-default config, the template for AddParallel's per-worker locals
 	idx    *table.Handle
 	states []State
 }
@@ -140,7 +142,7 @@ func NewGroupBy(cfg Config) (*GroupBy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &GroupBy{idx: idx}, nil
+	return &GroupBy{cfg: cfg, idx: idx}, nil
 }
 
 // MustNewGroupBy is NewGroupBy that panics on error.
@@ -195,6 +197,47 @@ func (g *GroupBy) AddBatch(groups, values []uint64) {
 		})
 		return uint64(len(g.states) - 1)
 	})
+}
+
+// AddParallel folds a column pair with morsel-driven parallelism on the
+// exec core — the parallel GROUP BY driver the paper's §4 equivalence
+// (WORM ≡ aggregation) implies: the columns are carved into morsels, each
+// pool worker pre-aggregates the morsels it claims into its own local
+// GroupBy through the batched single-probe pipeline (no locks — every
+// worker owns its accumulator), and the locals are merged into g
+// sequentially with Merge, one probe per distinct group per worker.
+//
+// The result is equivalent to AddBatch over the same columns: every
+// aggregate the paper names (COUNT, SUM, MIN, MAX, AVG) is commutative
+// and associative, so per-group states are independent of the morsel
+// schedule. Only the first-seen ORDER of groups (Range) may differ from
+// the serial build's; with cfg.Workers == 1 the schedule is the serial
+// order and the result is identical state-for-state.
+func (g *GroupBy) AddParallel(cfg exec.Config, groups, values []uint64) error {
+	if len(groups) != len(values) {
+		panic("agg: AddParallel column length mismatch")
+	}
+	pool := exec.NewPool(cfg)
+	defer pool.Close()
+	locals, err := exec.Locals(pool, len(groups),
+		func(w int) (*GroupBy, error) {
+			c := g.cfg
+			// Independent seeds per worker: the locals' group indexes are
+			// private, so their hash functions need not match g's.
+			c.Seed = g.cfg.Seed + uint64(w+1)*0x9e3779b97f4a7c15
+			return NewGroupBy(c)
+		},
+		func(local *GroupBy, _, lo, hi int) error {
+			local.AddBatch(groups[lo:hi], values[lo:hi])
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	for _, local := range locals {
+		g.Merge(local)
+	}
+	return nil
 }
 
 // Groups returns the number of distinct groups seen.

@@ -1,0 +1,113 @@
+package agg
+
+// Parallel GROUP BY ≡ serial GROUP BY: AddParallel's per-worker
+// pre-aggregation plus Merge must produce, for every group, exactly the
+// state the serial batched build produces — across every registered
+// scheme of the group-index table and every aggregate function the paper
+// names. The group ORDER may differ between schedules (Range is
+// first-seen order and the parallel first-seer is schedule-dependent);
+// with one worker even the order must match.
+
+import (
+	"testing"
+
+	"repro/exec"
+	"repro/internal/prng"
+	"repro/table"
+)
+
+// aggColumns builds a (groups, values) column pair with a skewed group
+// histogram: some groups occur thousands of times, some once.
+func aggColumns(n int, distinct uint64, seed uint64) ([]uint64, []uint64) {
+	rng := prng.NewXoshiro256(seed)
+	groups := make([]uint64, n)
+	values := make([]uint64, n)
+	for i := range groups {
+		g := rng.Uint64n(distinct)
+		groups[i] = g * g // non-contiguous group keys
+		values[i] = rng.Uint64n(1 << 20)
+	}
+	return groups, values
+}
+
+// allFuncs is every aggregate the paper names (§4).
+var allFuncs = []Func{Count, Sum, Min, Max, Avg}
+
+func TestAddParallelMatchesSerialAllSchemes(t *testing.T) {
+	groups, values := aggColumns(50_000, 1<<10, 7)
+	for _, scheme := range table.AllSchemes() {
+		t.Run(string(scheme), func(t *testing.T) {
+			cfg := Config{Scheme: scheme, Seed: 42}
+			serial := MustNewGroupBy(cfg)
+			serial.AddBatch(groups, values)
+
+			for _, workers := range []int{1, 2, 4} {
+				par := MustNewGroupBy(cfg)
+				if err := par.AddParallel(exec.Config{Workers: workers, MorselSize: 1 << 10}, groups, values); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if par.Groups() != serial.Groups() {
+					t.Fatalf("workers=%d: %d groups, serial has %d", workers, par.Groups(), serial.Groups())
+				}
+				serial.Range(func(want *State) bool {
+					got, ok := par.Get(want.Key)
+					if !ok {
+						t.Fatalf("workers=%d: group %d missing from parallel result", workers, want.Key)
+					}
+					if *got != *want {
+						t.Fatalf("workers=%d: group %d state = %+v, serial %+v", workers, want.Key, *got, *want)
+					}
+					for _, f := range allFuncs {
+						if got.Value(f) != want.Value(f) {
+							t.Fatalf("workers=%d: group %d %s = %v, serial %v",
+								workers, want.Key, f, got.Value(f), want.Value(f))
+						}
+					}
+					return true
+				})
+			}
+
+			// One worker is the serial schedule: even the first-seen group
+			// order must match.
+			par1 := MustNewGroupBy(cfg)
+			if err := par1.AddParallel(exec.Config{Workers: 1}, groups, values); err != nil {
+				t.Fatal(err)
+			}
+			i := 0
+			par1.Range(func(got *State) bool {
+				want := &serial.states[i]
+				if *got != *want {
+					t.Fatalf("single-worker state %d = %+v, serial %+v", i, *got, *want)
+				}
+				i++
+				return true
+			})
+		})
+	}
+}
+
+// TestAddParallelIntoNonEmpty: AddParallel folds into whatever g already
+// holds, like Add/AddBatch do.
+func TestAddParallelIntoNonEmpty(t *testing.T) {
+	groups, values := aggColumns(10_000, 1<<8, 9)
+	serial := MustNewGroupBy(Config{})
+	parallel := MustNewGroupBy(Config{})
+	for i := 0; i < 100; i++ { // pre-existing state in both
+		serial.Add(groups[i], values[i])
+		parallel.Add(groups[i], values[i])
+	}
+	serial.AddBatch(groups, values)
+	if err := parallel.AddParallel(exec.Config{Workers: 4, MorselSize: 512}, groups, values); err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Groups() != serial.Groups() {
+		t.Fatalf("%d groups, serial has %d", parallel.Groups(), serial.Groups())
+	}
+	serial.Range(func(want *State) bool {
+		got, ok := parallel.Get(want.Key)
+		if !ok || *got != *want {
+			t.Fatalf("group %d = %+v (ok=%v), serial %+v", want.Key, got, ok, *want)
+		}
+		return true
+	})
+}

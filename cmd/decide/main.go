@@ -35,8 +35,8 @@ func main() {
 		writeHeavy   = flag.Bool("write-heavy", false, "more writes (inserts+deletes) than reads")
 		dynamic      = flag.Bool("dynamic", false, "table grows/shrinks over its lifetime (OLTP-like)")
 		dense        = flag.Bool("dense", false, "keys are densely distributed integers (e.g. generated primary keys)")
-		threads      = flag.Int("threads", 1, "goroutines expected to share the table concurrently; >1 adds a shard-count recommendation")
-		jsonOut      = flag.Bool("json", false, "emit the decision.Choice (scheme, family, label, shards, path) as JSON")
+		threads      = flag.Int("threads", 1, "goroutines expected to share the table concurrently; >1 adds shard-count and exec worker-count recommendations")
+		jsonOut      = flag.Bool("json", false, "emit the decision.Choice (scheme, family, label, shards, workers, path) as JSON")
 	)
 	flag.Parse()
 
@@ -62,6 +62,7 @@ type jsonChoice struct {
 
 func run(out io.Writer, w decision.Workload, threads int, asJSON bool) error {
 	shards := decision.ShardsFor(threads)
+	workers := decision.WorkersFor(threads)
 	if asJSON {
 		// Resolve through the Open façade rather than decision.Recommend:
 		// the emitted choice is then by construction the one the library
@@ -71,7 +72,7 @@ func run(out io.Writer, w decision.Workload, threads int, asJSON bool) error {
 		if err != nil {
 			return err
 		}
-		choice := decision.Choice{Scheme: h.Scheme(), Family: h.HashName(), Shards: shards, Path: h.DecisionPath()}
+		choice := decision.Choice{Scheme: h.Scheme(), Family: h.HashName(), Shards: shards, Workers: workers, Path: h.DecisionPath()}
 		enc := json.NewEncoder(out)
 		return enc.Encode(jsonChoice{Choice: choice, Label: choice.Label()})
 	}
@@ -82,6 +83,9 @@ func run(out io.Writer, w decision.Workload, threads int, asJSON bool) error {
 	fmt.Fprintf(out, "Recommendation: %s\n", choice.Label())
 	if shards > 0 {
 		fmt.Fprintf(out, "Striping: WithPartitions(%d) for %d concurrent goroutines (power of two >= 2x threads)\n", shards, threads)
+	}
+	if workers > 0 {
+		fmt.Fprintf(out, "Execution: exec.Config{Workers: %d} for the parallel operators (threads clamped to GOMAXPROCS)\n", workers)
 	}
 	fmt.Fprintln(out, "Decision path:")
 	for i, step := range choice.Path {

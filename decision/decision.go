@@ -35,6 +35,7 @@ package decision
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 
 	"repro/table"
 )
@@ -54,8 +55,13 @@ type Choice struct {
 	// argument to table.Open's WithPartitions), set when the workload was
 	// described with an expected thread count > 1; zero means
 	// single-threaded use, no striping.
-	Shards int      `json:"shards,omitempty"`
-	Path   []string `json:"path"`
+	Shards int `json:"shards,omitempty"`
+	// Workers is the recommended exec.Config.Workers for the parallel
+	// operators (joins, parallel aggregation, partition build/probe), set
+	// alongside Shards when the thread count is > 1; zero means
+	// single-threaded use, no pool.
+	Workers int      `json:"workers,omitempty"`
+	Path    []string `json:"path"`
 }
 
 // Label returns the paper-style table label, e.g. "RHMult".
@@ -85,6 +91,23 @@ func ShardsFor(threads int) int {
 		threads = 1 << 30
 	}
 	return 1 << bits.Len(uint(2*threads-1))
+}
+
+// WorkersFor returns the recommended exec worker count (exec.Config's
+// Workers) for an operator driven on behalf of threads concurrent
+// callers: the thread count itself, clamped to runtime.GOMAXPROCS —
+// shards want headroom over the thread count so lock collisions stay
+// rare (ShardsFor's 2x), but workers are CPU-bound, and oversubscribing
+// cores only adds scheduling overhead. Zero (no pool) is returned for
+// single-threaded use, mirroring ShardsFor.
+func WorkersFor(threads int) int {
+	if threads <= 1 {
+		return 0
+	}
+	if g := runtime.GOMAXPROCS(0); threads > g {
+		return g
+	}
+	return threads
 }
 
 // Recommend walks the Figure 8 decision graph for w.

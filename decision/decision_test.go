@@ -1,6 +1,7 @@
 package decision
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -151,5 +152,25 @@ func TestLabels(t *testing.T) {
 	}
 	if !strings.Contains(c.String(), "LPMult") {
 		t.Fatalf("String() = %s", c.String())
+	}
+}
+
+func TestWorkersFor(t *testing.T) {
+	if got := WorkersFor(0); got != 0 {
+		t.Fatalf("WorkersFor(0) = %d, want 0 (no pool)", got)
+	}
+	if got := WorkersFor(1); got != 0 {
+		t.Fatalf("WorkersFor(1) = %d, want 0 (single-threaded)", got)
+	}
+	g := runtime.GOMAXPROCS(0)
+	for _, threads := range []int{2, 4, 1 << 20} {
+		got := WorkersFor(threads)
+		want := threads
+		if want > g {
+			want = g
+		}
+		if got != want {
+			t.Fatalf("WorkersFor(%d) = %d, want %d (threads clamped to GOMAXPROCS=%d)", threads, got, want, g)
+		}
 	}
 }

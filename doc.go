@@ -7,14 +7,17 @@
 // striped partitioning, or a workload description routed through the
 // paper's Figure 8 decision graph). The library lives in the subpackages:
 //
-//	table    — the Open/Handle façade and the five hashing schemes (+ SoA layout variant)
+//	table    — the Open/Handle façade and the hashing schemes: the paper's
+//	           five (+ SoA layout variant) plus the DH probe-kernel extension
 //	shard    — the concurrent sharded engine (RWMutex shards, incremental resize)
+//	exec     — the morsel-driven parallel execution core (bounded worker
+//	           pool, morsel scheduling, the shared scatter→gather primitive)
 //	hashfn   — the four hash-function classes
 //	dist     — the three key distributions
 //	workload — the WORM, RW and concurrent-RW workload drivers
 //	stats    — displacement/cluster/chain analysis and Knuth's formulas
 //	bench    — the harness regenerating every figure of the evaluation
-//	decision — the Figure 8 practitioner decision graph (+ shard-count advice)
+//	decision — the Figure 8 practitioner decision graph (+ shard/worker-count advice)
 //
 // See README.md for a tour, the new-API migration table, and how to
 // regenerate the paper's figures. The benchmarks in bench_test.go

@@ -4,6 +4,12 @@
 // a complete query: join orders to customers with a partitioned parallel
 // hash join, then aggregate revenue per customer segment with
 // partition-local GROUP BYs merged at the end. No locks anywhere.
+//
+// Sizing comes from the library's advice, not hardcoded multipliers: the
+// partition count is decision.ShardsFor (units of work with headroom over
+// the cores) and the worker count is decision.WorkersFor / exec's
+// GOMAXPROCS default (the pool that executes them). The same join runs at
+// workers=1 and workers=N to show the morsel-driven core's scaling.
 package main
 
 import (
@@ -14,6 +20,8 @@ import (
 	"time"
 
 	"repro/agg"
+	"repro/decision"
+	"repro/exec"
 	"repro/internal/prng"
 	"repro/join"
 	"repro/table"
@@ -37,34 +45,61 @@ func main() {
 		orders[i] = join.Row{Key: rng.Uint64n(numCustomers) + 1, Payload: 100 + rng.Uint64n(100_000)}
 	}
 
-	partitions := runtime.GOMAXPROCS(0) * 2
-	fmt.Printf("join %d orders to %d customers across %d partitions (%d CPUs)\n",
-		numOrders, numCustomers, partitions, runtime.NumCPU())
-
-	// Partition-local aggregation states, merged after the barrier: the
-	// emit callback runs concurrently, so each goroutine... here we use a
-	// mutex-guarded per-segment array since segments are tiny; for large
-	// group counts you would keep one agg.GroupBy per partition and Merge.
-	var mu sync.Mutex
-	bySegment := agg.MustNewGroupBy(agg.Config{ExpectedGroups: 10, Seed: 5})
-
-	start := time.Now()
-	matches, err := join.PartitionedHashJoin(customers, orders, partitions,
-		join.Config{Scheme: table.SchemeRH, LoadFactor: 0.7, Seed: 42},
-		func(key, segment, cents uint64) {
-			mu.Lock()
-			bySegment.Add(segment, cents)
-			mu.Unlock()
-		})
-	if err != nil {
-		panic(err)
+	// Partitions are units of WORK (ShardsFor: power of two >= 2x the
+	// thread count, so the pool always has a next partition to steal);
+	// workers are the bounded pool executing them (WorkersFor: threads
+	// clamped to GOMAXPROCS — here all cores).
+	cores := runtime.GOMAXPROCS(0)
+	partitions := decision.ShardsFor(cores)
+	if partitions < 2 {
+		partitions = 2
 	}
-	elapsed := time.Since(start)
+	workers := decision.WorkersFor(cores)
+	if workers < 1 {
+		workers = 1 // single-core machine: WorkersFor advises "no pool"
+	}
+	fmt.Printf("join %d orders to %d customers: %d partitions on a %d-worker pool (%d CPUs)\n",
+		numOrders, numCustomers, partitions, workers, runtime.NumCPU())
 
-	fmt.Printf("%d matches in %v (%.1f M probes/s end to end)\n\n",
-		matches, elapsed.Round(time.Millisecond), float64(numOrders)/1e6/elapsed.Seconds())
+	// workers=1 vs workers=N over the same partitioned join, doing
+	// IDENTICAL work: both runs aggregate every match into a fresh
+	// mutex-guarded segment GROUP BY (segments are tiny; for large group
+	// counts you would keep one agg.GroupBy per partition and Merge, or
+	// aggregate columns with AddParallel as below), so the worker count is
+	// the only difference between the timings.
+	var matches int
+	var elapsed [2]time.Duration
+	var results [2]*agg.GroupBy
+	for i, w := range []int{1, workers} {
+		g := agg.MustNewGroupBy(agg.Config{ExpectedGroups: 10, Seed: 5})
+		var mu sync.Mutex
+		start := time.Now()
+		m, err := join.PartitionedHashJoin(customers, orders, partitions,
+			join.Config{Scheme: table.SchemeRH, LoadFactor: 0.7, Workers: w, Seed: 42},
+			func(key, segment, cents uint64) {
+				mu.Lock()
+				g.Add(segment, cents)
+				mu.Unlock()
+			})
+		if err != nil {
+			panic(err)
+		}
+		elapsed[i] = time.Since(start)
+		results[i] = g
+		if i == 0 {
+			matches = m
+		} else if m != matches {
+			panic(fmt.Sprintf("worker counts disagree: %d != %d matches", m, matches))
+		}
+		fmt.Printf("  workers=%-2d %d matches in %7v (%.1f M probes/s)\n",
+			w, m, elapsed[i].Round(time.Millisecond), float64(numOrders)/1e6/elapsed[i].Seconds())
+	}
+	if workers > 1 {
+		fmt.Printf("  speedup: %.2fx with %d workers\n", elapsed[0].Seconds()/elapsed[1].Seconds(), workers)
+	}
+	bySegment := results[1]
 
-	fmt.Printf("%-8s %12s %16s %12s\n", "segment", "orders", "revenue", "avg")
+	fmt.Printf("\n%-8s %12s %16s %12s\n", "segment", "orders", "revenue", "avg")
 	var totalOrders, totalRevenue uint64
 	for seg := uint64(0); seg < 10; seg++ {
 		if s, ok := bySegment.Get(seg); ok {
@@ -85,12 +120,11 @@ func main() {
 		bySegment.TableName(), st.Len, st.MeanProbe, float64(st.MemoryBytes)/1024)
 
 	// The same join through the shared-memory sharded engine: no up-front
-	// radix partitioning — workers stream contiguous input chunks and the
+	// radix partitioning — the pool's workers claim input morsels and the
 	// engine routes rows to shards under per-shard locks, resizing shards
 	// incrementally if the build outgrows them.
-	workers := runtime.GOMAXPROCS(0)
 	var shared int64
-	start = time.Now()
+	start := time.Now()
 	sharedMatches, err := join.SharedHashJoin(customers, orders, workers,
 		join.Config{Scheme: table.SchemeRH, LoadFactor: 0.7, Seed: 42},
 		func(key, segment, cents uint64) { atomic.AddInt64(&shared, int64(cents)) })
@@ -107,4 +141,21 @@ func main() {
 	if shared != int64(totalRevenue) {
 		panic(fmt.Sprintf("shared join revenue disagrees: %d != %d", shared, totalRevenue))
 	}
+
+	// And the missing GROUP BY driver the exec core adds: the order-value
+	// column aggregated by segment with per-worker pre-aggregation —
+	// identical states to the serial build, no mutex in the hot loop.
+	segs := make([]uint64, numOrders)
+	cents := make([]uint64, numOrders)
+	for i, o := range orders {
+		segs[i] = (o.Key - 1) % 10
+		cents[i] = o.Payload
+	}
+	parAgg := agg.MustNewGroupBy(agg.Config{ExpectedGroups: 10, Seed: 5})
+	start = time.Now()
+	if err := parAgg.AddParallel(exec.Config{Workers: workers}, segs, cents); err != nil {
+		panic(err)
+	}
+	fmt.Printf("parallel GROUP BY over %d rows: %d segments in %v (%d workers)\n",
+		numOrders, parAgg.Groups(), time.Since(start).Round(time.Millisecond), workers)
 }

@@ -1,0 +1,296 @@
+// Package exec is the repo's one morsel-driven parallel execution core.
+//
+// Every parallel operator above the table layer — partitioned and shared
+// hash joins, parallel aggregation, partition-parallel build/probe, the
+// concurrent workload drivers — used to carry its own ad-hoc goroutine
+// fan-out: one goroutine per partition regardless of core count, bespoke
+// chunking, bespoke error conventions. This package consolidates all of
+// that into one scheduling core, the way morsel-driven query execution
+// (Leis et al., SIGMOD 2014) structures parallelism: a bounded pool of
+// workers, work carved into cache-friendly morsels (index ranges), and
+// idle workers claiming the next morsel from a shared cursor — dynamic
+// self-scheduling, so a worker that finishes early steals the remaining
+// morsels of a slower sibling's input instead of going idle.
+//
+// The building blocks:
+//
+//   - Config sizes everything from one place: Workers (default
+//     runtime.GOMAXPROCS) bounds the fan-out, MorselSize (default
+//     DefaultMorselSize) sets the range granularity.
+//   - Pool owns the worker goroutines. ForEach schedules discrete tasks
+//     (e.g. one per partition), ForMorsels carves an index range [0, n)
+//     into morsels; both propagate the first error and stop scheduling
+//     further work once a task fails.
+//   - Map / MapMorsels gather per-task results deterministically (in task
+//     order, regardless of completion order); Locals threads a per-worker
+//     accumulator through the morsels a worker claims — the
+//     pre-aggregation pattern — and returns the used accumulators in
+//     worker order.
+//   - Scatter is the one stable scatter→group-major→gather primitive the
+//     sharded engine and the radix-partitioned operators share.
+//
+// A Pool is safe for concurrent use by multiple goroutines; the task
+// callbacks must not call back into the same pool (a worker executing a
+// nested submit could deadlock waiting for itself).
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorselSize is the morsel granularity when Config.MorselSize is
+// zero: 4096 keys (32 KiB of key column) — small enough that a morsel's
+// working set is cache-resident and the pool load-balances skewed costs,
+// large enough that the shared-cursor claim is amortized over thousands
+// of rows.
+const DefaultMorselSize = 4096
+
+// Config sizes the execution core. The zero value means "one worker per
+// CPU, default morsels".
+type Config struct {
+	// Workers bounds the number of concurrently executing tasks (default
+	// runtime.GOMAXPROCS(0)). Parallel operators accept this instead of
+	// spawning one goroutine per partition: the fan-out stays bounded by
+	// the machine, not by the data.
+	Workers int
+	// MorselSize is the number of consecutive indexes per morsel in
+	// ForMorsels/MapMorsels/Locals (default DefaultMorselSize).
+	MorselSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MorselSize < 1 {
+		c.MorselSize = DefaultMorselSize
+	}
+	return c
+}
+
+// Pool is a bounded set of worker goroutines executing tasks. Construct
+// with NewPool; Close releases the workers (and is required — an unclosed
+// pool leaks its goroutines). The zero value is not usable.
+type Pool struct {
+	workers int
+	morsel  int
+	tasks   chan *run
+	wg      sync.WaitGroup
+}
+
+// NewPool starts cfg.Workers worker goroutines. Callers must Close the
+// pool when done with it.
+func NewPool(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		workers: cfg.Workers,
+		morsel:  cfg.MorselSize,
+		tasks:   make(chan *run),
+	}
+	p.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		go func(w int) {
+			defer p.wg.Done()
+			for r := range p.tasks {
+				r.do(w)
+				r.wg.Done()
+			}
+		}(w)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count. Worker indexes passed to task
+// callbacks are always in [0, Workers()).
+func (p *Pool) Workers() int { return p.workers }
+
+// MorselSize returns the pool's morsel granularity.
+func (p *Pool) MorselSize() int { return p.morsel }
+
+// Close shuts the workers down and waits until every worker goroutine has
+// exited. Submitting work after Close panics.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// run is one scheduled batch of tasks: a shared claim cursor (the
+// work-stealing hand-off — idle workers claim the next unclaimed task)
+// plus first-error state.
+type run struct {
+	n      int
+	fn     func(worker, task int) error
+	cursor atomic.Int64
+	failed atomic.Bool
+	once   sync.Once
+	err    error
+	wg     sync.WaitGroup
+}
+
+// do claims and executes tasks until the cursor is exhausted or a task
+// has failed.
+func (r *run) do(worker int) {
+	for !r.failed.Load() {
+		t := int(r.cursor.Add(1)) - 1
+		if t >= r.n {
+			return
+		}
+		if err := r.fn(worker, t); err != nil {
+			r.once.Do(func() { r.err = err })
+			r.failed.Store(true)
+			return
+		}
+	}
+}
+
+// ForEach executes fn(worker, task) for every task in [0, tasks),
+// spreading tasks over the pool's workers; an idle worker claims the next
+// unstarted task, so uneven task costs balance automatically. The first
+// error stops the scheduling of further tasks (tasks already running
+// finish) and is returned. With one worker (or one task) fn runs inline
+// on the calling goroutine, in task order — the serial oracle of the
+// parallel schedule.
+func (p *Pool) ForEach(tasks int, fn func(worker, task int) error) error {
+	if tasks <= 0 {
+		return nil
+	}
+	if p.workers == 1 || tasks == 1 {
+		for t := 0; t < tasks; t++ {
+			if err := fn(0, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	r := &run{n: tasks, fn: fn}
+	k := p.workers
+	if tasks < k {
+		k = tasks
+	}
+	r.wg.Add(k)
+	for i := 0; i < k; i++ {
+		p.tasks <- r
+	}
+	r.wg.Wait()
+	return r.err
+}
+
+// morselsFor returns the number of size-sized morsels covering [0, n).
+func morselsFor(n, size int) int {
+	return (n + size - 1) / size
+}
+
+// ForMorsels carves the index range [0, n) into MorselSize-sized morsels
+// and executes fn(worker, lo, hi) for each, with the same scheduling and
+// error contract as ForEach. Indexes are covered exactly once; morsel
+// boundaries are deterministic (only the worker assignment varies).
+func (p *Pool) ForMorsels(n int, fn func(worker, lo, hi int) error) error {
+	size := p.morsel
+	return p.ForEach(morselsFor(n, size), func(w, t int) error {
+		lo := t * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		return fn(w, lo, hi)
+	})
+}
+
+// Run executes fn over the morsels of [0, n) on a transient pool sized by
+// cfg — the one-shot form of NewPool + ForMorsels + Close for operators
+// that parallelize a single phase.
+func Run(cfg Config, n int, fn func(worker, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	if m := morselsFor(n, cfg.MorselSize); cfg.Workers > m {
+		cfg.Workers = m // never start workers that could not claim a morsel
+	}
+	p := NewPool(cfg)
+	defer p.Close()
+	return p.ForMorsels(n, fn)
+}
+
+// RunTasks executes fn once per task in [0, tasks) on a transient pool
+// sized by cfg — the one-shot form for discrete units of work (one task
+// per partition, one per tape).
+func RunTasks(cfg Config, tasks int, fn func(worker, task int) error) error {
+	if tasks <= 0 {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Workers > tasks {
+		cfg.Workers = tasks
+	}
+	p := NewPool(cfg)
+	defer p.Close()
+	return p.ForEach(tasks, fn)
+}
+
+// Map executes fn for every task and gathers the results in task order —
+// a deterministic gather regardless of which worker ran which task or in
+// what order they completed. On error the returned slice is nil.
+func Map[T any](p *Pool, tasks int, fn func(worker, task int) (T, error)) ([]T, error) {
+	out := make([]T, tasks)
+	err := p.ForEach(tasks, func(w, t int) error {
+		v, err := fn(w, t)
+		if err != nil {
+			return err
+		}
+		out[t] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapMorsels executes fn over the morsels of [0, n) and gathers the
+// results in morsel order (deterministic gather). On error the returned
+// slice is nil.
+func MapMorsels[T any](p *Pool, n int, fn func(worker, lo, hi int) (T, error)) ([]T, error) {
+	size := p.morsel
+	return Map(p, morselsFor(n, size), func(w, t int) (T, error) {
+		lo := t * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		return fn(w, lo, hi)
+	})
+}
+
+// Locals runs fn over the morsels of [0, n) with one lazily created
+// accumulator per worker — the per-worker pre-aggregation pattern: each
+// worker folds the morsels it claims into its own state with no
+// synchronization, and the states that were actually used are returned in
+// worker order for the caller's (sequential, deterministic) merge. init
+// is called at most once per worker, from that worker.
+func Locals[S any](p *Pool, n int, init func(worker int) (S, error), fn func(s S, worker, lo, hi int) error) ([]S, error) {
+	states := make([]S, p.workers)
+	used := make([]bool, p.workers)
+	err := p.ForMorsels(n, func(w, lo, hi int) error {
+		if !used[w] {
+			s, err := init(w)
+			if err != nil {
+				return err
+			}
+			states[w], used[w] = s, true
+		}
+		return fn(states[w], w, lo, hi)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]S, 0, p.workers)
+	for w, u := range used {
+		if u {
+			out = append(out, states[w])
+		}
+	}
+	return out, nil
+}

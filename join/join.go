@@ -25,9 +25,9 @@ package join
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/decision"
+	"repro/exec"
 	"repro/hashfn"
 	"repro/partition"
 	"repro/table"
@@ -64,7 +64,13 @@ type Config struct {
 	// LoadFactor is the build-side occupancy target (default 0.5: joins
 	// are usually memory-rich and probe-bound).
 	LoadFactor float64
-	Seed       uint64
+	// Workers bounds the goroutines the parallel operators fan out
+	// (default: exec's one-per-CPU default). PartitionedHashJoin runs one
+	// task per partition on a Workers-sized pool — partitions are units of
+	// work, not goroutines — and SharedHashJoin's explicit worker argument
+	// takes precedence over this field.
+	Workers int
+	Seed    uint64
 }
 
 func (c Config) withDefaults(buildRows, probeRows int) Config {
@@ -185,9 +191,11 @@ func HashJoin(build, probe Relation, cfg Config, emit Emit) (int, error) {
 
 // PartitionedHashJoin is the partition-parallel build/probe join: both
 // relations are radix-partitioned by a shared routing hash, then each
-// partition joins independently in its own goroutine. emit may be called
-// concurrently from different partitions and must be safe for that (or
-// nil). It returns the total number of matches.
+// partition joins independently as one task on the exec pool, with the
+// fan-out bounded by cfg.Workers (default one per CPU) rather than one
+// goroutine per partition. emit may be called concurrently from different
+// partitions and must be safe for that (or nil). It returns the total
+// number of matches.
 func PartitionedHashJoin(build, probe Relation, partitions int, cfg Config, emit Emit) (int, error) {
 	cfg = cfg.withDefaults(len(build), len(probe))
 	pm, err := partition.New(partition.Config{
@@ -215,39 +223,39 @@ func PartitionedHashJoin(build, probe Relation, partitions int, cfg Config, emit
 		j := pm.Partition(r.Key)
 		probeParts[j] = append(probeParts[j], r)
 	}
-	// One goroutine per partition: build then probe, no shared state.
+	// One exec task per partition: build then probe, no shared state; idle
+	// workers steal the next unjoined partition, so skewed partitions
+	// balance automatically.
 	matches := make([]int, p)
-	errs := make([]error, p)
-	var wg sync.WaitGroup
-	for j := 0; j < p; j++ {
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			sub := cfg
-			sub.Seed = cfg.Seed + uint64(j)*0x9e3779b97f4a7c15
-			matches[j], errs[j] = HashJoin(buildParts[j], probeParts[j], sub, emit)
-		}(j)
-	}
-	wg.Wait()
-	total := 0
-	for j := 0; j < p; j++ {
-		if errs[j] != nil {
-			return 0, fmt.Errorf("join: partition %d: %w", j, errs[j])
+	err = exec.RunTasks(exec.Config{Workers: cfg.Workers}, p, func(_, j int) error {
+		sub := cfg
+		sub.Seed = cfg.Seed + uint64(j)*0x9e3779b97f4a7c15
+		n, err := HashJoin(buildParts[j], probeParts[j], sub, emit)
+		if err != nil {
+			return fmt.Errorf("join: partition %d: %w", j, err)
 		}
-		total += matches[j]
+		matches[j] = n
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range matches {
+		total += n
 	}
 	return total, nil
 }
 
 // SharedHashJoin is the shared-memory concurrent build/probe join: both
-// phases run with the given number of worker goroutines against ONE table
+// phases run with the given number of pool workers against ONE table
 // served by the sharded engine (a Handle opened WithPartitions, shards =
 // power of two >= 2x workers). Unlike PartitionedHashJoin there is no
-// up-front radix partitioning pass — workers take contiguous slices of
-// the input and the engine's stable batch scatter routes rows to shards
-// under per-shard locks — so it suits inputs that arrive pre-chunked
-// (scan morsels) or skewed key spaces where radix partitions would be
-// unbalanced. Build keys must be unique (PK/FK joins); when duplicates
+// up-front radix partitioning pass — the input is carved into exec
+// morsels, idle workers claim the next one, and the engine's stable batch
+// scatter routes rows to shards under per-shard locks — so it suits
+// inputs that arrive pre-chunked (scan morsels) or skewed key spaces
+// where radix partitions would be unbalanced. Build keys must be unique (PK/FK joins); when duplicates
 // occur anyway, which payload wins is unspecified (workers race on the
 // key's shard). emit may be called concurrently and must be safe for
 // that (or nil). It returns the total number of matches.
@@ -280,43 +288,25 @@ func SharedHashJoin(build, probe Relation, workers int, cfg Config, emit Emit) (
 	if err != nil {
 		return 0, err
 	}
-	// Build phase: workers stream contiguous row ranges through the
-	// engine's batched single-probe pipeline.
-	chunks := func(n int) [][2]int {
-		out := make([][2]int, 0, workers)
-		per := (n + workers - 1) / workers
-		for lo := 0; lo < n; lo += per {
-			out = append(out, [2]int{lo, min(lo+per, n)})
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	buildErrs := make([]error, workers)
-	for w, ext := range chunks(len(build)) {
-		wg.Add(1)
-		go func(w int, rows Relation) {
-			defer wg.Done()
-			var sc joinScratch
-			buildErrs[w] = sc.buildBatched(h, rows)
-		}(w, build[ext[0]:ext[1]])
-	}
-	wg.Wait()
-	for _, err := range buildErrs {
-		if err != nil {
-			return 0, err
-		}
+	// Both phases run on one pool: the input is carved into morsels, idle
+	// workers claim the next one, and each worker streams its morsels
+	// through its own column scratch into the engine's batched pipelines.
+	pool := exec.NewPool(exec.Config{Workers: workers})
+	defer pool.Close()
+	scratch := make([]joinScratch, pool.Workers())
+	if err := pool.ForMorsels(len(build), func(w, lo, hi int) error {
+		return scratch[w].buildBatched(h, build[lo:hi])
+	}); err != nil {
+		return 0, err
 	}
 	// Probe phase: concurrent batched lookups, matches summed at the end.
-	matches := make([]int, workers)
-	for w, ext := range chunks(len(probe)) {
-		wg.Add(1)
-		go func(w int, rows Relation) {
-			defer wg.Done()
-			var sc joinScratch
-			matches[w] = sc.probeBatched(h, rows, emit)
-		}(w, probe[ext[0]:ext[1]])
+	matches := make([]int, pool.Workers())
+	if err := pool.ForMorsels(len(probe), func(w, lo, hi int) error {
+		matches[w] += scratch[w].probeBatched(h, probe[lo:hi], emit)
+		return nil
+	}); err != nil {
+		return 0, err
 	}
-	wg.Wait()
 	total := 0
 	for _, m := range matches {
 		total += m

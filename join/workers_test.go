@@ -1,0 +1,29 @@
+package join
+
+// The Workers knob: the partitioned join's fan-out is bounded by the exec
+// pool, and the worker count must never change the result — workers=1 is
+// the serial oracle of the parallel schedule.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/table"
+)
+
+func TestPartitionedHashJoinWorkersKnob(t *testing.T) {
+	build, probe := makeRelations(4000, 12000, 30, 77)
+	want := NestedLoopJoin(build, probe, nil)
+	for _, workers := range []int{1, 2, 4} {
+		var emitted atomic.Int64
+		got, err := PartitionedHashJoin(build, probe, 16,
+			Config{Scheme: table.SchemeRH, Workers: workers, Seed: 3},
+			func(_, _, _ uint64) { emitted.Add(1) })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want || int(emitted.Load()) != want {
+			t.Fatalf("workers=%d: matches=%d emitted=%d, oracle %d", workers, got, emitted.Load(), want)
+		}
+	}
+}

@@ -2,7 +2,7 @@
 // names for taking its single-threaded hash tables parallel (§1):
 //
 //   - Partitioned: radix-partition the key space by hash bits into P
-//     independent single-threaded tables, one owner goroutine each during
+//     independent single-threaded tables, one owner at a time during
 //     parallel phases. This is the paper's preferred argument — "each
 //     partition can be considered an isolated unit of work that is only
 //     accessed by exactly one thread at a time, and therefore concurrency
@@ -17,14 +17,21 @@
 // disjoint from the bits the inner tables consume only if different
 // functions are used; Partitioned therefore draws a separate hash function
 // for routing, seeded independently of the per-partition tables.
+//
+// All parallelism runs through the exec core: the *Parallel methods stage
+// the column with exec.Scatter (the one stable scatter→group-major→gather
+// primitive) and schedule one task per partition on a bounded worker pool
+// (Config.Workers, default one worker per CPU) — a partition is a unit of
+// WORK, not a goroutine, so the fan-out is bounded by the machine rather
+// than by P.
 package partition
 
 import (
 	"fmt"
 	"iter"
 	"math/bits"
-	"sync"
 
+	"repro/exec"
 	"repro/hashfn"
 	"repro/table"
 )
@@ -34,6 +41,10 @@ type Config struct {
 	// Partitions is the number of partitions P, rounded up to a power of
 	// two (minimum 1).
 	Partitions int
+	// Workers bounds the goroutines the *Parallel methods use (default:
+	// exec's one-per-CPU default; at most one per partition is ever
+	// active, so Workers > Partitions buys nothing).
+	Workers int
 	// Scheme selects the per-partition table implementation.
 	Scheme table.Scheme
 	// Table configures each inner table; Table.InitialCapacity is the
@@ -43,46 +54,26 @@ type Config struct {
 
 // Partitioned is a hash map split into P independent single-threaded
 // tables. Point operations (Put/Get/Delete) are single-threaded like the
-// underlying tables; the *Parallel methods fan work out with one goroutine
-// per partition, which is safe because each goroutine touches only its own
-// partition.
+// underlying tables; the *Parallel methods fan work out through the exec
+// pool with one task per partition, which is safe because each task
+// touches only its own partition.
 type Partitioned struct {
-	parts  []table.Table
-	router hashfn.Function
-	shift  uint // 64 - log2(P)
-	bs     *batchScratch
+	parts   []table.Table
+	router  hashfn.Function
+	shift   uint // 64 - log2(P)
+	workers int
+	sc      *exec.Scatter
 }
 
-// batchScratch holds the reusable buffers of the batched operations, grown
-// to fit and kept across calls so the staging passes allocate nothing in
-// steady state. The batched methods inherit the tables' single-threaded
-// contract, and the *Parallel methods touch the scratch only in their
-// (sequential) scatter phase, so one scratch per map suffices.
-type batchScratch struct {
-	hash   [table.BatchWidth]uint64
-	part   []int32
-	keys   []uint64
-	orig   []int32
-	vals   []uint64
-	ok     []bool
-	starts []int32
-	pos    []int32
-}
-
-func (m *Partitioned) scratch() *batchScratch {
-	if m.bs == nil {
-		m.bs = new(batchScratch)
+// scratch returns the map's reusable scatter. The batched methods inherit
+// the tables' single-threaded contract, and the *Parallel methods stage
+// sequentially before fanning out (workers then touch only disjoint
+// staged ranges), so one scatter per map suffices.
+func (m *Partitioned) scratch() *exec.Scatter {
+	if m.sc == nil {
+		m.sc = new(exec.Scatter)
 	}
-	return m.bs
-}
-
-// grow returns s with length exactly n, reusing its backing array when
-// possible.
-func grow[T any](s []T, n int) []T {
-	if cap(s) < n {
-		return make([]T, n)
-	}
-	return s[:n]
+	return m.sc
 }
 
 // New builds a partitioned map.
@@ -106,8 +97,9 @@ func New(cfg Config) (*Partitioned, error) {
 		parts: make([]table.Table, p),
 		// The router must be independent of the per-partition functions;
 		// derive it from a distinct seed stream.
-		router: inner.Family.New(inner.Seed ^ 0x9a77_e4b0_0f00_d001),
-		shift:  uint(64 - bits.TrailingZeros(uint(p))),
+		router:  inner.Family.New(inner.Seed ^ 0x9a77_e4b0_0f00_d001),
+		shift:   uint(64 - bits.TrailingZeros(uint(p))),
+		workers: cfg.Workers,
 	}
 	for i := range pm.parts {
 		c := inner
@@ -139,20 +131,6 @@ func (m *Partitioned) Partition(key uint64) int {
 		return 0
 	}
 	return int(m.router.Hash(key) >> m.shift)
-}
-
-// partitionAll routes a whole key column, bulk-hashing the router in
-// BatchWidth chunks so the scatter passes of the batched and parallel
-// operations pay the router's dispatch once per chunk.
-func (m *Partitioned) partitionAll(keys []uint64, dst []int32) {
-	hash := m.scratch().hash[:]
-	for base := 0; base < len(keys); base += table.BatchWidth {
-		n := min(table.BatchWidth, len(keys)-base)
-		hashfn.HashBatch(m.router, keys[base:base+n], hash)
-		for i := 0; i < n; i++ {
-			dst[base+i] = int32(hash[i] >> m.shift)
-		}
-	}
 }
 
 // Put inserts or updates key in its partition.
@@ -263,16 +241,13 @@ func (m *Partitioned) TryPutBatch(keys, vals []uint64) (int, error) {
 		return m.parts[0].TryPutBatch(keys, vals)
 	}
 	st := m.stage(keys)
-	bs := m.bs
-	bs.vals = grow(bs.vals, len(keys))
-	svals := bs.vals
-	for i, oi := range st.orig {
-		svals[i] = vals[oi]
+	for i, oi := range st.Orig {
+		st.Vals[i] = vals[oi]
 	}
 	inserted := 0
 	for j := range m.parts {
-		lo, hi := st.starts[j], st.starts[j+1]
-		n, err := m.parts[j].TryPutBatch(st.keys[lo:hi], svals[lo:hi])
+		lo, hi := st.Starts[j], st.Starts[j+1]
+		n, err := m.parts[j].TryPutBatch(st.Keys[lo:hi], st.Vals[lo:hi])
 		inserted += n
 		if err != nil {
 			return inserted, err
@@ -297,26 +272,22 @@ func (m *Partitioned) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (in
 		return m.parts[0].GetOrPutBatch(keys, vals, out, loaded)
 	}
 	st := m.stage(keys)
-	bs := m.bs
-	bs.vals = grow(bs.vals, len(keys))
-	bs.ok = grow(bs.ok, len(keys))
-	svals, sok := bs.vals, bs.ok
-	for i, oi := range st.orig {
-		svals[i] = vals[oi]
+	for i, oi := range st.Orig {
+		st.Vals[i] = vals[oi]
 	}
 	inserted := 0
 	for j := range m.parts {
-		lo, hi := st.starts[j], st.starts[j+1]
+		lo, hi := st.Starts[j], st.Starts[j+1]
 		// out aliases vals within each partition's staged range: the
 		// schemes read the insert value before writing the result lane.
-		n, err := m.parts[j].GetOrPutBatch(st.keys[lo:hi], svals[lo:hi], svals[lo:hi], sok[lo:hi])
+		n, err := m.parts[j].GetOrPutBatch(st.Keys[lo:hi], st.Vals[lo:hi], st.Vals[lo:hi], st.OK[lo:hi])
 		inserted += n
 		if err != nil {
 			return inserted, err
 		}
 	}
-	for i, oi := range st.orig {
-		out[oi], loaded[oi] = svals[i], sok[i]
+	for i, oi := range st.Orig {
+		out[oi], loaded[oi] = st.Vals[i], st.OK[i]
 	}
 	return inserted, nil
 }
@@ -330,12 +301,12 @@ func (m *Partitioned) UpsertBatch(keys []uint64, fn func(lane int, old uint64, e
 	st := m.stage(keys)
 	inserted := 0
 	for j := range m.parts {
-		lo, hi := st.starts[j], st.starts[j+1]
+		lo, hi := st.Starts[j], st.Starts[j+1]
 		if lo == hi {
 			continue
 		}
-		orig := st.orig[lo:hi]
-		n, err := m.parts[j].UpsertBatch(st.keys[lo:hi], func(lane int, old uint64, exists bool) uint64 {
+		orig := st.Orig[lo:hi]
+		n, err := m.parts[j].UpsertBatch(st.Keys[lo:hi], func(lane int, old uint64, exists bool) uint64 {
 			return fn(int(orig[lane]), old, exists)
 		})
 		inserted += n
@@ -358,17 +329,13 @@ func (m *Partitioned) GetBatch(keys []uint64, vals []uint64, ok []bool) int {
 		return table.GetBatch(m.parts[0], keys, vals, ok)
 	}
 	st := m.stage(keys)
-	bs := m.bs
-	bs.vals = grow(bs.vals, len(keys))
-	bs.ok = grow(bs.ok, len(keys))
-	svals, sok := bs.vals, bs.ok
 	hits := 0
 	for j := range m.parts {
-		lo, hi := st.starts[j], st.starts[j+1]
-		hits += table.GetBatch(m.parts[j], st.keys[lo:hi], svals[lo:hi], sok[lo:hi])
+		lo, hi := st.Starts[j], st.Starts[j+1]
+		hits += table.GetBatch(m.parts[j], st.Keys[lo:hi], st.Vals[lo:hi], st.OK[lo:hi])
 	}
-	for i, oi := range st.orig {
-		vals[oi], ok[oi] = svals[i], sok[i]
+	for i, oi := range st.Orig {
+		vals[oi], ok[oi] = st.Vals[i], st.OK[i]
 	}
 	return hits
 }
@@ -384,61 +351,24 @@ func (m *Partitioned) PutBatch(keys []uint64, vals []uint64) int {
 		return table.PutBatch(m.parts[0], keys, vals)
 	}
 	st := m.stage(keys)
-	bs := m.bs
-	bs.vals = grow(bs.vals, len(keys))
-	svals := bs.vals
-	for i, oi := range st.orig {
-		svals[i] = vals[oi]
+	for i, oi := range st.Orig {
+		st.Vals[i] = vals[oi]
 	}
 	inserted := 0
 	for j := range m.parts {
-		lo, hi := st.starts[j], st.starts[j+1]
-		inserted += table.PutBatch(m.parts[j], st.keys[lo:hi], svals[lo:hi])
+		lo, hi := st.Starts[j], st.Starts[j+1]
+		inserted += table.PutBatch(m.parts[j], st.Keys[lo:hi], st.Vals[lo:hi])
 	}
 	return inserted
 }
 
-// staged is one stable partition scatter of a key column: keys regrouped by
-// partition, the original lane of every staged slot, and per-partition
-// extents.
-type staged struct {
-	keys   []uint64
-	orig   []int32
-	starts []int32
-}
-
-// stage routes keys and regroups them by partition in one pass over
-// per-partition cursors. The returned views alias the map's scratch and
-// are valid until the next batched operation.
-func (m *Partitioned) stage(keys []uint64) staged {
-	p := len(m.parts)
-	bs := m.scratch()
-	bs.part = grow(bs.part, len(keys))
-	part := bs.part
-	m.partitionAll(keys, part)
-	bs.starts = grow(bs.starts, p+1)
-	starts := bs.starts
-	clear(starts)
-	for _, j := range part {
-		starts[j+1]++
-	}
-	for j := 0; j < p; j++ {
-		starts[j+1] += starts[j]
-	}
-	bs.keys = grow(bs.keys, len(keys))
-	bs.orig = grow(bs.orig, len(keys))
-	st := staged{keys: bs.keys, orig: bs.orig, starts: starts}
-	bs.pos = grow(bs.pos, p)
-	pos := bs.pos
-	copy(pos, starts[:p])
-	for i, k := range keys {
-		j := part[i]
-		at := pos[j]
-		st.keys[at] = k
-		st.orig[at] = int32(i)
-		pos[j]++
-	}
-	return st
+// stage routes keys and regroups them partition-major through the shared
+// exec.Scatter primitive. The returned scatter is the map's scratch and
+// is valid until the next batched operation.
+func (m *Partitioned) stage(keys []uint64) *exec.Scatter {
+	sc := m.scratch()
+	sc.Route(m.router, m.shift, len(m.parts), keys)
+	return sc
 }
 
 // Skew reports the imbalance across partitions: max partition size divided
@@ -459,42 +389,28 @@ func (m *Partitioned) Skew() float64 {
 }
 
 // BuildParallel radix-partitions keys/vals and inserts each partition's
-// slice with its own goroutine — the build phase of a partition-based hash
-// join. keys and vals must have equal length. It returns the number of
-// newly inserted keys.
+// staged slice as one task on the exec pool — the build phase of a
+// partition-based hash join, with the fan-out bounded by Config.Workers
+// rather than one goroutine per partition. keys and vals must have equal
+// length. It returns the number of newly inserted keys.
 func (m *Partitioned) BuildParallel(keys, vals []uint64) int {
 	if len(keys) != len(vals) {
 		panic("partition: BuildParallel keys/vals length mismatch")
 	}
 	p := len(m.parts)
 	// Partitioning pass (single-threaded scatter, as in the cited joins'
-	// partition phase): per-partition staging buffers, router bulk-hashed.
-	part := make([]int32, len(keys))
-	m.partitionAll(keys, part)
-	bucketKeys := make([][]uint64, p)
-	bucketVals := make([][]uint64, p)
-	approx := len(keys)/p + 16
-	for i := range bucketKeys {
-		bucketKeys[i] = make([]uint64, 0, approx)
-		bucketVals[i] = make([]uint64, 0, approx)
+	// partition phase); workers then flush disjoint staged ranges through
+	// the batched pipelines, one owner task per partition, no locks.
+	st := m.stage(keys)
+	for i, oi := range st.Orig {
+		st.Vals[i] = vals[oi]
 	}
-	for i, k := range keys {
-		j := part[i]
-		bucketKeys[j] = append(bucketKeys[j], k)
-		bucketVals[j] = append(bucketVals[j], vals[i])
-	}
-	// Parallel build: one owner goroutine per partition, no locks; each
-	// owner flushes its whole staging buffer through the batched pipeline.
 	inserted := make([]int, p)
-	var wg sync.WaitGroup
-	for j := 0; j < p; j++ {
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			inserted[j] = table.PutBatch(m.parts[j], bucketKeys[j], bucketVals[j])
-		}(j)
-	}
-	wg.Wait()
+	_ = exec.RunTasks(exec.Config{Workers: m.workers}, p, func(_, j int) error {
+		lo, hi := st.Starts[j], st.Starts[j+1]
+		inserted[j] = table.PutBatch(m.parts[j], st.Keys[lo:hi], st.Vals[lo:hi])
+		return nil
+	})
 	total := 0
 	for _, n := range inserted {
 		total += n
@@ -503,44 +419,24 @@ func (m *Partitioned) BuildParallel(keys, vals []uint64) int {
 }
 
 // ProbeParallel looks up every probe key, writing results into out (values)
-// and found, with one goroutine per partition. out and found must be the
-// same length as probes. It returns the number of hits.
+// and found, with one exec task per partition (fan-out bounded by
+// Config.Workers). out and found must be the same length as probes. It
+// returns the number of hits.
 func (m *Partitioned) ProbeParallel(probes []uint64, out []uint64, found []bool) int {
 	if len(out) != len(probes) || len(found) != len(probes) {
 		panic("partition: ProbeParallel output length mismatch")
 	}
 	p := len(m.parts)
-	// Scatter probe keys and their origin lanes into per-partition staging
-	// buffers, router bulk-hashed.
-	part := make([]int32, len(probes))
-	m.partitionAll(probes, part)
-	idx := make([][]int32, p)
-	stagedKeys := make([][]uint64, p)
-	approx := len(probes)/p + 16
-	for i := range idx {
-		idx[i] = make([]int32, 0, approx)
-		stagedKeys[i] = make([]uint64, 0, approx)
-	}
-	for i, k := range probes {
-		j := part[i]
-		idx[j] = append(idx[j], int32(i))
-		stagedKeys[j] = append(stagedKeys[j], k)
-	}
+	st := m.stage(probes)
 	hits := make([]int, p)
-	var wg sync.WaitGroup
-	for j := 0; j < p; j++ {
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			vals := make([]uint64, len(stagedKeys[j]))
-			ok := make([]bool, len(stagedKeys[j]))
-			hits[j] = table.GetBatch(m.parts[j], stagedKeys[j], vals, ok)
-			for i, oi := range idx[j] {
-				out[oi], found[oi] = vals[i], ok[i]
-			}
-		}(j)
+	_ = exec.RunTasks(exec.Config{Workers: m.workers}, p, func(_, j int) error {
+		lo, hi := st.Starts[j], st.Starts[j+1]
+		hits[j] = table.GetBatch(m.parts[j], st.Keys[lo:hi], st.Vals[lo:hi], st.OK[lo:hi])
+		return nil
+	})
+	for i, oi := range st.Orig {
+		out[oi], found[oi] = st.Vals[i], st.OK[i]
 	}
-	wg.Wait()
 	total := 0
 	for _, h := range hits {
 		total += h

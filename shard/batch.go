@@ -15,11 +15,7 @@ package shard
 // migration-aware path per staged key, which also advances the migration —
 // batches make resize progress proportional to their size.
 
-import "repro/hashfn"
-
-// batchWidth is the router bulk-hash chunk size, matching the tables'
-// pipeline width.
-const batchWidth = hashfn.DefaultBatchWidth
+import "repro/exec"
 
 // GetBatch looks up keys[i] into vals[i], ok[i] for every i and returns
 // the number of hits. vals and ok must be at least as long as keys.
@@ -52,23 +48,23 @@ func (e *Engine) GetBatch(keys, vals []uint64, ok []bool) int {
 	st := e.scatter(keys)
 	hits := 0
 	for j := range e.shards {
-		lo, hi := st.starts[j], st.starts[j+1]
+		lo, hi := st.Starts[j], st.Starts[j+1]
 		if lo == hi {
 			continue
 		}
 		s := &e.shards[j]
 		s.mu.RLock()
 		for i := lo; i < hi; i++ {
-			v, o := s.get(st.keys[i])
-			st.vals[i], st.ok[i] = v, o
+			v, o := s.get(st.Keys[i])
+			st.Vals[i], st.OK[i] = v, o
 			if o {
 				hits++
 			}
 		}
 		s.mu.RUnlock()
 	}
-	for i, oi := range st.orig {
-		vals[oi], ok[oi] = st.vals[i], st.ok[i]
+	for i, oi := range st.Orig {
+		vals[oi], ok[oi] = st.Vals[i], st.OK[i]
 	}
 	return hits
 }
@@ -126,16 +122,16 @@ func (e *Engine) PutBatch(keys, vals []uint64) (int, error) {
 		return e.putBatchShard(&e.shards[0], keys, vals)
 	}
 	st := e.scatter(keys)
-	for i, oi := range st.orig {
-		st.vals[i] = vals[oi]
+	for i, oi := range st.Orig {
+		st.Vals[i] = vals[oi]
 	}
 	inserted := 0
 	for j := range e.shards {
-		lo, hi := st.starts[j], st.starts[j+1]
+		lo, hi := st.Starts[j], st.Starts[j+1]
 		if lo == hi {
 			continue
 		}
-		n, err := e.putBatchShard(&e.shards[j], st.keys[lo:hi], st.vals[lo:hi])
+		n, err := e.putBatchShard(&e.shards[j], st.Keys[lo:hi], st.Vals[lo:hi])
 		inserted += n
 		if err != nil {
 			return inserted, err
@@ -198,25 +194,25 @@ func (e *Engine) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, er
 		return e.getOrPutBatchShard(&e.shards[0], keys, vals, out, loaded)
 	}
 	st := e.scatter(keys)
-	for i, oi := range st.orig {
-		st.vals[i] = vals[oi]
+	for i, oi := range st.Orig {
+		st.Vals[i] = vals[oi]
 	}
 	inserted := 0
 	for j := range e.shards {
-		lo, hi := st.starts[j], st.starts[j+1]
+		lo, hi := st.Starts[j], st.Starts[j+1]
 		if lo == hi {
 			continue
 		}
 		// out aliases vals within the staged range: the tables read the
 		// insert value before writing the result lane.
-		n, err := e.getOrPutBatchShard(&e.shards[j], st.keys[lo:hi], st.vals[lo:hi], st.vals[lo:hi], st.ok[lo:hi])
+		n, err := e.getOrPutBatchShard(&e.shards[j], st.Keys[lo:hi], st.Vals[lo:hi], st.Vals[lo:hi], st.OK[lo:hi])
 		inserted += n
 		if err != nil {
 			return inserted, err
 		}
 	}
-	for i, oi := range st.orig {
-		out[oi], loaded[oi] = st.vals[i], st.ok[i]
+	for i, oi := range st.Orig {
+		out[oi], loaded[oi] = st.Vals[i], st.OK[i]
 	}
 	return inserted, nil
 }
@@ -296,11 +292,11 @@ func (e *Engine) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists
 	st := e.scatter(keys)
 	inserted := 0
 	for j := range e.shards {
-		lo, hi := st.starts[j], st.starts[j+1]
+		lo, hi := st.Starts[j], st.Starts[j+1]
 		if lo == hi {
 			continue
 		}
-		n, err := e.upsertBatchShard(&e.shards[j], st.keys[lo:hi], st.orig[lo:hi], fn)
+		n, err := e.upsertBatchShard(&e.shards[j], st.Keys[lo:hi], st.Orig[lo:hi], fn)
 		inserted += n
 		if err != nil {
 			return inserted, err
@@ -309,51 +305,13 @@ func (e *Engine) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists
 	return inserted, nil
 }
 
-// scattered is one stable shard scatter of a key column: keys regrouped by
-// shard, the original lane of every staged slot, per-shard extents, and
-// value/flag staging areas sized to match.
-type scattered struct {
-	keys   []uint64
-	vals   []uint64
-	ok     []bool
-	orig   []int32
-	starts []int32
-}
-
-// scatter routes keys with the router's bulk-hash pipeline and regroups
-// them by shard in one stable counting pass.
-func (e *Engine) scatter(keys []uint64) scattered {
-	p := len(e.shards)
-	part := make([]int32, len(keys))
-	var hash [batchWidth]uint64
-	for base := 0; base < len(keys); base += batchWidth {
-		n := min(batchWidth, len(keys)-base)
-		hashfn.HashBatch(e.router, keys[base:base+n], hash[:])
-		for i := 0; i < n; i++ {
-			part[base+i] = int32(hash[i] >> e.shift)
-		}
-	}
-	st := scattered{
-		keys:   make([]uint64, len(keys)),
-		vals:   make([]uint64, len(keys)),
-		ok:     make([]bool, len(keys)),
-		orig:   make([]int32, len(keys)),
-		starts: make([]int32, p+1),
-	}
-	for _, j := range part {
-		st.starts[j+1]++
-	}
-	for j := 0; j < p; j++ {
-		st.starts[j+1] += st.starts[j]
-	}
-	pos := make([]int32, p)
-	copy(pos, st.starts[:p])
-	for i, k := range keys {
-		j := part[i]
-		at := pos[j]
-		st.keys[at] = k
-		st.orig[at] = int32(i)
-		pos[j]++
-	}
+// scatter routes keys with the shared exec.Scatter primitive: the
+// router's bulk-hash pipeline plus one stable counting pass regrouping
+// the column shard-major. Engines serve concurrent callers, so the
+// scatter is allocated per call — two goroutines batching on the same
+// engine must not share staging.
+func (e *Engine) scatter(keys []uint64) *exec.Scatter {
+	st := new(exec.Scatter)
+	st.Route(e.router, e.shift, len(e.shards), keys)
 	return st
 }

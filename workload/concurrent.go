@@ -1,9 +1,10 @@
 package workload
 
 // The shared-memory concurrent variant of the RW experiment: the same
-// mixed insert/delete/lookup stream as RunRW, replayed by T goroutines
-// against ONE table served by the sharded engine (a Handle opened
-// WithPartitions). Each goroutine replays its own tape over a disjoint
+// mixed insert/delete/lookup stream as RunRW, replayed by T workers of
+// one exec pool (each tape is one claimed unit of work) against ONE
+// table served by the sharded engine (a Handle opened WithPartitions).
+// Each goroutine replays its own tape over a disjoint
 // index range of the distribution — dist generators are injective, so the
 // goroutines' key sets are disjoint and every goroutine's hit/miss counts
 // remain exactly checkable while all of them contend on the shared
@@ -12,11 +13,11 @@ package workload
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/decision"
 	"repro/dist"
+	"repro/exec"
 	"repro/hashfn"
 	"repro/table"
 )
@@ -118,64 +119,61 @@ func RunRWConcurrent(cfg RWConfig, threads int) (RWConcurrentResult, error) {
 		res.Ops += tapes[g].Len()
 	}
 
+	// One exec pool drives both phases: each tape is one unit of work
+	// claimed by a pool worker, so the fan-out is exactly threads and the
+	// error convention is the pool's first-error propagation.
+	pool := exec.NewPool(exec.Config{Workers: threads})
+	defer pool.Close()
+
 	// Untimed concurrent pre-fill (growth/migrations start here already).
-	var wg sync.WaitGroup
-	for g := 0; g < threads; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < cfg.InitialKeys; i++ {
-				m.Put(gens[g].Key(uint64(i)), uint64(i))
+	if err := pool.ForEach(threads, func(_, g int) error {
+		for i := 0; i < cfg.InitialKeys; i++ {
+			if _, err := m.Put(gens[g].Key(uint64(i)), uint64(i)); err != nil {
+				return err
 			}
-		}(g)
+		}
+		return nil
+	}); err != nil {
+		return res, err
 	}
-	wg.Wait()
 	if m.Len() != cfg.InitialKeys*threads {
 		return res, fmt.Errorf("workload: concurrent RW prefill expected %d entries, table has %d", cfg.InitialKeys*threads, m.Len())
 	}
 
 	// Timed replay: all tapes at once against the shared handle.
-	errs := make([]error, threads)
 	start := time.Now()
-	for g := 0; g < threads; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			tape := tapes[g]
-			var hits, misses int
-			var sink uint64
-			for i, kind := range tape.Kinds {
-				k := tape.Keys[i]
-				switch kind {
-				case OpInsert:
-					if _, err := m.Put(k, k); err != nil {
-						errs[g] = err
-						return
-					}
-				case OpDelete:
-					m.Delete(k)
-				default:
-					if v, ok := m.Get(k); ok {
-						hits++
-						sink ^= v
-					} else {
-						misses++
-					}
+	err = pool.ForEach(threads, func(_, g int) error {
+		tape := tapes[g]
+		var hits, misses int
+		var sink uint64
+		for i, kind := range tape.Kinds {
+			k := tape.Keys[i]
+			switch kind {
+			case OpInsert:
+				if _, err := m.Put(k, k); err != nil {
+					return err
+				}
+			case OpDelete:
+				m.Delete(k)
+			default:
+				if v, ok := m.Get(k); ok {
+					hits++
+					sink ^= v
+				} else {
+					misses++
 				}
 			}
-			_ = sink
-			if hits != tape.Hits || misses != tape.Misses {
-				errs[g] = fmt.Errorf("workload: goroutine %d observed %d hits/%d misses, tape has %d/%d",
-					g, hits, misses, tape.Hits, tape.Misses)
-			}
-		}(g)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return res, err
 		}
+		_ = sink
+		if hits != tape.Hits || misses != tape.Misses {
+			return fmt.Errorf("workload: goroutine %d observed %d hits/%d misses, tape has %d/%d",
+				g, hits, misses, tape.Hits, tape.Misses)
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return res, err
 	}
 
 	want := 0
