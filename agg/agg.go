@@ -156,25 +156,32 @@ func MustNewGroupBy(cfg Config) *GroupBy {
 
 // Add folds one (group, value) observation into the aggregation with a
 // single probe: GetOrPut finds the group's state index or claims the next
-// one in the same probe sequence (the index table grows, so ErrFull is
-// unreachable).
-func (g *GroupBy) Add(group, value uint64) {
-	i, existed, _ := g.idx.GetOrPut(group, uint64(len(g.states)))
+// one in the same probe sequence. The group index grows, so an organic
+// ErrFull is unreachable; the returned error is non-nil only when the
+// index refuses the probe (an armed fault injector synthesizing a
+// *table.FullError), in which case the observation is not folded.
+func (g *GroupBy) Add(group, value uint64) error {
+	i, existed, err := g.idx.GetOrPut(group, uint64(len(g.states)))
+	if err != nil {
+		return err
+	}
 	if existed {
 		g.states[i].fold(value)
-		return
+		return nil
 	}
 	g.states = append(g.states, State{
 		Key: group, Count: 1, Sum: value, Min: value, Max: value,
 	})
+	return nil
 }
 
-// AddAll folds a column pair through the batched pipeline.
-func (g *GroupBy) AddAll(groups, values []uint64) {
+// AddAll folds a column pair through the batched pipeline, with
+// AddBatch's error contract.
+func (g *GroupBy) AddAll(groups, values []uint64) error {
 	if len(groups) != len(values) {
 		panic("agg: AddAll column length mismatch")
 	}
-	g.AddBatch(groups, values)
+	return g.AddBatch(groups, values)
 }
 
 // AddBatch folds a column pair through the batched single-probe pipeline:
@@ -183,11 +190,16 @@ func (g *GroupBy) AddAll(groups, values []uint64) {
 // new group, which under the old Get-then-Put path cost a second full
 // probe. A group first seen twice within one batch is counted exactly once
 // (batched semantics are sequential semantics).
-func (g *GroupBy) AddBatch(groups, values []uint64) {
+//
+// A non-nil error (only reachable when a fault injector refuses the
+// index's probes — the growing index never organically fills) means the
+// batch stopped early: rows up to the refusal are folded, later rows are
+// not. The error carries the table's typed ErrFull chain.
+func (g *GroupBy) AddBatch(groups, values []uint64) error {
 	if len(groups) != len(values) {
 		panic("agg: AddBatch column length mismatch")
 	}
-	g.idx.UpsertBatch(groups, func(lane int, old uint64, exists bool) uint64 {
+	_, err := g.idx.UpsertBatch(groups, func(lane int, old uint64, exists bool) uint64 {
 		if exists {
 			g.states[old].fold(values[lane])
 			return old
@@ -197,6 +209,7 @@ func (g *GroupBy) AddBatch(groups, values []uint64) {
 		})
 		return uint64(len(g.states) - 1)
 	})
+	return err
 }
 
 // AddParallel folds a column pair with morsel-driven parallelism on the
@@ -228,14 +241,15 @@ func (g *GroupBy) AddParallel(cfg exec.Config, groups, values []uint64) error {
 			return NewGroupBy(c)
 		},
 		func(local *GroupBy, _, lo, hi int) error {
-			local.AddBatch(groups[lo:hi], values[lo:hi])
-			return nil
+			return local.AddBatch(groups[lo:hi], values[lo:hi])
 		})
 	if err != nil {
 		return err
 	}
 	for _, local := range locals {
-		g.Merge(local)
+		if err := g.Merge(local); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -262,10 +276,17 @@ func (g *GroupBy) Range(fn func(*State) bool) {
 }
 
 // Merge folds other into g (for partition-parallel aggregation: aggregate
-// partitions independently, then merge), one probe per merged group.
-func (g *GroupBy) Merge(other *GroupBy) {
+// partitions independently, then merge), one probe per merged group. A
+// non-nil error (an injected index refusal; see AddBatch) stops the
+// merge with the remaining groups of other unmerged.
+func (g *GroupBy) Merge(other *GroupBy) error {
+	var err error
 	other.Range(func(s *State) bool {
-		i, existed, _ := g.idx.GetOrPut(s.Key, uint64(len(g.states)))
+		i, existed, gerr := g.idx.GetOrPut(s.Key, uint64(len(g.states)))
+		if gerr != nil {
+			err = gerr
+			return false
+		}
 		if existed {
 			dst := &g.states[i]
 			dst.Count += s.Count
@@ -281,6 +302,7 @@ func (g *GroupBy) Merge(other *GroupBy) {
 		}
 		return true
 	})
+	return err
 }
 
 // TableName reports the underlying scheme and function, e.g. "QPMult".

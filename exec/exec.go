@@ -16,11 +16,14 @@
 //
 //   - Config sizes everything from one place: Workers (default
 //     runtime.GOMAXPROCS) bounds the fan-out, MorselSize (default
-//     DefaultMorselSize) sets the range granularity.
+//     DefaultMorselSize) sets the range granularity, Ctx cancels
+//     everything scheduled on the pool, MaxInFlight bounds concurrent
+//     submissions (admission control).
 //   - Pool owns the worker goroutines. ForEach schedules discrete tasks
 //     (e.g. one per partition), ForMorsels carves an index range [0, n)
 //     into morsels; both propagate the first error and stop scheduling
-//     further work once a task fails.
+//     further work once a task fails. The Ctx variants thread a
+//     per-submission context through the same claim cursor.
 //   - Map / MapMorsels gather per-task results deterministically (in task
 //     order, regardless of completion order); Locals threads a per-worker
 //     accumulator through the morsels a worker claims — the
@@ -29,15 +32,28 @@
 //   - Scatter is the one stable scatter→group-major→gather primitive the
 //     sharded engine and the radix-partitioned operators share.
 //
+// Failure is a first-class input: a cancelled context stops the claim
+// cursor exactly like a task error does; a panicking task is recovered
+// and returned as a typed *PanicError instead of crashing the process;
+// concurrent task errors beyond the first are counted on the returned
+// error (*SuppressedError) rather than dropped; and a pool over its
+// MaxInFlight limit refuses new submissions with ErrOverloaded before
+// running anything.
+//
 // A Pool is safe for concurrent use by multiple goroutines; the task
 // callbacks must not call back into the same pool (a worker executing a
 // nested submit could deadlock waiting for itself).
 package exec
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // DefaultMorselSize is the morsel granularity when Config.MorselSize is
@@ -48,7 +64,7 @@ import (
 const DefaultMorselSize = 4096
 
 // Config sizes the execution core. The zero value means "one worker per
-// CPU, default morsels".
+// CPU, default morsels, no cancellation, no admission limit".
 type Config struct {
 	// Workers bounds the number of concurrently executing tasks (default
 	// runtime.GOMAXPROCS(0)). Parallel operators accept this instead of
@@ -58,6 +74,18 @@ type Config struct {
 	// MorselSize is the number of consecutive indexes per morsel in
 	// ForMorsels/MapMorsels/Locals (default DefaultMorselSize).
 	MorselSize int
+	// Ctx, when non-nil, is the pool's default context: every submission
+	// without an explicit context (ForEach, ForMorsels, Map, ...) is
+	// cancelled when Ctx is. Cancellation stops the claim cursor exactly
+	// like a task error — running tasks finish, unclaimed tasks never
+	// start — and the context's error is returned.
+	Ctx context.Context
+	// MaxInFlight bounds the number of concurrently executing
+	// submissions (ForEach/ForMorsels/Map/Locals calls); 0 means
+	// unlimited. A submission beyond the bound fails fast with
+	// ErrOverloaded before running any task — the backpressure primitive
+	// front-ends shed load on.
+	MaxInFlight int
 }
 
 func (c Config) withDefaults() Config {
@@ -74,10 +102,14 @@ func (c Config) withDefaults() Config {
 // with NewPool; Close releases the workers (and is required — an unclosed
 // pool leaks its goroutines). The zero value is not usable.
 type Pool struct {
-	workers int
-	morsel  int
-	tasks   chan *run
-	wg      sync.WaitGroup
+	workers  int
+	morsel   int
+	limit    int
+	ctx      context.Context
+	tasks    chan *run
+	inflight atomic.Int64
+	closed   atomic.Bool
+	wg       sync.WaitGroup
 }
 
 // NewPool starts cfg.Workers worker goroutines. Callers must Close the
@@ -87,6 +119,8 @@ func NewPool(cfg Config) *Pool {
 	p := &Pool{
 		workers: cfg.Workers,
 		morsel:  cfg.MorselSize,
+		limit:   cfg.MaxInFlight,
+		ctx:     cfg.Ctx,
 		tasks:   make(chan *run),
 	}
 	p.wg.Add(p.workers)
@@ -109,62 +143,168 @@ func (p *Pool) Workers() int { return p.workers }
 // MorselSize returns the pool's morsel granularity.
 func (p *Pool) MorselSize() int { return p.morsel }
 
-// Close shuts the workers down and waits until every worker goroutine has
-// exited. Submitting work after Close panics.
+// Close shuts the workers down and waits until every worker goroutine
+// has exited. Close is idempotent: additional calls wait for the same
+// shutdown instead of panicking. Submitting work after Close panics.
 func (p *Pool) Close() {
-	close(p.tasks)
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.tasks)
+	}
 	p.wg.Wait()
+}
+
+// admit claims an in-flight submission slot, refusing with ErrOverloaded
+// when the pool is at its MaxInFlight bound.
+func (p *Pool) admit() error {
+	if p.limit <= 0 {
+		return nil
+	}
+	if p.inflight.Add(1) > int64(p.limit) {
+		p.inflight.Add(-1)
+		return ErrOverloaded
+	}
+	return nil
+}
+
+func (p *Pool) release() {
+	if p.limit > 0 {
+		p.inflight.Add(-1)
+	}
 }
 
 // run is one scheduled batch of tasks: a shared claim cursor (the
 // work-stealing hand-off — idle workers claim the next unclaimed task)
 // plus first-error state.
 type run struct {
-	n      int
-	fn     func(worker, task int) error
-	cursor atomic.Int64
-	failed atomic.Bool
-	once   sync.Once
-	err    error
-	wg     sync.WaitGroup
+	n          int
+	fn         func(worker, task int) error
+	ctx        context.Context
+	cursor     atomic.Int64
+	failed     atomic.Bool
+	err        error
+	suppressed atomic.Int64
+	wg         sync.WaitGroup
 }
 
-// do claims and executes tasks until the cursor is exhausted or a task
-// has failed.
+// fail records err under the first-error convention: the first failure
+// wins the return slot; concurrent losers are counted so the caller can
+// see on the returned *SuppressedError that further errors existed.
+func (r *run) fail(err error) {
+	if r.failed.CompareAndSwap(false, true) {
+		r.err = err
+		return
+	}
+	r.suppressed.Add(1)
+}
+
+// cancel records a context cancellation. Unlike fail it never counts as
+// a suppressed error: every worker observes the same cancellation, and
+// it only claims the return slot when no task error beat it there.
+func (r *run) cancel(err error) {
+	if r.failed.CompareAndSwap(false, true) {
+		r.err = err
+	}
+}
+
+// do claims and executes tasks until the cursor is exhausted, a task
+// has failed, or the run's context is cancelled.
 func (r *run) do(worker int) {
 	for !r.failed.Load() {
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				r.cancel(err)
+				return
+			}
+		}
 		t := int(r.cursor.Add(1)) - 1
 		if t >= r.n {
 			return
 		}
-		if err := r.fn(worker, t); err != nil {
-			r.once.Do(func() { r.err = err })
-			r.failed.Store(true)
+		if err := r.invoke(worker, t); err != nil {
+			r.fail(err)
 			return
 		}
 	}
+}
+
+// invoke runs one task with panic containment: a panicking callback is
+// recovered into a typed *PanicError carrying the task index and stack,
+// which then flows through the first-error convention instead of
+// unwinding the worker and crashing the process. The armed fault
+// injector can force a panic here (fault.Panic) — before the callback
+// runs, so an injected panic never leaves a task half-applied.
+func (r *run) invoke(worker, task int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Task: task, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if fault.Should(fault.Panic) {
+		panic(fmt.Sprintf("%v (worker %d, task %d)", fault.ErrInjected, worker, task))
+	}
+	return r.fn(worker, task)
+}
+
+// result assembles the run's return error: the first error, wrapped in
+// a *SuppressedError when concurrent tasks also failed.
+func (r *run) result() error {
+	if r.err != nil {
+		if n := r.suppressed.Load(); n > 0 {
+			return &SuppressedError{First: r.err, Count: int(n)}
+		}
+	}
+	return r.err
 }
 
 // ForEach executes fn(worker, task) for every task in [0, tasks),
 // spreading tasks over the pool's workers; an idle worker claims the next
 // unstarted task, so uneven task costs balance automatically. The first
 // error stops the scheduling of further tasks (tasks already running
-// finish) and is returned. With one worker (or one task) fn runs inline
-// on the calling goroutine, in task order — the serial oracle of the
-// parallel schedule.
+// finish) and is returned; a panicking task surfaces as a *PanicError
+// the same way. With one worker (or one task) fn runs inline on the
+// calling goroutine, in task order — the serial oracle of the parallel
+// schedule.
 func (p *Pool) ForEach(tasks int, fn func(worker, task int) error) error {
+	return p.forEach(p.ctx, tasks, fn)
+}
+
+// ForEachCtx is ForEach under an explicit context: cancellation stops
+// the claim cursor exactly like a task error (running tasks finish,
+// unclaimed tasks never start) and ctx.Err() is returned.
+func (p *Pool) ForEachCtx(ctx context.Context, tasks int, fn func(worker, task int) error) error {
+	if ctx == nil {
+		ctx = p.ctx
+	}
+	return p.forEach(ctx, tasks, fn)
+}
+
+func (p *Pool) forEach(ctx context.Context, tasks int, fn func(worker, task int) error) error {
 	if tasks <= 0 {
 		return nil
 	}
+	if err := p.admit(); err != nil {
+		return err
+	}
+	defer p.release()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	r := &run{n: tasks, fn: fn, ctx: ctx}
 	if p.workers == 1 || tasks == 1 {
 		for t := 0; t < tasks; t++ {
-			if err := fn(0, t); err != nil {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := r.invoke(0, t); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	r := &run{n: tasks, fn: fn}
 	k := p.workers
 	if tasks < k {
 		k = tasks
@@ -174,7 +314,7 @@ func (p *Pool) ForEach(tasks int, fn func(worker, task int) error) error {
 		p.tasks <- r
 	}
 	r.wg.Wait()
-	return r.err
+	return r.result()
 }
 
 // morselsFor returns the number of size-sized morsels covering [0, n).
@@ -187,8 +327,14 @@ func morselsFor(n, size int) int {
 // error contract as ForEach. Indexes are covered exactly once; morsel
 // boundaries are deterministic (only the worker assignment varies).
 func (p *Pool) ForMorsels(n int, fn func(worker, lo, hi int) error) error {
+	return p.ForMorselsCtx(p.ctx, n, fn)
+}
+
+// ForMorselsCtx is ForMorsels under an explicit context, with ForEachCtx
+// cancellation semantics.
+func (p *Pool) ForMorselsCtx(ctx context.Context, n int, fn func(worker, lo, hi int) error) error {
 	size := p.morsel
-	return p.ForEach(morselsFor(n, size), func(w, t int) error {
+	return p.ForEachCtx(ctx, morselsFor(n, size), func(w, t int) error {
 		lo := t * size
 		hi := lo + size
 		if hi > n {
@@ -234,8 +380,14 @@ func RunTasks(cfg Config, tasks int, fn func(worker, task int) error) error {
 // a deterministic gather regardless of which worker ran which task or in
 // what order they completed. On error the returned slice is nil.
 func Map[T any](p *Pool, tasks int, fn func(worker, task int) (T, error)) ([]T, error) {
+	return MapCtx(p.ctx, p, tasks, fn)
+}
+
+// MapCtx is Map under an explicit context, with ForEachCtx cancellation
+// semantics. On cancellation the returned slice is nil.
+func MapCtx[T any](ctx context.Context, p *Pool, tasks int, fn func(worker, task int) (T, error)) ([]T, error) {
 	out := make([]T, tasks)
-	err := p.ForEach(tasks, func(w, t int) error {
+	err := p.ForEachCtx(ctx, tasks, func(w, t int) error {
 		v, err := fn(w, t)
 		if err != nil {
 			return err

@@ -24,6 +24,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 
 	"repro/decision"
@@ -71,6 +72,11 @@ type Config struct {
 	// takes precedence over this field.
 	Workers int
 	Seed    uint64
+	// Ctx, when non-nil, cancels the parallel operators
+	// (PartitionedHashJoin, SharedHashJoin) between tasks/morsels: the
+	// claim cursor stops like on a first error and ctx.Err() is returned.
+	// The serial HashJoin ignores it.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults(buildRows, probeRows int) Config {
@@ -227,7 +233,7 @@ func PartitionedHashJoin(build, probe Relation, partitions int, cfg Config, emit
 	// workers steal the next unjoined partition, so skewed partitions
 	// balance automatically.
 	matches := make([]int, p)
-	err = exec.RunTasks(exec.Config{Workers: cfg.Workers}, p, func(_, j int) error {
+	err = exec.RunTasks(exec.Config{Workers: cfg.Workers, Ctx: cfg.Ctx}, p, func(_, j int) error {
 		sub := cfg
 		sub.Seed = cfg.Seed + uint64(j)*0x9e3779b97f4a7c15
 		n, err := HashJoin(buildParts[j], probeParts[j], sub, emit)
@@ -291,7 +297,7 @@ func SharedHashJoin(build, probe Relation, workers int, cfg Config, emit Emit) (
 	// Both phases run on one pool: the input is carved into morsels, idle
 	// workers claim the next one, and each worker streams its morsels
 	// through its own column scratch into the engine's batched pipelines.
-	pool := exec.NewPool(exec.Config{Workers: workers})
+	pool := exec.NewPool(exec.Config{Workers: workers, Ctx: cfg.Ctx})
 	defer pool.Close()
 	scratch := make([]joinScratch, pool.Workers())
 	if err := pool.ForMorsels(len(build), func(w, lo, hi int) error {

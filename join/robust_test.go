@@ -1,0 +1,65 @@
+package join_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/join"
+	"repro/table"
+)
+
+func rel(n int) join.Relation {
+	r := make(join.Relation, n)
+	for i := range r {
+		r[i] = join.Row{Key: uint64(i) + 1, Payload: uint64(i)}
+	}
+	return r
+}
+
+// TestSharedHashJoinErrFullPropagation: a table refusal during the
+// build phase (here injected at rate 1.0, the stand-in for a genuinely
+// full growth-disabled build side) must surface from SharedHashJoin as
+// the typed *table.FullError chain — through the batched build pipeline,
+// the morsel pool's first-error convention, and any suppression wrapper.
+func TestSharedHashJoinErrFullPropagation(t *testing.T) {
+	var rates [fault.NumKinds]float64
+	rates[fault.Full] = 1.0
+	fault.Arm(fault.Config{Seed: 3, Rates: rates})
+	defer fault.Disarm()
+
+	_, err := join.SharedHashJoin(rel(10_000), rel(100), 4, join.Config{Scheme: table.SchemeLP, Seed: 3}, nil)
+	if err == nil {
+		t.Fatal("build under rate-1.0 refusals returned nil error")
+	}
+	var fe *table.FullError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error = %v, want *table.FullError in the chain", err)
+	}
+	if !errors.Is(err, table.ErrFull) {
+		t.Fatalf("error %v does not wrap table.ErrFull", err)
+	}
+}
+
+// TestSharedHashJoinCtxCancel: a pre-cancelled Config.Ctx stops the
+// parallel join before any morsel runs.
+func TestSharedHashJoinCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := join.SharedHashJoin(rel(10_000), rel(10_000), 4, join.Config{Scheme: table.SchemeLP, Ctx: ctx}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+// TestPartitionedHashJoinCtxCancel: same contract for the
+// radix-partitioned parallel join.
+func TestPartitionedHashJoinCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := join.PartitionedHashJoin(rel(10_000), rel(10_000), 8, join.Config{Scheme: table.SchemeLP, Workers: 4, Ctx: ctx}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}

@@ -27,6 +27,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"iter"
 	"math/bits"
@@ -45,6 +46,10 @@ type Config struct {
 	// exec's one-per-CPU default; at most one per partition is ever
 	// active, so Workers > Partitions buys nothing).
 	Workers int
+	// Ctx, when non-nil, cancels the *Parallel methods between tasks:
+	// the claim cursor stops like on a first error and ctx.Err() is
+	// returned.
+	Ctx context.Context
 	// Scheme selects the per-partition table implementation.
 	Scheme table.Scheme
 	// Table configures each inner table; Table.InitialCapacity is the
@@ -62,6 +67,7 @@ type Partitioned struct {
 	router  hashfn.Function
 	shift   uint // 64 - log2(P)
 	workers int
+	ctx     context.Context
 	sc      *exec.Scatter
 }
 
@@ -100,6 +106,7 @@ func New(cfg Config) (*Partitioned, error) {
 		router:  inner.Family.New(inner.Seed ^ 0x9a77_e4b0_0f00_d001),
 		shift:   uint(64 - bits.TrailingZeros(uint(p))),
 		workers: cfg.Workers,
+		ctx:     cfg.Ctx,
 	}
 	for i := range pm.parts {
 		c := inner
@@ -392,8 +399,10 @@ func (m *Partitioned) Skew() float64 {
 // staged slice as one task on the exec pool — the build phase of a
 // partition-based hash join, with the fan-out bounded by Config.Workers
 // rather than one goroutine per partition. keys and vals must have equal
-// length. It returns the number of newly inserted keys.
-func (m *Partitioned) BuildParallel(keys, vals []uint64) int {
+// length. It returns the number of newly inserted keys; a non-nil error
+// (cancellation via Config.Ctx, or a contained *exec.PanicError) means
+// the build stopped with some partitions unapplied.
+func (m *Partitioned) BuildParallel(keys, vals []uint64) (int, error) {
 	if len(keys) != len(vals) {
 		panic("partition: BuildParallel keys/vals length mismatch")
 	}
@@ -406,7 +415,7 @@ func (m *Partitioned) BuildParallel(keys, vals []uint64) int {
 		st.Vals[i] = vals[oi]
 	}
 	inserted := make([]int, p)
-	_ = exec.RunTasks(exec.Config{Workers: m.workers}, p, func(_, j int) error {
+	err := exec.RunTasks(exec.Config{Workers: m.workers, Ctx: m.ctx}, p, func(_, j int) error {
 		lo, hi := st.Starts[j], st.Starts[j+1]
 		inserted[j] = table.PutBatch(m.parts[j], st.Keys[lo:hi], st.Vals[lo:hi])
 		return nil
@@ -415,21 +424,22 @@ func (m *Partitioned) BuildParallel(keys, vals []uint64) int {
 	for _, n := range inserted {
 		total += n
 	}
-	return total
+	return total, err
 }
 
 // ProbeParallel looks up every probe key, writing results into out (values)
 // and found, with one exec task per partition (fan-out bounded by
 // Config.Workers). out and found must be the same length as probes. It
-// returns the number of hits.
-func (m *Partitioned) ProbeParallel(probes []uint64, out []uint64, found []bool) int {
+// returns the number of hits; on a non-nil error (cancellation or a
+// contained panic) the out/found lanes of unprobed partitions are stale.
+func (m *Partitioned) ProbeParallel(probes []uint64, out []uint64, found []bool) (int, error) {
 	if len(out) != len(probes) || len(found) != len(probes) {
 		panic("partition: ProbeParallel output length mismatch")
 	}
 	p := len(m.parts)
 	st := m.stage(probes)
 	hits := make([]int, p)
-	_ = exec.RunTasks(exec.Config{Workers: m.workers}, p, func(_, j int) error {
+	err := exec.RunTasks(exec.Config{Workers: m.workers, Ctx: m.ctx}, p, func(_, j int) error {
 		lo, hi := st.Starts[j], st.Starts[j+1]
 		hits[j] = table.GetBatch(m.parts[j], st.Keys[lo:hi], st.Vals[lo:hi], st.OK[lo:hi])
 		return nil
@@ -441,5 +451,5 @@ func (m *Partitioned) ProbeParallel(probes []uint64, out []uint64, found []bool)
 	for _, h := range hits {
 		total += h
 	}
-	return total
+	return total, err
 }

@@ -90,7 +90,11 @@ func TestBuildAndProbeParallel(t *testing.T) {
 		keys[i] = rng.Next()
 		vals[i] = uint64(i)
 	}
-	if got := m.BuildParallel(keys, vals); got != n {
+	got, err := m.BuildParallel(keys, vals)
+	if err != nil {
+		t.Fatalf("BuildParallel: %v", err)
+	}
+	if got != n {
 		t.Fatalf("BuildParallel inserted %d, want %d", got, n)
 	}
 	if m.Len() != n {
@@ -104,7 +108,10 @@ func TestBuildAndProbeParallel(t *testing.T) {
 	}
 	out := make([]uint64, len(probes))
 	found := make([]bool, len(probes))
-	hits := m.ProbeParallel(probes, out, found)
+	hits, err := m.ProbeParallel(probes, out, found)
+	if err != nil {
+		t.Fatalf("ProbeParallel: %v", err)
+	}
 	if hits < n {
 		t.Fatalf("ProbeParallel hits = %d, want >= %d", hits, n)
 	}
@@ -114,7 +121,11 @@ func TestBuildAndProbeParallel(t *testing.T) {
 		}
 	}
 	// Rebuilding the same keys must report zero fresh inserts.
-	if got := m.BuildParallel(keys, vals); got != 0 {
+	got, err = m.BuildParallel(keys, vals)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if got != 0 {
 		t.Fatalf("rebuild inserted %d, want 0", got)
 	}
 }

@@ -83,6 +83,8 @@ func (e *Engine) roomFor(s *shardState, n int) bool {
 func (e *Engine) putBatchShard(s *shardState, keys, vals []uint64) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	e.advance(s, e.chunk)
+	e.degradedTick(s)
 	inserted := 0
 	if !s.migrating() && e.roomFor(s, len(keys)) {
 		ins, err := s.cur.TryPutBatch(keys, vals)
@@ -90,14 +92,14 @@ func (e *Engine) putBatchShard(s *shardState, keys, vals []uint64) (int, error) 
 		if err == nil || e.growAt <= 0 {
 			return ins, err
 		}
-		// The pipeline refused a key (Cuckoo kick failure): grow and
-		// re-apply the whole range scalar. Re-applying already-inserted
-		// pairs is idempotent (same key, same value, classified as
-		// updates the second time — hence ins carries into the total).
-		if err := e.beginMigration(s); err != nil {
-			return ins, err
-		}
+		// The pipeline refused a key (Cuckoo kick failure): the table
+		// cannot place keys at this occupancy, so grow now — or degrade
+		// when the allocator refuses — and re-apply the whole range
+		// scalar. Re-applying already-inserted pairs is idempotent (same
+		// key, same value, classified as updates the second time — hence
+		// ins carries into the total).
 		inserted = ins
+		e.growForBatchRefusal(s)
 	}
 	for i, k := range keys {
 		ins, err := e.putLocked(s, k, vals[i])
@@ -148,6 +150,8 @@ func (e *Engine) TryPutBatch(keys, vals []uint64) (int, error) { return e.PutBat
 func (e *Engine) getOrPutBatchShard(s *shardState, keys, vals, out []uint64, loaded []bool) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	e.advance(s, e.chunk)
+	e.degradedTick(s)
 	inserted := 0
 	if !s.migrating() && e.roomFor(s, len(keys)) {
 		ins, err := s.cur.GetOrPutBatch(keys, vals, out, loaded)
@@ -155,16 +159,15 @@ func (e *Engine) getOrPutBatchShard(s *shardState, keys, vals, out []uint64, loa
 		if err == nil || e.growAt <= 0 {
 			return ins, err
 		}
-		if err := e.beginMigration(s); err != nil {
-			return ins, err
-		}
-		// Re-apply scalar below, carrying the pipeline's insert count:
-		// pairs it already applied are found by GetOrPut (loaded=true)
-		// with the same value, so lanes stay correct and those keys are
-		// not double-counted; a within-batch duplicate that raced the
-		// refusal may report loaded=true for the lane that actually
-		// inserted — accepted on this pathological path.
+		// Re-apply scalar below on a freshly grown (or degraded) shard,
+		// carrying the pipeline's insert count: pairs it already applied
+		// are found by GetOrPut (loaded=true) with the same value, so
+		// lanes stay correct and those keys are not double-counted; a
+		// within-batch duplicate that raced the refusal may report
+		// loaded=true for the lane that actually inserted — accepted on
+		// this pathological path.
 		inserted = ins
+		e.growForBatchRefusal(s)
 	}
 	for i, k := range keys {
 		v, ld, err := e.getOrPutLocked(s, k, vals[i])
@@ -222,6 +225,8 @@ func (e *Engine) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, er
 func (e *Engine) upsertBatchShard(s *shardState, keys []uint64, orig []int32, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	e.advance(s, e.chunk)
+	e.degradedTick(s)
 	callerLane := func(i int) int {
 		if orig != nil {
 			return int(orig[i])
@@ -250,11 +255,11 @@ func (e *Engine) upsertBatchShard(s *shardState, keys []uint64, orig []int32, fn
 		if err == nil || e.growAt <= 0 {
 			return ins, err
 		}
-		if err := e.beginMigration(s); err != nil {
-			return ins, err
-		}
 		inserted = ins
+		e.growForBatchRefusal(s)
 		if lastLane >= 0 {
+			// putLocked grows the shard (or degrades it) as needed while
+			// re-storing the last computed value.
 			in, err := e.putLocked(s, keys[lastLane], lastVal)
 			if err != nil {
 				return inserted, err

@@ -1,0 +1,256 @@
+package shard_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/shard"
+	"repro/table"
+)
+
+// flakyAllocator builds a shard.Config whose NewTable hook fails (after
+// engine construction) while *fail is true — the deterministic stand-in
+// for a memory allocator under pressure.
+func flakyAllocator(capacity int, fail *bool) shard.Config {
+	return shard.Config{
+		Shards: 1, Capacity: capacity, GrowAt: 0.85, Seed: 11,
+		NewTable: func(capacity int, seed uint64) (shard.Table, error) {
+			if *fail {
+				return nil, fmt.Errorf("allocator out of memory for %d slots", capacity)
+			}
+			return table.New(table.SchemeLP, table.Config{InitialCapacity: capacity, MaxLoadFactor: 0, Seed: seed})
+		},
+	}
+}
+
+// TestDegradedServesAndRecovers is the graceful-degradation contract: a
+// shard whose successor allocation fails keeps serving reads and
+// in-place updates off its frozen table, refuses only the inserts it
+// genuinely has no room for — with a typed *DegradedError wrapping
+// ErrFull — and heals completely once the allocator recovers.
+func TestDegradedServesAndRecovers(t *testing.T) {
+	fail := false
+	e := shard.MustNew(flakyAllocator(64, &fail))
+	fail = true
+
+	// Fill to the brim: the growth attempt at the 85% threshold fails
+	// (absorbed — the hosting insert itself succeeded), and inserts keep
+	// landing until the frozen table is 100% full.
+	oracle := map[uint64]uint64{}
+	var refusal error
+	for k := uint64(1); refusal == nil && k <= 1000; k++ {
+		if _, err := e.Put(k, k*3); err != nil {
+			refusal = err
+			break
+		}
+		oracle[k] = k * 3
+	}
+	if refusal == nil {
+		t.Fatal("no insert was ever refused with a failing allocator")
+	}
+	// The shard must keep absorbing inserts PAST the (failed) growth
+	// threshold, refusing only when the kernel genuinely has no room.
+	if len(oracle) < 55 {
+		t.Fatalf("refused after %d inserts, want the frozen table filled past the 85%% threshold first", len(oracle))
+	}
+	var de *shard.DegradedError
+	if !errors.As(refusal, &de) {
+		t.Fatalf("refusal = %v, want *DegradedError", refusal)
+	}
+	if de.Shard != 0 {
+		t.Errorf("DegradedError.Shard = %d, want 0", de.Shard)
+	}
+	if !errors.Is(refusal, table.ErrFull) {
+		t.Errorf("refusal %v does not wrap table.ErrFull", refusal)
+	}
+	if st := e.Stats(); st.Degraded != 1 || st.AllocFailures == 0 {
+		t.Errorf("stats after refusal: %+v, want Degraded=1 and AllocFailures>0", st)
+	}
+
+	// Degraded-but-serving: every read, in-place update, upsert of an
+	// existing key, and delete still works.
+	for k, v := range oracle {
+		if got, ok := e.Get(k); !ok || got != v {
+			t.Fatalf("degraded Get(%d) = (%d,%v), want (%d,true)", k, got, ok, v)
+		}
+	}
+	if _, err := e.Put(1, 1000); err != nil {
+		t.Fatalf("degraded in-place update: %v", err)
+	}
+	oracle[1] = 1000
+	if nv, err := e.Upsert(2, func(old uint64, exists bool) uint64 {
+		if !exists {
+			t.Errorf("degraded Upsert(2) saw exists=false")
+		}
+		return old + 1
+	}); err != nil {
+		t.Fatalf("degraded upsert of existing key: %v", err)
+	} else {
+		oracle[2] = nv
+	}
+	if v, loaded, err := e.GetOrPut(3, 999); err != nil || !loaded || v != oracle[3] {
+		t.Fatalf("degraded GetOrPut(existing) = (%d,%v,%v), want (%d,true,nil)", v, loaded, err, oracle[3])
+	}
+	if !e.Delete(4) {
+		t.Fatal("degraded Delete(4) = false")
+	}
+	delete(oracle, 4)
+	// The freed slot admits one insert again; fill it back so the shard
+	// is full for the recovery phase.
+	if _, err := e.Put(4, 40); err != nil {
+		t.Fatalf("insert into freed slot: %v", err)
+	}
+	oracle[4] = 40
+	// A fresh insert with no room is still refused, typed.
+	if _, err := e.Put(5000, 1); !errors.As(err, &de) {
+		t.Fatalf("degraded insert error = %v, want *DegradedError", err)
+	}
+
+	// Allocator heals: one Drain retires the backoff window, allocates
+	// the successor, and completes the migration.
+	fail = false
+	if !e.Drain() {
+		t.Fatalf("Drain() = false after allocator healed: %+v", e.Stats())
+	}
+	if st := e.Stats(); st.Degraded != 0 || st.Migrating != 0 {
+		t.Fatalf("stats after drain: %+v, want idle", st)
+	}
+	for k := uint64(2000); k < 2100; k++ {
+		if _, err := e.Put(k, k); err != nil {
+			t.Fatalf("post-recovery insert Put(%d): %v", k, err)
+		}
+		oracle[k] = k
+	}
+	if e.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", e.Len(), len(oracle))
+	}
+	for k, v := range oracle {
+		if got, ok := e.Get(k); !ok || got != v {
+			t.Fatalf("post-recovery Get(%d) = (%d,%v), want (%d,true)", k, got, ok, v)
+		}
+	}
+}
+
+// TestDegradedHealsOrganically: without an explicit Drain, the backoff
+// retry rides ordinary mutations — a degraded shard heals by itself
+// under continued (update-only) load once the allocator recovers.
+func TestDegradedHealsOrganically(t *testing.T) {
+	fail := false
+	e := shard.MustNew(flakyAllocator(64, &fail))
+	fail = true
+	for k := uint64(1); ; k++ {
+		if _, err := e.Put(k, k); err != nil {
+			break
+		}
+	}
+	if st := e.Stats(); st.Degraded != 1 {
+		t.Fatalf("stats: %+v, want Degraded=1", st)
+	}
+
+	fail = false
+	// The deepest backoff window is bounded (maxBackoff plus equal
+	// jitter per failure, retried and re-backed-off a handful of times
+	// while filling), so a bounded stream of in-place updates must heal
+	// the shard and finish the migration it starts.
+	for i := 0; i < 1<<14; i++ {
+		if _, err := e.Put(1, uint64(i)); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if st := e.Stats(); st.Degraded == 0 && st.Migrating == 0 {
+			break
+		}
+	}
+	if st := e.Stats(); st.Degraded != 0 || st.Migrating != 0 {
+		t.Fatalf("shard never healed under mutation load: %+v", st)
+	}
+	if _, err := e.Put(5000, 5000); err != nil {
+		t.Fatalf("post-heal insert: %v", err)
+	}
+}
+
+// TestDrainReportsUnhealable: Drain on a permanently failing allocator
+// gives up after its retry budget, reports false, and leaves the shard
+// serving.
+func TestDrainReportsUnhealable(t *testing.T) {
+	fail := false
+	e := shard.MustNew(flakyAllocator(64, &fail))
+	fail = true
+	for k := uint64(1); ; k++ {
+		if _, err := e.Put(k, k); err != nil {
+			break
+		}
+	}
+	if e.Drain() {
+		t.Fatalf("Drain() = true with a failing allocator: %+v", e.Stats())
+	}
+	if st := e.Stats(); st.Degraded != 1 {
+		t.Errorf("stats after failed drain: %+v, want still degraded", st)
+	}
+	if got, ok := e.Get(1); !ok || got != 1 {
+		t.Errorf("Get(1) = (%d,%v) after failed drain, want (1,true)", got, ok)
+	}
+	if st := e.Stats(); st.AllocRetries == 0 {
+		t.Errorf("stats: %+v, want AllocRetries > 0 (drain kept retrying)", st)
+	}
+}
+
+// TestBatchErrFullPropagation: with growth disabled, a genuinely full
+// shard refuses the rest of a batch with the typed *table.FullError
+// chain through every batched entry point, and the pairs applied before
+// the refusal remain.
+func TestBatchErrFullPropagation(t *testing.T) {
+	keys := make([]uint64, 256)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = uint64(i) + 1
+		vals[i] = uint64(i) * 10
+	}
+	newFixed := func() *shard.Engine {
+		return shard.MustNew(shard.Config{
+			Shards: 2, Capacity: 64, GrowAt: 0, Seed: 21,
+			NewTable: func(capacity int, seed uint64) (shard.Table, error) {
+				return table.New(table.SchemeLP, table.Config{InitialCapacity: capacity, MaxLoadFactor: 0, Seed: seed})
+			},
+		})
+	}
+
+	e := newFixed()
+	ins, err := e.PutBatch(keys, vals)
+	var fe *table.FullError
+	if !errors.As(err, &fe) || !errors.Is(err, table.ErrFull) {
+		t.Fatalf("PutBatch error = %v, want *table.FullError wrapping ErrFull", err)
+	}
+	if ins == 0 || ins != e.Len() {
+		t.Fatalf("PutBatch applied %d before refusing, engine holds %d", ins, e.Len())
+	}
+
+	e = newFixed()
+	out := make([]uint64, len(keys))
+	loaded := make([]bool, len(keys))
+	if _, err := e.GetOrPutBatch(keys, vals, out, loaded); !errors.As(err, &fe) {
+		t.Fatalf("GetOrPutBatch error = %v, want *table.FullError", err)
+	}
+
+	e = newFixed()
+	if _, err := e.UpsertBatch(keys, func(lane int, old uint64, _ bool) uint64 {
+		return vals[lane]
+	}); !errors.As(err, &fe) {
+		t.Fatalf("UpsertBatch error = %v, want *table.FullError", err)
+	}
+}
+
+// TestDegradedErrorUnwrap pins the error-taxonomy contract: a
+// DegradedError exposes the refusal it wraps, so errors.Is(err,
+// table.ErrFull) works through it.
+func TestDegradedErrorUnwrap(t *testing.T) {
+	inner := &table.FullError{Scheme: "LP", Len: 64, Capacity: 64}
+	err := &shard.DegradedError{Shard: 3, Err: inner}
+	if !errors.Is(err, table.ErrFull) {
+		t.Error("DegradedError does not unwrap to ErrFull")
+	}
+	var fe *table.FullError
+	if !errors.As(err, &fe) || fe != inner {
+		t.Error("DegradedError does not expose the wrapped *FullError")
+	}
+}

@@ -1,0 +1,29 @@
+package shard
+
+import "fmt"
+
+// DegradedError reports that a mutation was refused because its shard is
+// degraded: the shard needed to grow, the table allocator failed, and
+// the shard keeps serving from its frozen current state until a
+// seeded-backoff retry of the allocation succeeds. Reads, deletes, and
+// in-place updates keep working throughout; only the mutations that
+// need new slots surface this error.
+//
+// Unwrap exposes the refusal that forced growth, so when the underlying
+// table refused with its full-table error the whole chain stays
+// inspectable: errors.As(err, &degraded), errors.As(err, &full) and
+// errors.Is(err, table.ErrFull) all hold.
+type DegradedError struct {
+	// Shard is the index of the degraded shard.
+	Shard int
+	// Err is the refusal that forced growth (typically the table's
+	// ErrFull chain, or an injected fault).
+	Err error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("shard %d degraded (allocator failing; serving reads and updates, retry scheduled): %v", e.Shard, e.Err)
+}
+
+// Unwrap exposes the refusal to errors.Is/errors.As.
+func (e *DegradedError) Unwrap() error { return e.Err }

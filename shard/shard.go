@@ -44,6 +44,21 @@
 // entry, so at most capacity(old) mutations run against a successor with
 // capacity(old) spare slots beyond the threshold.
 //
+// # Graceful degradation
+//
+// Every table allocation — construction, the 2x successor, rebuilds —
+// goes through one fallible chokepoint. When allocating a successor
+// fails, the shard does not fail with it: it enters a degraded-but-
+// serving state on its frozen current table. Reads, deletes, and
+// in-place updates keep working; only inserts that genuinely need new
+// slots surface a typed *DegradedError (wrapping the table's refusal,
+// so errors.Is(err, table.ErrFull) still holds). Subsequent mutations
+// retry the allocation under seeded exponential backoff with per-shard
+// jitter, and the shard heals in place the moment an allocation
+// succeeds (or the pressure recedes below the growth threshold).
+// Stats() exposes the degraded-shard count and the failure/retry
+// counters.
+//
 // # Concurrency contract
 //
 // Every Engine method is safe for arbitrary concurrent use. Point and
@@ -63,6 +78,8 @@ import (
 	"sync/atomic"
 
 	"repro/hashfn"
+	"repro/internal/fault"
+	"repro/internal/prng"
 )
 
 // Table is the operation set Engine needs from each shard's table. It is a
@@ -100,6 +117,15 @@ const routerSeedMix = 0x9a77_e4b0_0f00_d001
 // shardSeedStep spaces the per-shard table seeds (golden-ratio step).
 const shardSeedStep = 0x9e3779b97f4a7c15
 
+// maxBackoff caps a degraded shard's retry window: at most this many
+// mutations pass between allocator retries, however long the allocator
+// has been failing.
+const maxBackoff = 256
+
+// jitterSeedMix derives the per-shard backoff-jitter stream from the
+// shard's table seed, independent of the hashing streams.
+const jitterSeedMix = 0x5bd1_e995_7b93_b1a9
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Shards is the number of shards, rounded up to a power of two
@@ -132,19 +158,33 @@ type Config struct {
 	NewTable func(capacity int, seed uint64) (Table, error)
 }
 
+// kv is one pulled-but-unplaced migration entry parked on the carry
+// list. The entry still lives (readable) in the frozen table; the carry
+// list only remembers that the cursor already consumed it, so a failed
+// rebuild can never lose it.
+type kv struct{ k, v uint64 }
+
 // shardState is one shard: a table behind a RWMutex, plus the incremental
 // migration state while a resize is in flight.
 type shardState struct {
-	mu   sync.RWMutex
-	cur  Table
-	live int    // live entries (engine-maintained; cur+next dedup'd)
-	seed uint64 // table seed, reused for every successor generation
+	mu     sync.RWMutex
+	cur    Table
+	live   int    // live entries (engine-maintained; cur+next dedup'd)
+	seed   uint64 // table seed, reused for every successor generation
+	idx    int    // shard index (for DegradedError)
+	jitter *prng.SplitMix64
 
 	// Migration state; all nil/zero when no resize is in flight.
-	next Table               // successor table; all writes go here
-	dead map[uint64]struct{} // keys whose frozen-cur entry is deleted
-	pull func() (k, v uint64, ok bool)
-	stop func()
+	next  Table               // successor table; all writes go here
+	dead  map[uint64]struct{} // keys whose frozen-cur entry is deleted
+	pull  func() (k, v uint64, ok bool)
+	stop  func()
+	carry []kv // cursor entries the successor refused (see advance)
+
+	// Degraded-but-serving state; zero when the allocator is healthy.
+	degraded bool
+	backoff  int // current retry window (mutations), doubles per failure
+	retryIn  int // mutations left before the next allocator retry
 }
 
 // migrating reports whether a resize is in flight (callers hold mu).
@@ -166,6 +206,9 @@ type Engine struct {
 	migDone    atomic.Uint64
 	migMoved   atomic.Uint64
 	rebuilds   atomic.Uint64
+
+	allocFails   atomic.Uint64
+	allocRetries atomic.Uint64
 }
 
 // New builds an Engine from cfg.
@@ -203,8 +246,10 @@ func New(cfg Config) (*Engine, error) {
 	perShard := cfg.Capacity / p
 	for i := range e.shards {
 		s := &e.shards[i]
+		s.idx = i
 		s.seed = cfg.Seed + uint64(i)*shardSeedStep
-		t, err := cfg.NewTable(perShard, s.seed)
+		s.jitter = prng.NewSplitMix64(s.seed ^ jitterSeedMix)
+		t, err := e.allocTable(perShard, s.seed)
 		if err != nil {
 			return nil, err
 		}
@@ -340,10 +385,34 @@ func (e *Engine) MemoryFootprint() uint64 {
 // Incremental migration machinery (shard write lock held)
 // ---------------------------------------------------------------------------
 
+// allocTable is the one chokepoint every table allocation goes through —
+// construction, successor allocation, and rebuilds — so a failing
+// NewTable factory (or the armed fault injector's Alloc kind) exercises
+// every degradation path.
+func (e *Engine) allocTable(capacity int, seed uint64) (Table, error) {
+	if fault.Should(fault.Alloc) {
+		return nil, fmt.Errorf("shard: allocating %d-slot table: %w", capacity, fault.ErrInjected)
+	}
+	return e.create(capacity, seed)
+}
+
 // beginMigration freezes s.cur and installs the successor table and the
-// migration cursor.
+// migration cursor. The successor is sized from LIVE ENTRIES with the
+// frozen capacity as a floor: at the growth threshold that is the classic
+// doubling, but a refusal-driven migration far below the threshold (a
+// failed Cuckoo kick chain, or an injected refusal) gets a same-capacity
+// successor instead of an unconditional doubling — repeated transient
+// refusals must not inflate capacity without live entries to justify it.
 func (e *Engine) beginMigration(s *shardState) error {
-	nt, err := e.create(2*s.cur.Capacity(), s.seed)
+	ga := e.growAt
+	if ga <= 0 {
+		ga = 0.85
+	}
+	capacity := s.cur.Capacity()
+	for float64(s.cur.Len()) >= ga*float64(capacity) {
+		capacity *= 2
+	}
+	nt, err := e.allocTable(capacity, s.seed)
 	if err != nil {
 		return err
 	}
@@ -369,41 +438,211 @@ func (e *Engine) finishMigration(s *shardState) {
 // overlay marks dead are skipped; entries already written to the successor
 // (updated or re-inserted since the freeze) keep the successor's value —
 // GetOrPut never overwrites.
-func (e *Engine) advance(s *shardState, n int) error {
+//
+// Failures never abort the mutation hosting the migration step: a
+// successor refusal parks the pulled entry on the carry list (it is
+// still readable in the frozen table) and falls back to a rebuild, and
+// a failed rebuild allocation leaves the shard degraded-but-serving.
+// The migration can only finish once the carry list is empty — the
+// carry loop runs before any new entry is pulled — so a failed rebuild
+// can never lose an already-pulled entry.
+func (e *Engine) advance(s *shardState, n int) {
 	if s.next == nil {
-		return nil
+		return
+	}
+	fault.MaybeStall()
+	for len(s.carry) > 0 {
+		c := s.carry[0]
+		if _, dead := s.dead[c.k]; dead {
+			s.carry = s.carry[1:]
+			continue
+		}
+		_, loaded, err := s.next.GetOrPut(c.k, c.v)
+		if err != nil {
+			// Still refused: only a rebuild can place it. Honor the
+			// degraded backoff when a previous rebuild allocation failed.
+			if s.degraded && !e.retryDue(s) {
+				return
+			}
+			e.tryRebuild(s)
+			return
+		}
+		if !loaded {
+			e.migMoved.Add(1)
+		}
+		s.carry = s.carry[1:]
 	}
 	for i := 0; i < n; i++ {
 		k, v, ok := s.pull()
 		if !ok {
 			e.finishMigration(s)
-			return nil
+			return
 		}
 		if _, dead := s.dead[k]; dead {
 			continue
 		}
-		_, loaded, err := s.next.GetOrPut(k, v)
+		var (
+			loaded bool
+			err    error
+		)
+		if fault.Should(fault.Full) {
+			err = fmt.Errorf("migration step for key %#x: %w", k, fault.ErrInjected)
+		} else {
+			_, loaded, err = s.next.GetOrPut(k, v)
+		}
 		if err != nil {
 			// The successor refused the key (a Cuckoo kick chain can fail
-			// below any load threshold). Fall back to a one-off rebuild.
-			return e.rebuild(s)
+			// below any load threshold — or the refusal was injected).
+			// Park it and stop this step: the carry loop retries on the
+			// next mutation and escalates to a rebuild only if the key is
+			// refused AGAIN, so a transient injected refusal costs one
+			// deferred entry rather than a capacity-doubling rebuild.
+			s.carry = append(s.carry, kv{k, v})
+			return
 		}
 		if !loaded {
 			e.migMoved.Add(1)
 		}
 	}
+}
+
+// maybeGrow starts a migration when s has crossed the threshold. The
+// growth is pre-emptive, so an allocator failure here is absorbed — the
+// hosting mutation already succeeded — and the shard degrades instead.
+func (e *Engine) maybeGrow(s *shardState) {
+	if e.growAt <= 0 || s.next != nil || s.degraded {
+		return
+	}
+	if float64(s.cur.Len()) < e.growAt*float64(s.cur.Capacity()) {
+		return
+	}
+	if err := e.beginMigration(s); err != nil {
+		e.enterDegraded(s)
+	}
+}
+
+// enterDegraded records an allocator failure: the shard keeps serving
+// from its current state and the next retry is scheduled with seeded
+// exponential backoff plus per-shard jitter (so shards that failed
+// together do not hammer a struggling allocator in lockstep).
+func (e *Engine) enterDegraded(s *shardState) {
+	e.allocFails.Add(1)
+	if !s.degraded {
+		s.degraded = true
+		s.backoff = 1
+	} else if s.backoff < maxBackoff {
+		s.backoff *= 2
+	}
+	s.retryIn = s.backoff + int(s.jitter.Next()%uint64(s.backoff))
+}
+
+// retryDue ticks a degraded shard's backoff window (one tick per
+// mutation) and reports whether an allocator retry is due now.
+func (e *Engine) retryDue(s *shardState) bool {
+	if s.retryIn > 0 {
+		s.retryIn--
+		return false
+	}
+	e.allocRetries.Add(1)
+	return true
+}
+
+// degradedTick runs once per mutation on a degraded shard without a
+// successor: if the pressure receded below the growth threshold the
+// shard simply heals; otherwise, once the backoff window has elapsed,
+// it retries the successor allocation and heals on success.
+func (e *Engine) degradedTick(s *shardState) {
+	if !s.degraded || s.migrating() {
+		return
+	}
+	if float64(s.cur.Len()) < e.growAt*float64(s.cur.Capacity()) {
+		s.degraded, s.backoff, s.retryIn = false, 0, 0
+		return
+	}
+	if !e.retryDue(s) {
+		return
+	}
+	if err := e.beginMigration(s); err != nil {
+		e.enterDegraded(s)
+		return
+	}
+	s.degraded, s.backoff, s.retryIn = false, 0, 0
+}
+
+// growForRefusal starts a migration in response to a table refusal.
+// When the shard is already degraded (this mutation's retry, if due,
+// already ran in degradedTick) or the allocation fails, it converts the
+// refusal into a typed *DegradedError; on success the caller proceeds
+// onto the freshly installed successor.
+func (e *Engine) growForRefusal(s *shardState, refusal error) error {
+	if s.degraded {
+		return &DegradedError{Shard: s.idx, Err: refusal}
+	}
+	if err := e.beginMigration(s); err != nil {
+		e.enterDegraded(s)
+		return &DegradedError{Shard: s.idx, Err: refusal}
+	}
 	return nil
 }
 
-// maybeGrow starts a migration when s has crossed the threshold.
-func (e *Engine) maybeGrow(s *shardState) error {
-	if e.growAt <= 0 || s.next != nil {
-		return nil
+// Drain drives every shard's deferred work — in-flight incremental
+// migrations, parked carry entries, and degraded-state allocator retries
+// — to completion without waiting for organic mutations to tick it
+// forward, and reports whether every shard ended idle (neither migrating
+// nor degraded). It is the maintenance hook for the degraded state: once
+// the table allocator recovers, one Drain call heals the engine instead
+// of the next few hundred mutations. A false return means some shard is
+// still degraded because its allocation kept failing even after sitting
+// out the full backoff window several times; the shard keeps serving and
+// a later Drain (or organic mutation load) will retry.
+//
+// Drain takes each shard's write lock in turn, so it may briefly block
+// concurrent mutations shard by shard, but never the whole engine.
+func (e *Engine) Drain() bool {
+	idle := true
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		// Budget: the deepest backoff window (maxBackoff plus equal
+		// jitter) a few times over, plus several full migrations' worth
+		// of advances — enough for heal → grow → finish, never enough to
+		// spin forever on a permanently failing allocator.
+		budget := 16*maxBackoff + 8*(s.cur.Capacity()/e.chunk+2)
+		for iter := 0; iter < budget && (s.migrating() || s.degraded); iter++ {
+			e.advance(s, e.chunk)
+			e.degradedTick(s)
+		}
+		if s.migrating() || s.degraded {
+			idle = false
+		}
+		s.mu.Unlock()
 	}
-	if float64(s.cur.Len()) < e.growAt*float64(s.cur.Capacity()) {
-		return nil
+	return idle
+}
+
+// growForBatchRefusal is growForRefusal for the batched pipelines, where
+// the refusal is recovered from (the range is re-applied scalar) rather
+// than surfaced: it starts the migration or degrades the shard, and the
+// scalar fallback loop reports per-key outcomes.
+func (e *Engine) growForBatchRefusal(s *shardState) {
+	if s.degraded || s.migrating() {
+		return
 	}
-	return e.beginMigration(s)
+	if err := e.beginMigration(s); err != nil {
+		e.enterDegraded(s)
+	}
+}
+
+// tryRebuild is rebuild with degraded-state accounting: a failed
+// allocation flips the shard into the degraded state (carry and cursor
+// intact), success heals it.
+func (e *Engine) tryRebuild(s *shardState) bool {
+	if err := e.rebuild(s); err != nil {
+		e.enterDegraded(s)
+		return false
+	}
+	s.degraded, s.backoff, s.retryIn = false, 0, 0
+	return true
 }
 
 // rebuild is the pathological-path escape hatch: when the successor itself
@@ -419,7 +658,7 @@ func (e *Engine) rebuild(s *shardState) error {
 		capacity = s.next.Capacity() * 2
 	}
 	for {
-		nt, err := e.create(capacity, s.seed)
+		nt, err := e.allocTable(capacity, s.seed)
 		if err != nil {
 			return err
 		}
@@ -454,6 +693,7 @@ func (e *Engine) rebuild(s *shardState) error {
 		}
 		s.cur = nt
 		s.next, s.dead, s.pull, s.stop = nil, nil, nil, nil
+		s.carry = nil // every entry (carried or not) is in the rebuilt table
 		e.rebuilds.Add(1)
 		return nil
 	}
@@ -474,25 +714,32 @@ func (e *Engine) Put(key, val uint64) (bool, error) {
 }
 
 func (e *Engine) putLocked(s *shardState, key, val uint64) (bool, error) {
-	if err := e.advance(s, e.chunk); err != nil {
-		return false, err
-	}
+	e.advance(s, e.chunk)
+	e.degradedTick(s)
 	if !s.migrating() {
-		ins, err := s.cur.TryPut(key, val)
+		var (
+			ins bool
+			err error
+		)
+		if fault.Should(fault.Full) {
+			err = fmt.Errorf("put %#x: %w", key, fault.ErrInjected)
+		} else {
+			ins, err = s.cur.TryPut(key, val)
+		}
 		if err == nil {
 			if ins {
 				s.live++
-				err = e.maybeGrow(s)
+				e.maybeGrow(s)
 			}
-			return ins, err
+			return ins, nil
 		}
 		if e.growAt <= 0 {
 			return false, err
 		}
 		// The table refused the insert (full, or a failed Cuckoo kick
 		// chain below the threshold): grow now, write to the successor.
-		if err := e.beginMigration(s); err != nil {
-			return false, err
+		if derr := e.growForRefusal(s, err); derr != nil {
+			return false, derr
 		}
 	}
 	// Migrating: the frozen table is read-only, so the write lands in the
@@ -508,8 +755,8 @@ func (e *Engine) putLocked(s *shardState, key, val uint64) (bool, error) {
 		return val
 	})
 	if err != nil {
-		if err = e.rebuild(s); err != nil {
-			return false, err
+		if !e.tryRebuild(s) {
+			return false, &DegradedError{Shard: s.idx, Err: err}
 		}
 		ins, err := s.cur.TryPut(key, val)
 		if ins {
@@ -528,11 +775,11 @@ func (e *Engine) Delete(key uint64) bool {
 	s := e.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Deletes advance the migration too: every mutation makes progress.
-	// An advance failure (the NewTable factory refusing a fallback
-	// rebuild) is ignored here: the delete itself allocates nothing and
-	// works against whatever migration state the shard is left in.
-	_ = e.advance(s, e.chunk)
+	// Deletes advance the migration and tick the degraded backoff too:
+	// every mutation makes progress, and a delete that frees space can
+	// heal a degraded shard outright (the pressure-receded path).
+	e.advance(s, e.chunk)
+	e.degradedTick(s)
 	return s.deleteLocked(key)
 }
 
@@ -571,23 +818,31 @@ func (e *Engine) GetOrPut(key, val uint64) (actual uint64, loaded bool, err erro
 }
 
 func (e *Engine) getOrPutLocked(s *shardState, key, val uint64) (uint64, bool, error) {
-	if err := e.advance(s, e.chunk); err != nil {
-		return 0, false, err
-	}
+	e.advance(s, e.chunk)
+	e.degradedTick(s)
 	if !s.migrating() {
-		actual, loaded, err := s.cur.GetOrPut(key, val)
+		var (
+			actual uint64
+			loaded bool
+			err    error
+		)
+		if fault.Should(fault.Full) {
+			err = fmt.Errorf("getorput %#x: %w", key, fault.ErrInjected)
+		} else {
+			actual, loaded, err = s.cur.GetOrPut(key, val)
+		}
 		if err == nil {
 			if !loaded {
 				s.live++
-				err = e.maybeGrow(s)
+				e.maybeGrow(s)
 			}
-			return actual, loaded, err
+			return actual, loaded, nil
 		}
 		if e.growAt <= 0 {
 			return 0, false, err
 		}
-		if err := e.beginMigration(s); err != nil {
-			return 0, false, err
+		if derr := e.growForRefusal(s, err); derr != nil {
+			return 0, false, derr
 		}
 	}
 	actual, loaded := uint64(0), false
@@ -606,8 +861,8 @@ func (e *Engine) getOrPutLocked(s *shardState, key, val uint64) (uint64, bool, e
 		return val
 	})
 	if err != nil {
-		if err = e.rebuild(s); err != nil {
-			return 0, false, err
+		if !e.tryRebuild(s) {
+			return 0, false, &DegradedError{Shard: s.idx, Err: err}
 		}
 		actual, loaded, err = s.cur.GetOrPut(key, val)
 		if err == nil && !loaded {
@@ -633,51 +888,46 @@ func (e *Engine) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (ui
 }
 
 func (e *Engine) upsertLocked(s *shardState, key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
-	if err := e.advance(s, e.chunk); err != nil {
-		return 0, err
-	}
-	// The computed value is captured so the rare grow-and-retry paths
-	// below re-store it without invoking fn a second time.
-	var computed uint64
-	haveComputed := false
+	e.advance(s, e.chunk)
+	e.degradedTick(s)
+	// A table refusal can only happen before fn runs (the kernels call
+	// fn only once a slot is secured), so the grow-and-retry paths below
+	// may pass wrap again without breaking the invoked-exactly-once
+	// contract.
 	inserted := false
 	wrap := func(old uint64, exists bool) uint64 {
 		if !exists {
 			inserted = true
 		}
-		computed = fn(old, exists)
-		haveComputed = true
-		return computed
+		return fn(old, exists)
 	}
 	if !s.migrating() {
-		nv, err := s.cur.Upsert(key, wrap)
+		var (
+			nv  uint64
+			err error
+		)
+		if fault.Should(fault.Full) {
+			err = fmt.Errorf("upsert %#x: %w", key, fault.ErrInjected)
+		} else {
+			nv, err = s.cur.Upsert(key, wrap)
+		}
 		if err == nil {
 			if inserted {
 				s.live++
-				err = e.maybeGrow(s)
+				e.maybeGrow(s)
 			}
-			return nv, err
+			return nv, nil
 		}
 		if e.growAt <= 0 {
 			return 0, err
 		}
-		if err := e.beginMigration(s); err != nil {
-			return 0, err
+		if derr := e.growForRefusal(s, err); derr != nil {
+			return 0, derr
 		}
-		// The refusal means key was absent: exists=false semantics.
-		if !haveComputed {
-			computed = fn(0, false)
-		}
-		if _, err := s.next.TryPut(key, computed); err != nil {
-			if err = e.rebuild(s); err != nil {
-				return 0, err
-			}
-			if _, err := s.cur.TryPut(key, computed); err != nil {
-				return 0, err
-			}
-		}
-		s.live++
-		return computed, nil
+		// A migration is now in flight; fall through to the migrating
+		// path, which consults the frozen table — so fn still observes
+		// the key's current value (a refusal does not imply absence once
+		// injected refusals exist).
 	}
 	inserted = false
 	nv, err := s.next.Upsert(key, func(old uint64, exists bool) uint64 {
@@ -691,22 +941,22 @@ func (e *Engine) upsertLocked(s *shardState, key uint64, fn func(old uint64, exi
 		return wrap(0, false)
 	})
 	if err != nil {
-		if err = e.rebuild(s); err != nil {
-			return 0, err
+		if !e.tryRebuild(s) {
+			return 0, &DegradedError{Shard: s.idx, Err: err}
 		}
-		if !haveComputed {
-			// The successor refused before probing far enough to call fn;
-			// the engine-level view says the key was absent.
-			computed = fn(0, false)
-			inserted = true
-		}
-		if _, err := s.cur.TryPut(key, computed); err != nil {
+		// The rebuilt table holds every live entry (the successor refused
+		// before calling fn), so the retry is a plain single-table upsert
+		// with correct exists semantics — a key that was still living in
+		// the frozen table is seen, not re-created from (0, false).
+		inserted = false
+		nv, err := s.cur.Upsert(key, wrap)
+		if err != nil {
 			return 0, err
 		}
 		if inserted {
 			s.live++
 		}
-		return computed, nil
+		return nv, nil
 	}
 	if inserted {
 		s.live++

@@ -26,6 +26,14 @@ type Stats struct {
 	// Rebuilds counts stop-the-world fallback rebuilds (see Engine docs;
 	// zero in any healthy configuration).
 	Rebuilds uint64 `json:"rebuilds,omitempty"`
+
+	// Degraded counts shards currently in the degraded-but-serving state
+	// (allocator failing; see the package docs on graceful degradation).
+	Degraded int `json:"degraded,omitempty"`
+	// AllocFailures counts table-allocation failures absorbed into the
+	// degraded state; AllocRetries counts the backoff-scheduled retries.
+	AllocFailures uint64 `json:"alloc_failures,omitempty"`
+	AllocRetries  uint64 `json:"alloc_retries,omitempty"`
 }
 
 // Stats collects the engine snapshot, locking one shard at a time (no
@@ -37,11 +45,16 @@ func (e *Engine) Stats() Stats {
 		MigrationsDone:    e.migDone.Load(),
 		MigratedEntries:   e.migMoved.Load(),
 		Rebuilds:          e.rebuilds.Load(),
+		AllocFailures:     e.allocFails.Load(),
+		AllocRetries:      e.allocRetries.Load(),
 	}
 	for i := range e.shards {
 		s := &e.shards[i]
 		s.mu.RLock()
 		st.Len += s.live
+		if s.degraded {
+			st.Degraded++
+		}
 		st.MemoryBytes += s.cur.MemoryFootprint()
 		if s.next != nil {
 			st.Migrating++

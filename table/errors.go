@@ -40,3 +40,10 @@ func (e *FullError) Unwrap() error { return ErrFull }
 func errFull(scheme string, size, capacity int) error {
 	return &FullError{Scheme: scheme, Len: size, Capacity: capacity}
 }
+
+// errInjectedFull is the *FullError the armed fault injector synthesizes
+// at the Handle entry points. Len/Capacity are -1: the real occupancy
+// was never consulted — the refusal is simulated, not organic.
+func errInjectedFull(scheme string) error {
+	return &FullError{Scheme: scheme + "(injected)", Len: -1, Capacity: -1}
+}

@@ -13,6 +13,7 @@ import (
 	"iter"
 
 	"repro/hashfn"
+	"repro/internal/fault"
 	"repro/shard"
 )
 
@@ -271,10 +272,24 @@ func (h *Handle) Engine() *shard.Engine { return h.eng }
 // WithWorkload, nil otherwise.
 func (h *Handle) DecisionPath() []string { return h.path }
 
+// injectFull fires the armed fault injector's Full kind at a Handle
+// mutation entry point, synthesizing the same *FullError a genuinely
+// full growth-disabled table would return. Disarmed (the default) it is
+// one atomic pointer load.
+func (h *Handle) injectFull() error {
+	if fault.Should(fault.Full) {
+		return errInjectedFull(string(h.scheme))
+	}
+	return nil
+}
+
 // Put inserts or updates key -> val, reporting whether the key was newly
 // inserted. On a full growth-disabled handle it returns ErrFull (wrapped
 // in a *FullError) and leaves the table unchanged.
 func (h *Handle) Put(key, val uint64) (bool, error) {
+	if err := h.injectFull(); err != nil {
+		return false, err
+	}
 	if h.eng != nil {
 		return h.eng.Put(key, val)
 	}
@@ -303,6 +318,9 @@ func (h *Handle) Delete(key uint64) bool {
 // otherwise it inserts val and returns it (loaded false). Exactly one
 // probe sequence is issued either way.
 func (h *Handle) GetOrPut(key, val uint64) (actual uint64, loaded bool, err error) {
+	if err := h.injectFull(); err != nil {
+		return 0, false, err
+	}
 	if h.eng != nil {
 		return h.eng.GetOrPut(key, val)
 	}
@@ -313,6 +331,9 @@ func (h *Handle) GetOrPut(key, val uint64) (actual uint64, loaded bool, err erro
 // (0, false) when absent, stores the result, and returns it — one probe
 // sequence. fn must not call back into the handle.
 func (h *Handle) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	if err := h.injectFull(); err != nil {
+		return 0, err
+	}
 	if h.eng != nil {
 		return h.eng.Upsert(key, fn)
 	}
@@ -426,6 +447,9 @@ func (h *Handle) GetBatch(keys, vals []uint64, ok []bool) int {
 // the number of newly inserted keys. On ErrFull it stops; pairs already
 // applied remain.
 func (h *Handle) PutBatch(keys, vals []uint64) (int, error) {
+	if err := h.injectFull(); err != nil {
+		return 0, err
+	}
 	if h.eng != nil {
 		return h.eng.PutBatch(keys, vals)
 	}
@@ -437,6 +461,9 @@ func (h *Handle) PutBatch(keys, vals []uint64) (int, error) {
 // already existed. It returns the number of newly inserted keys; on
 // ErrFull it stops, with earlier pairs applied.
 func (h *Handle) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
+	if err := h.injectFull(); err != nil {
+		return 0, err
+	}
 	if h.eng != nil {
 		return h.eng.GetOrPutBatch(keys, vals, out, loaded)
 	}
@@ -448,6 +475,9 @@ func (h *Handle) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, er
 // (they always share a shard). It returns the number of newly inserted
 // keys.
 func (h *Handle) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	if err := h.injectFull(); err != nil {
+		return 0, err
+	}
 	if h.eng != nil {
 		return h.eng.UpsertBatch(keys, fn)
 	}
