@@ -1,0 +1,111 @@
+package main
+
+// The deadcode subcommand replaces the former CI pipeline
+//
+//	deadcode -test ./... | tee deadcode.txt
+//	! grep -E 'func: ([^ ]*\.)?[a-z]...' deadcode.txt
+//
+// with an allowlist: `deadcode -test ./... | repolint deadcode -allow
+// .deadcode-allow`. Every unexported unreachable function fails the
+// check unless its exact name (bare or Type.method) appears in the
+// allowlist file, so exemptions are individually named and reviewed
+// instead of being regexed around.
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// runDeadcode filters deadcode output on stdin through the allowlist
+// and returns the process exit code.
+func runDeadcode(args []string) int {
+	fs := flag.NewFlagSet("repolint deadcode", flag.ContinueOnError)
+	allowPath := fs.String("allow", "", "allowlist file: one function name per line, # comments")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	allow := map[string]bool{}
+	if *allowPath != "" {
+		var err error
+		allow, err = readAllowlist(*allowPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repolint deadcode: %v\n", err)
+			return 1
+		}
+	}
+
+	offenders, err := filterDeadcode(os.Stdin, allow)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint deadcode: reading input: %v\n", err)
+		return 1
+	}
+	if len(offenders) == 0 {
+		return 0
+	}
+	for _, line := range offenders {
+		fmt.Fprintln(os.Stderr, line)
+	}
+	fmt.Fprintf(os.Stderr, "repolint deadcode: %d unexported unreachable function(s) not in the allowlist\n", len(offenders))
+	return 2
+}
+
+func readAllowlist(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading allowlist: %w", err)
+	}
+	allow := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			allow[line] = true
+		}
+	}
+	return allow, nil
+}
+
+// filterDeadcode scans deadcode's `<position>: unreachable func: <name>`
+// lines and returns the ones naming unexported functions absent from
+// the allowlist. Exported dead functions are tolerated: they are API
+// surface kept deliberately (alternate probe schemes, bench-only entry
+// points), whereas an unexported unreachable function is pure rot.
+func filterDeadcode(r io.Reader, allow map[string]bool) ([]string, error) {
+	const marker = "unreachable func: "
+	var offenders []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		i := strings.Index(line, marker)
+		if i < 0 {
+			continue
+		}
+		name := strings.TrimSpace(line[i+len(marker):])
+		if name == "" || allow[name] {
+			continue
+		}
+		if isUnexportedFunc(name) {
+			offenders = append(offenders, line)
+		}
+	}
+	return offenders, sc.Err()
+}
+
+// isUnexportedFunc reports whether a deadcode function name — "helper"
+// or "Type.method" — denotes an unexported function or method.
+func isUnexportedFunc(name string) bool {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	r, _ := utf8.DecodeRuneInString(name)
+	return r != utf8.RuneError && unicode.IsLower(r)
+}

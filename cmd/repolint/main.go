@@ -1,0 +1,72 @@
+// Command repolint runs the repo's invariant suite (internal/analysis)
+// over Go packages. It speaks the `go vet -vettool` unit-checker
+// protocol, so the canonical invocation is
+//
+//	go build -o /tmp/repolint ./cmd/repolint
+//	go vet -vettool=/tmp/repolint ./...
+//
+// Invoked directly with package patterns (`repolint ./...`), it re-execs
+// itself under go vet with -vettool pointed at its own binary, so both
+// spellings are the same check. The third mode,
+//
+//	deadcode -test ./... | repolint deadcode -allow .deadcode-allow
+//
+// filters `deadcode` output through a named allowlist: unexported dead
+// functions fail the check unless their exact name is listed, replacing
+// the former grep -E pipeline in CI where false positives could only be
+// regexed around, never named.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		// The go command fingerprints a vettool by running it with
+		// -V=full and expects "<basename> version <v>" on stdout.
+		fmt.Printf("%s version 1.0.0\n", filepath.Base(os.Args[0]))
+	case len(args) == 1 && args[0] == "-flags":
+		// go vet asks the tool for its extra flags as JSON; the suite
+		// has none.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runUnit(args[0]))
+	case len(args) >= 1 && args[0] == "deadcode":
+		os.Exit(runDeadcode(args[1:]))
+	default:
+		os.Exit(rerunUnderVet(args))
+	}
+}
+
+// rerunUnderVet invokes `go vet -vettool=<self> <patterns>` so that
+// `repolint ./...` and the CI spelling are the same check.
+func rerunUnderVet(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: locating own binary: %v\n", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "repolint: running go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetCleanOnRepo is the suite's smoke test: build this command and
+// run it over the whole module through the real `go vet -vettool`
+// protocol. The repo must be invariant-clean — a red run here means
+// either a real violation landed or an analyzer grew a false positive.
+func TestVetCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole module")
+	}
+	bin := filepath.Join(t.TempDir(), "repolint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building repolint: %v\n%s", err, out)
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=repolint ./... not clean: %v\n%s", err, out)
+	}
+}
+
+func TestFilterDeadcode(t *testing.T) {
+	input := strings.Join([]string{
+		"greet/main.go:10:1: unreachable func: Exported",
+		"table/table.go:3:2: unreachable func: helper",
+		"shard/shard.go:9:1: unreachable func: Engine.drainLocked",
+		"shard/shard.go:12:1: unreachable func: Engine.Drain",
+		"some unrelated line",
+		"",
+	}, "\n")
+
+	offenders, err := filterDeadcode(strings.NewReader(input), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"table/table.go:3:2: unreachable func: helper",
+		"shard/shard.go:9:1: unreachable func: Engine.drainLocked",
+	}
+	if len(offenders) != len(want) {
+		t.Fatalf("offenders = %q, want %q", offenders, want)
+	}
+	for i := range want {
+		if offenders[i] != want[i] {
+			t.Errorf("offenders[%d] = %q, want %q", i, offenders[i], want[i])
+		}
+	}
+
+	allow := map[string]bool{"helper": true, "Engine.drainLocked": true}
+	offenders, err = filterDeadcode(strings.NewReader(input), allow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 0 {
+		t.Errorf("allowlisted run: offenders = %q, want none", offenders)
+	}
+}
+
+func TestReadAllowlist(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "allow")
+	content := "# comment\nhelper # trailing note\n\nEngine.drainLocked\n"
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	allow, err := readAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"helper", "Engine.drainLocked"} {
+		if !allow[name] {
+			t.Errorf("allowlist missing %q: %v", name, allow)
+		}
+	}
+	if len(allow) != 2 {
+		t.Errorf("allowlist = %v, want 2 entries", allow)
+	}
+}
+
+func TestIsUnexportedFunc(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		want bool
+	}{
+		{"helper", true},
+		{"Exported", false},
+		{"Engine.drainLocked", true},
+		{"Engine.Drain", false},
+		{"table.grow", true},
+	} {
+		if got := isUnexportedFunc(tt.name); got != tt.want {
+			t.Errorf("isUnexportedFunc(%q) = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}

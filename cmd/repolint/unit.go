@@ -1,0 +1,211 @@
+package main
+
+// The `go vet -vettool` unit-checker protocol, reimplemented on the
+// standard library (the x/tools unitchecker is not available to this
+// dependency-free module). For every package unit, the go command
+// writes a JSON config file describing the unit — source files, the
+// import map, and the export-data file of every dependency — and
+// invokes the tool with that file as its sole argument. The tool
+// type-checks the unit against the supplied export data, runs its
+// analyzers, writes the (possibly empty) facts file the config names,
+// prints diagnostics to stderr, and exits non-zero if there were any.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig is the subset of the go command's vet config this tool
+// consumes. Field names are fixed by the protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// modulePrefix gates which units the suite analyzes: the invariants are
+// repo rules, so everything outside the module (the standard library,
+// test mains) is acknowledged with an empty facts file and skipped.
+const modulePrefix = "repro"
+
+// inModule reports whether importPath (possibly a test variant like
+// "repro/table [repro/table.test]") belongs to the module.
+func inModule(importPath string) bool {
+	p := importPath
+	if i := strings.Index(p, " ["); i >= 0 {
+		p = p[:i]
+	}
+	return p == modulePrefix || strings.HasPrefix(p, modulePrefix+"/")
+}
+
+// runUnit executes the suite over one vet config unit and returns the
+// process exit code (0 clean, 1 operational error, 2 diagnostics).
+func runUnit(cfgPath string) int {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 1
+	}
+	// The protocol requires the facts output to exist even for units we
+	// do not analyze; the suite carries no cross-package facts, so the
+	// file is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if !inModule(cfg.ImportPath) || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return typecheckFailure(cfg, err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheckUnit(cfg, fset, files)
+	if err != nil {
+		return typecheckFailure(cfg, err)
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags := runSuite(fset, files, pkg, info)
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading vet config: %w", err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// typecheckFailure honors the protocol's SucceedOnTypecheckFailure flag
+// (set by the go command when vet runs in contexts where build errors
+// are reported elsewhere).
+func typecheckFailure(cfg *vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "repolint: typechecking %s: %v\n", cfg.ImportPath, err)
+	return 1
+}
+
+// typecheckUnit type-checks one unit against the export data the go
+// command supplied for its dependencies.
+func typecheckUnit(cfg *vetConfig, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				path = importPath
+			}
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return base.Import(path)
+		}),
+		Sizes: types.SizesFor("gc", build.Default.GOARCH),
+	}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// runSuite applies every analyzer to the unit and returns diagnostics
+// sorted by position.
+func runSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, a := range analysis.All() {
+		pass := &analysis.Pass{
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, analysis.Diagnostic{
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("analyzer failed: %v", err),
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}

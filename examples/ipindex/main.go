@@ -67,7 +67,7 @@ func main() {
 		start := time.Now()
 		for i, k := range keys {
 			if _, err := m.Put(k, uint64(i)); err != nil {
-				panic(fmt.Sprintf("%s: insert %d: %v", s, k, err))
+				panic(fmt.Errorf("%s: insert %d: %w", s, k, err))
 			}
 		}
 		buildMops := float64(n) / 1e6 / time.Since(start).Seconds()

@@ -240,7 +240,7 @@ func (r *run) invoke(worker, task int) (err error) {
 		}
 	}()
 	if fault.Should(fault.Panic) {
-		panic(fmt.Sprintf("%v (worker %d, task %d)", fault.ErrInjected, worker, task))
+		panic(fmt.Errorf("%w (worker %d, task %d)", fault.ErrInjected, worker, task))
 	}
 	return r.fn(worker, task)
 }

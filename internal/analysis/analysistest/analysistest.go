@@ -1,0 +1,248 @@
+// Package analysistest runs the repo's analyzers over fixture packages
+// and checks their diagnostics against // want comments. It mirrors the
+// x/tools harness of the same name on the standard library alone.
+//
+// Fixture layout: <testdata>/src/<import/path>/*.go. Imports inside a
+// fixture resolve fixture-first — so a stub package named table or exec
+// can stand in for the real repro packages, exercising the analyzers'
+// package-base matching — and fall back to the source importer for the
+// standard library (which works offline from GOROOT/src).
+//
+// A comment of the form
+//
+//	s.mu.Lock() // want `Lock\(\) without a matching Unlock`
+//
+// expects exactly one diagnostic on its line whose message matches the
+// regexp; several patterns on one comment expect several diagnostics.
+// Both backquoted and double-quoted patterns are accepted. Diagnostics
+// with no matching want, and wants with no matching diagnostic, fail
+// the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the caller's testdata directory.
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run loads each fixture package and applies the analyzer, reporting
+// every mismatch between diagnostics and want comments as a test error.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		t.Run(strings.ReplaceAll(pkgPath, "/", "_"), func(t *testing.T) {
+			runOne(t, testdata, a, pkgPath)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	res, err := l.loadFixture(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	wants := collectWants(t, l.fset, res.files)
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Fset:      l.fset,
+		Files:     res.files,
+		Pkg:       res.pkg,
+		TypesInfo: res.info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, pkgPath, err)
+	}
+
+	for _, d := range got {
+		pos := l.fset.Position(d.Pos)
+		if w := matchWant(wants, pos, d.Message); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expected diagnostic: a file, a line, and a message regexp.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// matchWant finds an unconsumed expectation on the diagnostic's line
+// whose pattern matches the message.
+func matchWant(wants []*want, pos token.Position, msg string) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// wantArgRe tokenizes the patterns of a want comment: backquoted or
+// double-quoted strings.
+var wantArgRe = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// collectWants extracts the expectations from // want comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				toks := wantArgRe.FindAllString(text, -1)
+				if len(toks) == 0 {
+					t.Fatalf("%s: malformed want comment: %q", pos, c.Text)
+				}
+				for _, tok := range toks {
+					pat := tok[1 : len(tok)-1]
+					if tok[0] == '"' {
+						var err error
+						if pat, err = strconv.Unquote(tok); err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, tok, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", pos, tok, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loaded is one type-checked fixture package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader type-checks fixture packages, resolving imports fixture-first
+// and deferring to the source importer for the standard library.
+type loader struct {
+	fset *token.FileSet
+	src  string
+	std  types.Importer
+	pkgs map[string]*loaded
+}
+
+func newLoader(src string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset: fset,
+		src:  src,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*loaded{},
+	}
+}
+
+// Import implements types.Importer over the fixture tree and stdlib.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if res, ok := l.pkgs[path]; ok {
+		return res.pkg, nil
+	}
+	if fi, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		res, err := l.loadFixture(path)
+		if err != nil {
+			return nil, err
+		}
+		return res.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadFixture parses and type-checks one fixture package by import path.
+func (l *loader) loadFixture(path string) (*loaded, error) {
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files in %s", path, dir)
+	}
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: l, Sizes: types.SizesFor("gc", build.Default.GOARCH)}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	res := &loaded{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = res
+	return res, nil
+}

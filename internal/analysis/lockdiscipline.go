@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockDiscipline enforces the shard package's locking rules, the ones
+// the incremental-resize and degraded-mode machinery depend on:
+//
+//  1. Every mu.Lock()/mu.RLock() has a matching Unlock()/RUnlock() on
+//     the same receiver somewhere in the same function (deferred or
+//     explicit) — a shard lock never leaks out of the function that
+//     took it.
+//  2. The raw table factory (the Config.NewTable function value, stored
+//     as Engine.create) is invoked only inside the allocTable
+//     chokepoint, so every allocation is fallible in exactly one place
+//     and the fault injector's Alloc hook covers all of them.
+//  3. No call into the exec package while a shard lock is held: a pool
+//     submission under a shard lock can deadlock against a task that
+//     needs the same shard (the documented must-not-call-back-into-the-
+//     engine contract, checked from the other side).
+//
+// The analysis is intra-procedural and syntactic about lock identity
+// (receivers are matched textually), which is exactly as strong as the
+// package's own convention: shard takes locks and releases them in the
+// same function, on the same expression.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "shard locking rules: paired Lock/Unlock, allocTable chokepoint, no exec calls under a shard lock",
+	Run:  runLockDiscipline,
+}
+
+// lockCall describes one mutex method call: the textual receiver and
+// whether it is the read flavor.
+type lockCall struct {
+	recv string
+	read bool
+}
+
+// asMutexCall decodes call as recv.<method>() on a sync.Mutex or
+// sync.RWMutex and returns the receiver text, the method name, and ok.
+func (p *Pass) asMutexCall(call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := p.typeOf(sel.X)
+	if !typeIs(t, "sync", "Mutex") && !typeIs(t, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func runLockDiscipline(pass *Pass) error {
+	if PkgBase(pass.Pkg.Path()) != "shard" {
+		return nil
+	}
+	for _, f := range pass.sourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockPairing(pass, fd)
+			checkFactoryChokepoint(pass, fd)
+			scanHeldRegions(pass, fd.Body.List, nil)
+		}
+	}
+	return nil
+}
+
+// checkLockPairing requires a matching unlock for every lock taken in fd.
+func checkLockPairing(pass *Pass, fd *ast.FuncDecl) {
+	type site struct {
+		pos  []ast.Node
+		call lockCall
+	}
+	var locks []site
+	unlocks := map[lockCall]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method, ok := pass.asMutexCall(call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Lock":
+			locks = append(locks, site{[]ast.Node{call}, lockCall{recv, false}})
+		case "RLock":
+			locks = append(locks, site{[]ast.Node{call}, lockCall{recv, true}})
+		case "Unlock":
+			unlocks[lockCall{recv, false}] = true
+		case "RUnlock":
+			unlocks[lockCall{recv, true}] = true
+		}
+		return true
+	})
+	for _, l := range locks {
+		if !unlocks[l.call] {
+			verb := "Lock"
+			want := "Unlock"
+			if l.call.read {
+				verb, want = "RLock", "RUnlock"
+			}
+			pass.Reportf(l.pos[0].Pos(), "%s.%s() without a matching %s in this function: a shard lock must be released where it was taken (defer it)", l.call.recv, verb, want)
+		}
+	}
+}
+
+// checkFactoryChokepoint flags raw table-factory invocations outside
+// allocTable.
+func checkFactoryChokepoint(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Name.Name == "allocTable" {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		case *ast.Ident:
+			name = fun.Name
+		default:
+			return true
+		}
+		if name == "create" || name == "NewTable" {
+			pass.Reportf(call.Pos(), "raw table-factory call outside allocTable: every allocation must pass through the one fallible chokepoint (fault injection, degraded-mode accounting)")
+		}
+		return true
+	})
+}
+
+// scanHeldRegions walks a statement list tracking which mutexes are
+// held, and flags exec-package calls made while any lock is. held maps
+// receiver text to the read/write flavor last taken; nested blocks see
+// a copy, so branch-local locks do not leak into siblings.
+func scanHeldRegions(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	held = copyHeld(held)
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recv, method, ok := pass.asMutexCall(call); ok {
+					switch method {
+					case "Lock", "RLock":
+						held[recv] = true
+					case "Unlock", "RUnlock":
+						delete(held, recv)
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the lock held to function end by
+			// design; the region below stays "held".
+			if _, _, ok := pass.asMutexCall(&ast.CallExpr{Fun: s.Call.Fun}); ok {
+				continue
+			}
+		}
+		if len(held) > 0 {
+			flagExecCalls(pass, stmt, held)
+		}
+		// Recurse into nested statement lists with the current view.
+		switch s := stmt.(type) {
+		case *ast.BlockStmt:
+			scanHeldRegions(pass, s.List, held)
+		case *ast.IfStmt:
+			scanHeldRegions(pass, s.Body.List, held)
+			if el, ok := s.Else.(*ast.BlockStmt); ok {
+				scanHeldRegions(pass, el.List, held)
+			}
+		case *ast.ForStmt:
+			scanHeldRegions(pass, s.Body.List, held)
+		case *ast.RangeStmt:
+			scanHeldRegions(pass, s.Body.List, held)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanHeldRegions(pass, cc.Body, held)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanHeldRegions(pass, cc.Body, held)
+				}
+			}
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// flagExecCalls reports exec-package calls inside stmt (excluding nested
+// statement lists, which the caller recurses into separately with the
+// right held set, but including expressions like call arguments).
+func flagExecCalls(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt:
+			return false // handled by the caller's recursion
+		}
+		if call, ok := n.(*ast.CallExpr); ok && pass.isExecCall(call) {
+			var some string
+			for recv := range held {
+				some = recv
+				break
+			}
+			pass.Reportf(call.Pos(), "call into exec while %s is locked: a pool submission under a shard lock can deadlock against tasks touching the same shard — release the lock first", some)
+		}
+		return true
+	})
+}

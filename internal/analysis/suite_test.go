@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over at least one fixture that must diagnose and
+// one that must stay silent, so both the teeth and the allowlists are
+// pinned.
+
+func TestNoGoroutine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.NoGoroutine,
+		"nogoroutine/bad", "nogoroutine/exec")
+}
+
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.ErrTaxonomy,
+		"errtaxonomy/bad", "errtaxonomy/good")
+}
+
+func TestUnsafeConfine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.UnsafeConfine,
+		"unsafeconfine/bad", "unsafeconfine/table")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.LockDiscipline,
+		"lockdiscipline/shard",
+		// Not package shard: the discipline does not apply.
+		"lockdiscipline/exec")
+}
+
+func TestCtxPropagate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.CtxPropagate,
+		"ctxpropagate/bad", "ctxpropagate/good")
+}
+
+func TestPkgBase(t *testing.T) {
+	for _, tt := range []struct{ in, want string }{
+		{"repro/table", "table"},
+		{"repro/table [repro/table.test]", "table"},
+		{"errtaxonomy/table", "table"},
+		{"os/exec", "exec"},
+		{"exec", "exec"},
+	} {
+		if got := analysis.PkgBase(tt.in); got != tt.want {
+			t.Errorf("PkgBase(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package bad accepts a cancellable config and then drops its context
+// on the floor: the pools it builds are uncancellable.
+package bad
+
+import (
+	"context"
+
+	"ctxpropagate/exec"
+)
+
+// RunConfig carries the caller's context.
+type RunConfig struct {
+	Threads int
+	Ctx     context.Context
+}
+
+func run(cfg RunConfig) error {
+	pool := exec.NewPool(exec.Config{Workers: cfg.Threads}) // want `exec\.Config built without Ctx while cfg carries one`
+	defer pool.Close()
+	return exec.RunTasks(exec.Config{Workers: 1}, 4, func(_, _ int) error { return nil }) // want `exec\.Config built without Ctx while cfg carries one`
+}

@@ -1,0 +1,35 @@
+// Package exec is a fixture stub of the real pool config: Workers plus
+// the Ctx field the analyzer insists callers thread through.
+package exec
+
+import "context"
+
+// Config parameterizes a stub pool.
+type Config struct {
+	Workers int
+	Ctx     context.Context
+}
+
+// Pool is the stub executor.
+type Pool struct{ cfg Config }
+
+// NewPool builds a stub pool.
+func NewPool(cfg Config) *Pool { return &Pool{cfg: cfg} }
+
+// Close releases nothing.
+func (p *Pool) Close() {}
+
+// ForEach runs fn over n tasks inline.
+func (p *Pool) ForEach(n int, fn func(worker, task int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(0, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunTasks is the one-shot spelling.
+func RunTasks(cfg Config, n int, fn func(worker, task int) error) error {
+	return NewPool(cfg).ForEach(n, fn)
+}

@@ -1,0 +1,28 @@
+// Package good threads the caller's context into every pool it builds;
+// nothing here diagnoses.
+package good
+
+import (
+	"context"
+
+	"ctxpropagate/exec"
+)
+
+// RunConfig carries the caller's context.
+type RunConfig struct {
+	Threads int
+	Ctx     context.Context
+}
+
+func run(cfg RunConfig) error {
+	pool := exec.NewPool(exec.Config{Workers: cfg.Threads, Ctx: cfg.Ctx})
+	defer pool.Close()
+	return exec.RunTasks(exec.Config{4, context.Background()}, 4, func(_, _ int) error { return nil })
+}
+
+// free has no Config parameter: building an uncancellable pool is its
+// caller's informed choice, not a dropped context.
+func free() {
+	pool := exec.NewPool(exec.Config{Workers: 1})
+	pool.Close()
+}

@@ -1,0 +1,34 @@
+// Package bad matches taxonomy errors structurally — every pattern here
+// silently stops seeing the error as soon as somebody wraps it.
+package bad
+
+import (
+	"fmt"
+
+	"errtaxonomy/table"
+)
+
+func classify(err error) string {
+	if err == table.ErrFull { // want `ErrFull compared with ==: use errors\.Is`
+		return "full"
+	}
+	if err != table.ErrFull { // want `ErrFull compared with !=: use errors\.Is`
+		return "not-full"
+	}
+	if fe, ok := err.(*table.FullError); ok { // want `type assert to \*FullError on an error: use errors\.As`
+		return fmt.Sprint(fe.Cap)
+	}
+	switch err.(type) {
+	case *table.FullError: // want `type switch case \*FullError on an error: use errors\.As`
+		return "full"
+	}
+	return ""
+}
+
+func resurface(err error) error {
+	return fmt.Errorf("put failed: %v", err) // want `fmt\.Errorf without %w`
+}
+
+func fatal(err error) {
+	panic(fmt.Sprintf("put failed: %v", err)) // want `panic\(fmt\.Sprintf\(\.\.\., err\)\) flattens`
+}

@@ -1,0 +1,34 @@
+// Package good matches taxonomy errors through errors.Is/errors.As and
+// keeps the chain intact with %w: nothing here diagnoses.
+package good
+
+import (
+	"errors"
+	"fmt"
+
+	"errtaxonomy/table"
+)
+
+func classify(err error) string {
+	if errors.Is(err, table.ErrFull) {
+		return "full"
+	}
+	var fe *table.FullError
+	if errors.As(err, &fe) {
+		return fmt.Sprint(fe.Cap)
+	}
+	return ""
+}
+
+func resurface(err error) error {
+	return fmt.Errorf("put failed: %w", err)
+}
+
+func fatal(err error) {
+	panic(fmt.Errorf("put failed: %w", err))
+}
+
+// localSentinel is not taxonomy: == on a local error value is fine.
+var localSentinel = errors.New("local")
+
+func local(err error) bool { return err == localSentinel }

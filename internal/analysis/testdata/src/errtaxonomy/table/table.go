@@ -1,0 +1,20 @@
+// Package table is a fixture stub of the real table error taxonomy:
+// one sentinel, one concrete wrapper, chained with Unwrap exactly like
+// repro/table.
+package table
+
+import "errors"
+
+// ErrFull is the sentinel refusal of a table at capacity.
+var ErrFull = errors.New("table: full")
+
+// FullError carries the occupancy at refusal and wraps ErrFull.
+type FullError struct {
+	Len, Cap int
+}
+
+func (e *FullError) Error() string { return "table: full" }
+func (e *FullError) Unwrap() error { return ErrFull }
+
+// Put refuses everything; the fixtures only need an error source.
+func Put(key, val uint64) error { return &FullError{Len: 1, Cap: 1} }

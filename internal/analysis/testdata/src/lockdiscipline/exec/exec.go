@@ -1,0 +1,29 @@
+// Package exec is a fixture stub of the real pool API, just enough
+// surface for the shard fixture to call into.
+package exec
+
+// Config parameterizes a stub pool.
+type Config struct {
+	Workers int
+}
+
+// Pool is the stub executor.
+type Pool struct{ cfg Config }
+
+// NewPool builds a stub pool.
+func NewPool(cfg Config) *Pool { return &Pool{cfg: cfg} }
+
+// ForEach runs fn over n tasks inline.
+func (p *Pool) ForEach(n int, fn func(worker, task int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(0, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunTasks is the one-shot spelling.
+func RunTasks(cfg Config, n int, fn func(worker, task int) error) error {
+	return NewPool(cfg).ForEach(n, fn)
+}

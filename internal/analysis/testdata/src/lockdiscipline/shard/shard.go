@@ -1,0 +1,83 @@
+// Package shard is a fixture of the locking discipline: the good
+// functions follow the real engine's idioms (defer-paired locks, all
+// allocation through allocTable, exec submissions only after release),
+// the bad ones each break exactly one rule.
+package shard
+
+import (
+	"sync"
+
+	"lockdiscipline/exec"
+)
+
+type table struct{ n int }
+
+type state struct {
+	mu  sync.RWMutex
+	tab *table
+}
+
+// Engine mirrors the real engine's shape: a raw factory stored as
+// create, a pool handle, and per-shard locked state.
+type Engine struct {
+	shards []state
+	create func() *table
+	pool   *exec.Pool
+}
+
+// allocTable is the one fallible allocation chokepoint: the only
+// function allowed to invoke the raw factory.
+func (e *Engine) allocTable() *table { return e.create() }
+
+// goodSwap follows the discipline end to end.
+func (e *Engine) goodSwap(i int) {
+	s := &e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tab = e.allocTable()
+}
+
+// goodRead pairs the read lock explicitly.
+func (e *Engine) goodRead(i int) int {
+	s := &e.shards[i]
+	s.mu.RLock()
+	n := s.tab.n
+	s.mu.RUnlock()
+	return n
+}
+
+// goodSubmit releases the shard lock before submitting to the pool.
+func (e *Engine) goodSubmit(i int) error {
+	s := &e.shards[i]
+	s.mu.Lock()
+	tab := s.tab
+	s.mu.Unlock()
+	return e.pool.ForEach(tab.n, func(_, _ int) error { return nil })
+}
+
+// badLeak takes the lock and returns without releasing it.
+func (e *Engine) badLeak(i int) {
+	s := &e.shards[i]
+	s.mu.Lock() // want `s\.mu\.Lock\(\) without a matching Unlock`
+	s.tab = e.allocTable()
+}
+
+// badReadLeak does the same with the read flavor.
+func (e *Engine) badReadLeak(i int) int {
+	s := &e.shards[i]
+	s.mu.RLock() // want `s\.mu\.RLock\(\) without a matching RUnlock`
+	return s.tab.n
+}
+
+// badFactory invokes the raw factory outside allocTable.
+func (e *Engine) badFactory(i int) {
+	e.shards[i].tab = e.create() // want `raw table-factory call outside allocTable`
+}
+
+// badSubmit submits to the pool while the shard lock is held.
+func (e *Engine) badSubmit(i int) error {
+	s := &e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return e.pool.ForEach(1, func(_, _ int) error { return nil }) // want `call into exec while s\.mu is locked`
+}

@@ -1,0 +1,24 @@
+// Package exec stands in for the real pool: its path base is "exec", so
+// raw concurrency primitives are its job and none of them diagnose.
+package exec
+
+import "sync"
+
+func fanOut(n int) int {
+	var wg sync.WaitGroup
+	results := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results <- i * i
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	total := 0
+	for r := range results {
+		total += r
+	}
+	return total
+}

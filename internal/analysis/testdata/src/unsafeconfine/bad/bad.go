@@ -1,0 +1,7 @@
+// Package bad imports unsafe from an unblessed location: aliasing here
+// would dodge the checkptr/ASan jobs that only exercise the allowlist.
+package bad
+
+import "unsafe" // want `unsafe imported outside the allowlist`
+
+func addr(p *uint64) uintptr { return uintptr(unsafe.Pointer(p)) }

@@ -1,0 +1,10 @@
+// Package table mirrors the real kernel's confinement: policy.go is the
+// one blessed unsafe site, and any other file in the package is not.
+package table
+
+import "unsafe"
+
+// view is the blessed aliasing idiom: a flat view over a backing slice.
+func view(s []uint64) *uint64 {
+	return (*uint64)(unsafe.Pointer(unsafe.SliceData(s)))
+}

@@ -1,0 +1,7 @@
+package table
+
+import "unsafe" // want `unsafe imported outside the allowlist`
+
+// alias smuggles unsafe into the right package but the wrong file: the
+// allowlist is per-file, not per-package.
+func alias(p *uint64) unsafe.Pointer { return unsafe.Pointer(p) }

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strconv"
+)
+
+// UnsafeConfine confines `unsafe` to the explicit allowlist: the probe
+// kernel's column view (table/policy.go, where both slot layouts alias
+// one []uint64 view over their backing arrays) and internal/vec (the
+// SIMD stand-in kernels, should they ever need layout-exact views). The
+// aliasing in policy.go is checkptr- and ASan-exercised by the sanitizer
+// CI job plus FuzzColumnView; a new unsafe import anywhere else would
+// dodge that coverage, so it is refused outright.
+var UnsafeConfine = &Analyzer{
+	Name: "unsafeconfine",
+	Doc:  "allow the unsafe import only in table/policy.go and internal/vec",
+	Run:  runUnsafeConfine,
+}
+
+// unsafeAllowed reports whether the file may import unsafe.
+func unsafeAllowed(pkgBase, fileBase string) bool {
+	switch pkgBase {
+	case "vec":
+		return true
+	case "table":
+		return fileBase == "policy.go"
+	}
+	return false
+}
+
+func runUnsafeConfine(pass *Pass) error {
+	base := PkgBase(pass.Pkg.Path())
+	for _, f := range pass.sourceFiles() {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || p != "unsafe" {
+				continue
+			}
+			file := filepath.Base(pass.Fset.Position(imp.Pos()).Filename)
+			if !unsafeAllowed(base, file) {
+				pass.Reportf(imp.Pos(), "unsafe imported outside the allowlist (table/policy.go, internal/vec): unsafe aliasing must stay where the checkptr/ASan jobs and FuzzColumnView exercise it")
+			}
+		}
+	}
+	return nil
+}

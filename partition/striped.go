@@ -90,7 +90,7 @@ func (m *Striped) Put(key, val uint64) bool {
 	if err != nil {
 		// Unreachable with growth enabled (see NewStriped); a failure here
 		// means the engine could not allocate a successor table.
-		panic(fmt.Sprintf("partition: Striped.Put(%d): %v", key, err))
+		panic(fmt.Errorf("partition: Striped.Put(%d): %w", key, err))
 	}
 	return ins
 }
@@ -148,7 +148,7 @@ func (m *Striped) GetBatch(keys []uint64, vals []uint64, ok []bool) int {
 func (m *Striped) PutBatch(keys []uint64, vals []uint64) int {
 	n, err := m.eng.PutBatch(keys, vals)
 	if err != nil {
-		panic(fmt.Sprintf("partition: Striped.PutBatch: %v", err))
+		panic(fmt.Errorf("partition: Striped.PutBatch: %w", err))
 	}
 	return n
 }

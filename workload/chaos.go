@@ -14,6 +14,7 @@ package workload
 // handle must agree with the union of the oracles exactly.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -56,6 +57,9 @@ type ChaosConfig struct {
 	Seed   uint64
 	// Faults is the schedule armed for the replay rounds.
 	Faults fault.Config
+	// Ctx cancels the replay between morsels; it is threaded into the
+	// exec pool (nil means context.Background()).
+	Ctx context.Context
 }
 
 // ChaosResult reports what one chaos run absorbed and surfaced.
@@ -155,7 +159,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		res.Ops += th.tape.Len()
 	}
 
-	pool := exec.NewPool(exec.Config{Workers: cfg.Threads})
+	pool := exec.NewPool(exec.Config{Workers: cfg.Threads, Ctx: cfg.Ctx})
 	defer pool.Close()
 
 	// Fault-free concurrent pre-fill, mirrored into the oracles.

@@ -122,7 +122,7 @@ func RunRWConcurrent(cfg RWConfig, threads int) (RWConcurrentResult, error) {
 	// One exec pool drives both phases: each tape is one unit of work
 	// claimed by a pool worker, so the fan-out is exactly threads and the
 	// error convention is the pool's first-error propagation.
-	pool := exec.NewPool(exec.Config{Workers: threads})
+	pool := exec.NewPool(exec.Config{Workers: threads, Ctx: cfg.Ctx})
 	defer pool.Close()
 
 	// Untimed concurrent pre-fill (growth/migrations start here already).

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -123,6 +124,9 @@ type RWConfig struct {
 	// Tape optionally supplies a pre-generated tape (shared across
 	// schemes); when nil, one is generated from the other fields.
 	Tape *Tape
+	// Ctx cancels the concurrent replay between morsels; it is threaded
+	// into the exec pool (nil means context.Background()).
+	Ctx context.Context
 }
 
 // RWResult reports one RW experiment point.
