@@ -47,6 +47,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -86,6 +87,15 @@ type Config struct {
 	// ErrOverloaded before running any task — the backpressure primitive
 	// front-ends shed load on.
 	MaxInFlight int
+	// Metrics, when non-nil, receives pool telemetry (task and steal
+	// counts, queue-wait and task latency, per-worker busy time) from
+	// the scheduling path. Nil — the default — keeps the path free of
+	// instrumentation; the hooks are nil-guarded, not compiled out.
+	Metrics *PoolMetrics
+	// Trace, when non-nil, receives per-worker scheduling events (task
+	// begin/end, morsel claims, steals, errors, cancellations) into a
+	// fixed-capacity lock-free ring, dumpable as Chrome trace JSON.
+	Trace *Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +116,8 @@ type Pool struct {
 	morsel   int
 	limit    int
 	ctx      context.Context
+	metrics  *PoolMetrics
+	trace    *Trace
 	tasks    chan *run
 	inflight atomic.Int64
 	closed   atomic.Bool
@@ -121,6 +133,8 @@ func NewPool(cfg Config) *Pool {
 		morsel:  cfg.MorselSize,
 		limit:   cfg.MaxInFlight,
 		ctx:     cfg.Ctx,
+		metrics: cfg.Metrics,
+		trace:   cfg.Trace,
 		tasks:   make(chan *run),
 	}
 	p.wg.Add(p.workers)
@@ -177,8 +191,12 @@ func (p *Pool) release() {
 // plus first-error state.
 type run struct {
 	n          int
+	workers    int
 	fn         func(worker, task int) error
 	ctx        context.Context
+	metrics    *PoolMetrics
+	trace      *Trace
+	submit     int64 // obs.Now at submission; 0 when uninstrumented
 	cursor     atomic.Int64
 	failed     atomic.Bool
 	err        error
@@ -199,10 +217,24 @@ func (r *run) fail(err error) {
 
 // cancel records a context cancellation. Unlike fail it never counts as
 // a suppressed error: every worker observes the same cancellation, and
-// it only claims the return slot when no task error beat it there.
-func (r *run) cancel(err error) {
+// it only claims the return slot when no task error beat it there. The
+// observation that wins the slot is the one counted and traced — one
+// cancel event per cancelled submission, not one per worker.
+func (r *run) cancel(worker int, err error) {
 	if r.failed.CompareAndSwap(false, true) {
 		r.err = err
+		r.noteCancel(worker)
+	}
+}
+
+// noteCancel records a winning cancellation observation on the attached
+// metrics and trace (both nil-guarded).
+func (r *run) noteCancel(worker int) {
+	if r.metrics != nil {
+		r.metrics.Cancels.Inc(worker)
+	}
+	if r.trace != nil {
+		r.trace.record(worker, Event{Kind: EvCancel, Worker: int32(worker), Start: now()})
 	}
 }
 
@@ -212,7 +244,7 @@ func (r *run) do(worker int) {
 	for !r.failed.Load() {
 		if r.ctx != nil {
 			if err := r.ctx.Err(); err != nil {
-				r.cancel(err)
+				r.cancel(worker, err)
 				return
 			}
 		}
@@ -220,11 +252,52 @@ func (r *run) do(worker int) {
 		if t >= r.n {
 			return
 		}
-		if err := r.invoke(worker, t); err != nil {
+		if r.trace != nil {
+			r.trace.record(worker, Event{Kind: EvClaim, Worker: int32(worker), Task: int32(t), Start: now()})
+		}
+		if err := r.execute(worker, t); err != nil {
 			r.fail(err)
 			return
 		}
 	}
+}
+
+// execute runs one task through invoke, recording telemetry around it
+// when the run is instrumented. The uninstrumented path is a single nil
+// check on top of invoke — no clock reads, no atomics.
+func (r *run) execute(worker, task int) error {
+	m, tr := r.metrics, r.trace
+	if m == nil && tr == nil {
+		return r.invoke(worker, task)
+	}
+	start := now()
+	err := r.invoke(worker, task)
+	end := now()
+	// Home worker = task index modulo workers: the assignment a static
+	// round-robin schedule would have made. Executing elsewhere means
+	// the shared cursor let an idle worker steal it.
+	steal := r.workers > 0 && worker != task%r.workers
+	if m != nil {
+		m.Tasks.Inc(worker)
+		m.BusyNanos.Add(worker, uint64(end-start))
+		m.TaskNanos.Record(worker, end-start)
+		m.QueueWait.Record(worker, start-r.submit)
+		if steal {
+			m.Steals.Inc(worker)
+		}
+		if err != nil {
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				m.Panics.Inc(worker)
+			} else {
+				m.Errors.Inc(worker)
+			}
+		}
+	}
+	if tr != nil {
+		tr.taskEvent(worker, task, start, end, steal, err != nil)
+	}
+	return err
 }
 
 // invoke runs one task with panic containment: a panicking callback is
@@ -283,6 +356,9 @@ func (p *Pool) forEach(ctx context.Context, tasks int, fn func(worker, task int)
 		return nil
 	}
 	if err := p.admit(); err != nil {
+		if p.metrics != nil {
+			p.metrics.Overloads.Inc(0)
+		}
 		return err
 	}
 	defer p.release()
@@ -291,15 +367,22 @@ func (p *Pool) forEach(ctx context.Context, tasks int, fn func(worker, task int)
 			return err
 		}
 	}
-	r := &run{n: tasks, fn: fn, ctx: ctx}
+	r := &run{n: tasks, workers: p.workers, fn: fn, ctx: ctx, metrics: p.metrics, trace: p.trace}
+	if r.metrics != nil || r.trace != nil {
+		r.submit = now()
+	}
+	if r.metrics != nil {
+		r.metrics.Submissions.Inc(0)
+	}
 	if p.workers == 1 || tasks == 1 {
 		for t := 0; t < tasks; t++ {
 			if ctx != nil {
 				if err := ctx.Err(); err != nil {
+					r.noteCancel(0)
 					return err
 				}
 			}
-			if err := r.invoke(0, t); err != nil {
+			if err := r.execute(0, t); err != nil {
 				return err
 			}
 		}

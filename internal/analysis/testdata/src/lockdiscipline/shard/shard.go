@@ -6,6 +6,7 @@ package shard
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"lockdiscipline/exec"
 )
@@ -80,4 +81,56 @@ func (e *Engine) badSubmit(i int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return e.pool.ForEach(1, func(_, _ int) error { return nil }) // want `call into exec while s\.mu is locked`
+}
+
+// metrics is a stub of the padded-stripe recorder the real engine
+// attaches: recording is a plain atomic add, so the discipline has
+// nothing to say about the recording itself — only about where the
+// surrounding code takes and releases shard locks.
+type metrics struct {
+	stripes [8]struct {
+		n atomic.Uint64
+		_ [56]byte
+	}
+}
+
+func (m *metrics) record(i int, d uint64) { m.stripes[i&7].n.Add(d) }
+
+// goodRecordOutsideLock mirrors the real scalar op wrappers: explicit
+// release first, then the atomic record against the released shard.
+func (e *Engine) goodRecordOutsideLock(i int, m *metrics) int {
+	s := &e.shards[i]
+	s.mu.Lock()
+	n := s.tab.n
+	s.mu.Unlock()
+	m.record(i, uint64(n))
+	return n
+}
+
+// goodRecordUnderLock is legal too: an atomic add is not an exec call,
+// so holding the shard lock across it breaks no rule.
+func (e *Engine) goodRecordUnderLock(i int, m *metrics) {
+	s := &e.shards[i]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m.record(i, uint64(s.tab.n))
+}
+
+// badSnapshotSubmit folds a metrics snapshot into the pool while the
+// read lock is still held — the recording is fine, the submission is
+// the violation.
+func (e *Engine) badSnapshotSubmit(i int, m *metrics) error {
+	s := &e.shards[i]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m.record(i, uint64(s.tab.n))
+	return e.pool.ForEach(1, func(_, _ int) error { return nil }) // want `call into exec while s\.mu is locked`
+}
+
+// badRecordLeak records after taking a lock it never releases; the
+// atomic add does not launder the leak.
+func (e *Engine) badRecordLeak(i int, m *metrics) {
+	s := &e.shards[i]
+	s.mu.Lock() // want `s\.mu\.Lock\(\) without a matching Unlock`
+	m.record(i, uint64(s.tab.n))
 }

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"repro/stats"
+)
+
+// subBits is the sub-bucket resolution of the log-bucketed histogram:
+// each power-of-two range is split into 2^subBits sub-buckets, bounding
+// the relative error of any recorded value by 2^-subBits (3.125%).
+const subBits = 5
+
+// numBuckets covers the full non-negative int64 range: values below
+// 2^subBits get one exact bucket each (chunk 0), and every wider power
+// of two contributes 2^subBits sub-buckets.
+const numBuckets = (64 - subBits + 1) << subBits
+
+// bucketIndex maps a non-negative value to its bucket: chunk 0 stores
+// values < 2^subBits exactly; value v >= 2^subBits with leading bit at
+// position exp lands in chunk exp-subBits+1, sub-bucket "next subBits
+// bits below the leading bit".
+func bucketIndex(v uint64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	chunk := exp - subBits + 1
+	sub := (v >> uint(exp-subBits)) & (1<<subBits - 1)
+	return chunk<<subBits + int(sub)
+}
+
+// bucketValue returns the representative value of a bucket — its exact
+// value in chunk 0, the sub-bucket midpoint elsewhere — so quantile
+// estimates err by at most half a sub-bucket width.
+func bucketValue(index int) int64 {
+	if index < 1<<subBits {
+		return int64(index)
+	}
+	chunk := index >> subBits
+	sub := uint64(index & (1<<subBits - 1))
+	exp := uint(chunk + subBits - 1)
+	shift := exp - subBits
+	lo := uint64(1)<<exp | sub<<shift
+	return int64(lo + uint64(1)<<shift/2)
+}
+
+// histStripe is one writer's private slice of bucket counters plus its
+// padded running sum; stripes are separate allocations, so two writers
+// never share a counter cache line.
+type histStripe struct {
+	counts []atomic.Uint64
+	sum    atomic.Uint64
+	_      [cacheLine - 8]byte
+}
+
+// Histogram is a log-bucketed power-of-two value/latency histogram with
+// sub-bucket resolution, striped per writer like Counter: Record routes
+// the two atomic adds (bucket count, running sum) to the stripe named by
+// the caller's hint. The zero value is not usable; construct with
+// NewHistogram.
+type Histogram struct {
+	stripes []histStripe
+	mask    uint32
+}
+
+// NewHistogram returns a Histogram with the given number of stripes,
+// rounded up to a power of two (minimum 1). Size stripes to the number
+// of concurrent recorders; each stripe owns its own ~15 KiB bucket
+// table, so a histogram's memory is stripes * numBuckets * 8 bytes.
+func NewHistogram(stripes int) *Histogram {
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	h := &Histogram{stripes: make([]histStripe, n), mask: uint32(n - 1)}
+	for i := range h.stripes {
+		h.stripes[i].counts = make([]atomic.Uint64, numBuckets)
+	}
+	return h
+}
+
+// Stripes returns the stripe count (a power of two).
+func (h *Histogram) Stripes() int { return len(h.stripes) }
+
+// Record adds v to the histogram via the stripe selected by hint.
+// Negative values are clamped to 0 (mirroring stats.Histogram's
+// documented clamping): a latency or size sample should never be
+// negative, and counting it at 0 keeps the sample visible instead of
+// silently dropping it.
+func (h *Histogram) Record(hint int, v int64) {
+	if v < 0 {
+		v = 0
+	}
+	s := &h.stripes[uint32(hint)&h.mask]
+	s.counts[bucketIndex(uint64(v))].Add(1)
+	s.sum.Add(uint64(v))
+}
+
+// Snapshot folds the stripes into an immutable Snapshot. With concurrent
+// recorders the fold is per-bucket-consistent (a recording racing the
+// snapshot lands wholly in or wholly out per counter), which is the same
+// consistency every Stats() snapshot in the repo offers.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{Counts: make([]int, numBuckets)}
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		s.Sum += st.sum.Load()
+		for b := range st.counts {
+			if c := st.counts[b].Load(); c != 0 {
+				s.Counts[b] += int(c)
+				s.Count += int(c)
+			}
+		}
+	}
+	return s
+}
+
+// Snapshot is a folded histogram: bucket counts in the histogram's
+// bucket space plus the sample count and running sum. It is a plain
+// value — safe to retain, compare, and serialize after the histogram
+// moves on.
+type Snapshot struct {
+	Counts []int
+	Count  int
+	Sum    uint64
+}
+
+// Mean returns the mean recorded value (0 for an empty snapshot).
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile of the recorded values: the
+// representative value of the bucket holding the nearest-rank element
+// (stats.CountsQuantile, the same convention as the exact oracle
+// stats.Quantile), with relative error bounded by the sub-bucket
+// resolution (2^-subBits).
+func (s Snapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return bucketValue(stats.CountsQuantile(s.Counts, q))
+}
+
+// P50 is Quantile(0.50).
+func (s Snapshot) P50() int64 { return s.Quantile(0.50) }
+
+// P90 is Quantile(0.90).
+func (s Snapshot) P90() int64 { return s.Quantile(0.90) }
+
+// P99 is Quantile(0.99).
+func (s Snapshot) P99() int64 { return s.Quantile(0.99) }
+
+// P999 is Quantile(0.999).
+func (s Snapshot) P999() int64 { return s.Quantile(0.999) }
+
+// String renders the snapshot's shape with nanosecond values formatted
+// as durations — the common case; a histogram of non-duration values
+// still reads fine as scaled units.
+func (s Snapshot) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v p999=%v",
+		s.Count, time.Duration(s.Mean()), time.Duration(s.P50()),
+		time.Duration(s.P90()), time.Duration(s.P99()), time.Duration(s.P999()))
+}

@@ -15,7 +15,10 @@ package shard
 // migration-aware path per staged key, which also advances the migration —
 // batches make resize progress proportional to their size.
 
-import "repro/exec"
+import (
+	"repro/exec"
+	"repro/obs"
+)
 
 // GetBatch looks up keys[i] into vals[i], ok[i] for every i and returns
 // the number of hits. vals and ok must be at least as long as keys.
@@ -31,6 +34,15 @@ func (e *Engine) GetBatch(keys, vals []uint64, ok []bool) int {
 	if len(vals) < len(keys) || len(ok) < len(keys) {
 		panic("shard: GetBatch output slices shorter than keys")
 	}
+	m, start := e.batchStart()
+	hits := e.getBatch(keys, vals, ok)
+	if m != nil {
+		m.GetBatch.Record(e.batchHint(keys), obs.Now()-start)
+	}
+	return hits
+}
+
+func (e *Engine) getBatch(keys, vals []uint64, ok []bool) int {
 	if len(e.shards) == 1 {
 		s := &e.shards[0]
 		s.mu.RLock()
@@ -120,6 +132,15 @@ func (e *Engine) PutBatch(keys, vals []uint64) (int, error) {
 	if len(keys) != len(vals) {
 		panic("shard: PutBatch keys/vals length mismatch")
 	}
+	m, start := e.batchStart()
+	n, err := e.putBatch(keys, vals)
+	if m != nil {
+		m.PutBatch.Record(e.batchHint(keys), obs.Now()-start)
+	}
+	return n, err
+}
+
+func (e *Engine) putBatch(keys, vals []uint64) (int, error) {
 	if len(e.shards) == 1 {
 		return e.putBatchShard(&e.shards[0], keys, vals)
 	}
@@ -193,6 +214,15 @@ func (e *Engine) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, er
 	if len(out) < len(keys) || len(loaded) < len(keys) {
 		panic("shard: GetOrPutBatch output slices shorter than keys")
 	}
+	m, start := e.batchStart()
+	n, err := e.getOrPutBatch(keys, vals, out, loaded)
+	if m != nil {
+		m.GetOrPutBatch.Record(e.batchHint(keys), obs.Now()-start)
+	}
+	return n, err
+}
+
+func (e *Engine) getOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
 	if len(e.shards) == 1 {
 		return e.getOrPutBatchShard(&e.shards[0], keys, vals, out, loaded)
 	}
@@ -291,6 +321,15 @@ func (e *Engine) upsertBatchShard(s *shardState, keys []uint64, orig []int32, fn
 // newly inserted keys. fn runs under a shard write lock and must not call
 // back into the engine.
 func (e *Engine) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	m, start := e.batchStart()
+	n, err := e.upsertBatch(keys, fn)
+	if m != nil {
+		m.UpsertBatch.Record(e.batchHint(keys), obs.Now()-start)
+	}
+	return n, err
+}
+
+func (e *Engine) upsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
 	if len(e.shards) == 1 {
 		return e.upsertBatchShard(&e.shards[0], keys, nil, fn)
 	}

@@ -1,0 +1,120 @@
+package shard
+
+import "repro/obs"
+
+// opSampleMask selects which scalar operations are timed when Metrics
+// are attached: keys with the low six bits zero, i.e. roughly 1 in 64
+// under any reasonable key distribution. Sampling keeps the scalar hot
+// path at two clock reads per ~64 operations; batch operations are
+// timed per batch (the two clock reads amortize over the whole batch),
+// so they are never sampled.
+const opSampleMask = 63
+
+// Metrics is the engine's telemetry surface: latency histograms per
+// operation plus degraded-state transition counters, striped by shard
+// index so concurrent shards never contend on a cache line. Attach with
+// Engine.SetMetrics; a nil Metrics (the default) leaves every hook as a
+// single atomic-pointer load.
+//
+// All fields are constructed by NewMetrics; the zero value is not
+// usable.
+type Metrics struct {
+	// Scalar per-operation latency (lock wait included), sampled by
+	// opSampleMask.
+	Get      *obs.Histogram
+	Put      *obs.Histogram
+	Delete   *obs.Histogram
+	GetOrPut *obs.Histogram
+	Upsert   *obs.Histogram
+
+	// Whole-batch latency per batched entry point, one sample per call.
+	GetBatch      *obs.Histogram
+	PutBatch      *obs.Histogram
+	GetOrPutBatch *obs.Histogram
+	UpsertBatch   *obs.Histogram
+
+	// MigrationChunk is the latency of each bounded migration step a
+	// mutation (or Drain) hosts while a resize is in flight.
+	MigrationChunk *obs.Histogram
+
+	// DegradedEnter counts healthy→degraded shard transitions; Healed
+	// counts degraded→healthy. Their difference tracks Stats().Degraded.
+	DegradedEnter *obs.Counter
+	Healed        *obs.Counter
+}
+
+// NewMetrics returns a Metrics striped for the given shard count
+// (minimum 1).
+func NewMetrics(shards int) *Metrics {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Metrics{
+		Get:            obs.NewHistogram(shards),
+		Put:            obs.NewHistogram(shards),
+		Delete:         obs.NewHistogram(shards),
+		GetOrPut:       obs.NewHistogram(shards),
+		Upsert:         obs.NewHistogram(shards),
+		GetBatch:       obs.NewHistogram(shards),
+		PutBatch:       obs.NewHistogram(shards),
+		GetOrPutBatch:  obs.NewHistogram(shards),
+		UpsertBatch:    obs.NewHistogram(shards),
+		MigrationChunk: obs.NewHistogram(shards),
+		DegradedEnter:  obs.NewCounter(shards),
+		Healed:         obs.NewCounter(shards),
+	}
+}
+
+// Register files every metric with r under the conventional shard_*
+// names, prefixed by prefix (use "" for the plain names).
+func (m *Metrics) Register(r *obs.Registry, prefix string) {
+	r.RegisterHistogram(prefix+`shard_op_nanos{op="get"}`, "sampled scalar operation latency in nanoseconds", m.Get)
+	r.RegisterHistogram(prefix+`shard_op_nanos{op="put"}`, "", m.Put)
+	r.RegisterHistogram(prefix+`shard_op_nanos{op="delete"}`, "", m.Delete)
+	r.RegisterHistogram(prefix+`shard_op_nanos{op="get_or_put"}`, "", m.GetOrPut)
+	r.RegisterHistogram(prefix+`shard_op_nanos{op="upsert"}`, "", m.Upsert)
+	r.RegisterHistogram(prefix+`shard_batch_nanos{op="get"}`, "whole-batch latency in nanoseconds", m.GetBatch)
+	r.RegisterHistogram(prefix+`shard_batch_nanos{op="put"}`, "", m.PutBatch)
+	r.RegisterHistogram(prefix+`shard_batch_nanos{op="get_or_put"}`, "", m.GetOrPutBatch)
+	r.RegisterHistogram(prefix+`shard_batch_nanos{op="upsert"}`, "", m.UpsertBatch)
+	r.RegisterHistogram(prefix+"shard_migration_chunk_nanos", "bounded migration step latency in nanoseconds", m.MigrationChunk)
+	r.RegisterCounter(prefix+`shard_degraded_total{transition="enter"}`, "degraded-state transitions by direction", m.DegradedEnter)
+	r.RegisterCounter(prefix+`shard_degraded_total{transition="heal"}`, "", m.Healed)
+}
+
+// SetMetrics attaches (or, with nil, detaches) the engine's telemetry.
+// Safe to call at any time, including under concurrent traffic: hooks
+// load the pointer once per operation, so an operation in flight keeps
+// recording into the Metrics it started with.
+func (e *Engine) SetMetrics(m *Metrics) { e.metrics.Store(m) }
+
+// opStart decides whether this scalar operation on key is sampled:
+// non-nil Metrics plus a sampled timestamp when it is, (nil, 0) on the
+// common unsampled path.
+func (e *Engine) opStart(key uint64) (*Metrics, int64) {
+	m := e.metrics.Load()
+	if m == nil || key&opSampleMask != 0 {
+		return nil, 0
+	}
+	return m, obs.Now()
+}
+
+// batchStart is opStart for the batched entry points: every batch is
+// timed (no sampling — two clock reads amortize over the whole batch).
+func (e *Engine) batchStart() (*Metrics, int64) {
+	m := e.metrics.Load()
+	if m == nil {
+		return nil, 0
+	}
+	return m, obs.Now()
+}
+
+// batchHint picks the stripe for a batch's single histogram record: the
+// shard of the first key, so concurrent batch callers (whose batches
+// usually start on different shards) spread across stripes.
+func (e *Engine) batchHint(keys []uint64) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	return e.shardIndex(keys[0])
+}

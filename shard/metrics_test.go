@@ -1,0 +1,187 @@
+package shard_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/shard"
+	"repro/table"
+)
+
+func metricsConfig(shards, capacity int, growAt float64) shard.Config {
+	return shard.Config{
+		Shards: shards, Capacity: capacity, GrowAt: growAt, Seed: 99,
+		NewTable: func(capacity int, seed uint64) (shard.Table, error) {
+			return table.New(table.SchemeRH, table.Config{InitialCapacity: capacity, MaxLoadFactor: 0, Seed: seed})
+		},
+	}
+}
+
+func TestMetricsMigrationChunks(t *testing.T) {
+	e := shard.MustNew(metricsConfig(2, 256, 0.8))
+	m := shard.NewMetrics(e.Shards())
+	e.SetMetrics(m)
+	// Grow well past the initial capacity: several migrations run, each
+	// ticked forward chunk by chunk by the inserting mutations.
+	for k := uint64(1); k <= 4096; k++ {
+		if _, err := e.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.MigrationsStarted == 0 {
+		t.Fatal("no migration started; the fixture must force growth")
+	}
+	if st.MigrationChunks == 0 {
+		t.Fatal("Stats.MigrationChunks stayed zero across a migration")
+	}
+	if st.MigrationNanos == 0 {
+		t.Fatal("Stats.MigrationNanos stayed zero across a migration")
+	}
+	if snap := m.MigrationChunk.Snapshot(); uint64(snap.Count) != st.MigrationChunks {
+		t.Fatalf("MigrationChunk histogram count %d != Stats.MigrationChunks %d", snap.Count, st.MigrationChunks)
+	}
+}
+
+func TestMetricsScalarSampling(t *testing.T) {
+	e := shard.MustNew(metricsConfig(1, 1<<12, 0.85))
+	m := shard.NewMetrics(1)
+	e.SetMetrics(m)
+	// Keys 0, 64, 128, ... are exactly the sampled ones (low six bits
+	// zero), so every op below lands one histogram sample.
+	const n = 100
+	for i := uint64(0); i < n; i++ {
+		k := i << 6
+		if _, err := e.Put(k, i); err != nil {
+			t.Fatal(err)
+		}
+		e.Get(k)
+		if _, _, err := e.GetOrPut(k, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Upsert(k, func(old uint64, exists bool) uint64 { return old + 1 }); err != nil {
+			t.Fatal(err)
+		}
+		e.Delete(k)
+	}
+	for name, h := range map[string]int{
+		"Get":      m.Get.Snapshot().Count,
+		"Put":      m.Put.Snapshot().Count,
+		"GetOrPut": m.GetOrPut.Snapshot().Count,
+		"Upsert":   m.Upsert.Snapshot().Count,
+		"Delete":   m.Delete.Snapshot().Count,
+	} {
+		if h != n {
+			t.Errorf("%s histogram count = %d, want %d (every key sampled)", name, h, n)
+		}
+	}
+	// Unsampled keys record nothing.
+	before := m.Get.Snapshot().Count
+	e.Get(3) // 3&63 != 0
+	if after := m.Get.Snapshot().Count; after != before {
+		t.Fatalf("unsampled key recorded a sample (%d -> %d)", before, after)
+	}
+}
+
+func TestMetricsBatchPerCall(t *testing.T) {
+	e := shard.MustNew(metricsConfig(4, 1<<12, 0.85))
+	m := shard.NewMetrics(e.Shards())
+	e.SetMetrics(m)
+	keys := make([]uint64, 512)
+	vals := make([]uint64, 512)
+	out := make([]uint64, 512)
+	ok := make([]bool, 512)
+	for i := range keys {
+		keys[i] = uint64(i) * 7
+		vals[i] = uint64(i)
+	}
+	const calls = 3
+	for c := 0; c < calls; c++ {
+		if _, err := e.PutBatch(keys, vals); err != nil {
+			t.Fatal(err)
+		}
+		e.GetBatch(keys, out, ok)
+		if _, err := e.GetOrPutBatch(keys, vals, out, ok); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.UpsertBatch(keys, func(lane int, old uint64, exists bool) uint64 { return old + 1 }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, h := range map[string]int{
+		"GetBatch":      m.GetBatch.Snapshot().Count,
+		"PutBatch":      m.PutBatch.Snapshot().Count,
+		"GetOrPutBatch": m.GetOrPutBatch.Snapshot().Count,
+		"UpsertBatch":   m.UpsertBatch.Snapshot().Count,
+	} {
+		if h != calls {
+			t.Errorf("%s histogram count = %d, want %d (one sample per call)", name, h, calls)
+		}
+	}
+}
+
+func TestMetricsDegradedTransitions(t *testing.T) {
+	fail := false
+	e := shard.MustNew(shard.Config{
+		Shards: 1, Capacity: 64, GrowAt: 0.8, Seed: 7,
+		NewTable: func(capacity int, seed uint64) (shard.Table, error) {
+			if fail {
+				return nil, fmt.Errorf("allocator out of memory for %d slots", capacity)
+			}
+			return table.New(table.SchemeRH, table.Config{InitialCapacity: capacity, MaxLoadFactor: 0, Seed: seed})
+		},
+	})
+	m := shard.NewMetrics(1)
+	e.SetMetrics(m)
+	fail = true
+	var degradedSeen bool
+	for k := uint64(1); k <= 256; k++ {
+		if _, err := e.Put(k, k); err != nil {
+			var derr *shard.DegradedError
+			if !errors.As(err, &derr) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			degradedSeen = true
+			break
+		}
+		if e.Stats().Degraded > 0 {
+			degradedSeen = true
+			break
+		}
+	}
+	if !degradedSeen {
+		t.Fatal("fixture never degraded the shard")
+	}
+	if m.DegradedEnter.Value() == 0 {
+		t.Fatal("DegradedEnter stayed zero through a degraded transition")
+	}
+	if m.Healed.Value() != 0 {
+		t.Fatalf("Healed = %d before the allocator recovered", m.Healed.Value())
+	}
+	fail = false
+	if !e.Drain() {
+		t.Fatal("Drain did not heal with a recovered allocator")
+	}
+	if m.Healed.Value() == 0 {
+		t.Fatal("Healed stayed zero after Drain healed the shard")
+	}
+	if got := e.Stats().Degraded; got != 0 {
+		t.Fatalf("Stats.Degraded = %d after heal", got)
+	}
+}
+
+func TestSetMetricsDetach(t *testing.T) {
+	e := shard.MustNew(metricsConfig(1, 1<<10, 0.85))
+	m := shard.NewMetrics(1)
+	e.SetMetrics(m)
+	e.Get(0) // sampled
+	if m.Get.Snapshot().Count != 1 {
+		t.Fatal("attached metrics did not record")
+	}
+	e.SetMetrics(nil)
+	e.Get(0)
+	if m.Get.Snapshot().Count != 1 {
+		t.Fatal("detached metrics kept recording")
+	}
+}

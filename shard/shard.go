@@ -80,6 +80,7 @@ import (
 	"repro/hashfn"
 	"repro/internal/fault"
 	"repro/internal/prng"
+	"repro/obs"
 )
 
 // Table is the operation set Engine needs from each shard's table. It is a
@@ -205,10 +206,16 @@ type Engine struct {
 	migStarted atomic.Uint64
 	migDone    atomic.Uint64
 	migMoved   atomic.Uint64
+	migChunks  atomic.Uint64
+	migNanos   atomic.Uint64
 	rebuilds   atomic.Uint64
 
 	allocFails   atomic.Uint64
 	allocRetries atomic.Uint64
+
+	// metrics is the optional telemetry attachment (SetMetrics); nil —
+	// the default — keeps every hook to one atomic pointer load.
+	metrics atomic.Pointer[Metrics]
 }
 
 // New builds an Engine from cfg.
@@ -301,9 +308,13 @@ func (e *Engine) shardIndex(key uint64) int {
 // Get returns the value stored under key and whether it is present.
 func (e *Engine) Get(key uint64) (uint64, bool) {
 	s := e.shardFor(key)
+	m, start := e.opStart(key)
 	s.mu.RLock()
 	v, ok := s.get(key)
 	s.mu.RUnlock()
+	if m != nil {
+		m.Get.Record(s.idx, obs.Now()-start)
+	}
 	return v, ok
 }
 
@@ -450,6 +461,22 @@ func (e *Engine) advance(s *shardState, n int) {
 	if s.next == nil {
 		return
 	}
+	// Chunk accounting only runs while a resize is in flight, so the
+	// steady-state mutation path keeps its zero-cost early return above;
+	// during a migration two clock reads vanish under the chunk's moves.
+	start := obs.Now()
+	e.advanceChunk(s, n)
+	dur := obs.Now() - start
+	e.migChunks.Add(1)
+	e.migNanos.Add(uint64(dur))
+	if m := e.metrics.Load(); m != nil {
+		m.MigrationChunk.Record(s.idx, dur)
+	}
+}
+
+// advanceChunk is advance's working body: the carry retry loop followed
+// by up to n cursor pulls.
+func (e *Engine) advanceChunk(s *shardState, n int) {
 	fault.MaybeStall()
 	for len(s.carry) > 0 {
 		c := s.carry[0]
@@ -530,10 +557,27 @@ func (e *Engine) enterDegraded(s *shardState) {
 	if !s.degraded {
 		s.degraded = true
 		s.backoff = 1
+		if m := e.metrics.Load(); m != nil {
+			m.DegradedEnter.Inc(s.idx)
+		}
 	} else if s.backoff < maxBackoff {
 		s.backoff *= 2
 	}
 	s.retryIn = s.backoff + int(s.jitter.Next()%uint64(s.backoff))
+}
+
+// heal clears a shard's degraded state — the single exit point of the
+// degraded-but-serving mode, so the heal transition is counted exactly
+// once however the shard recovered (pressure receded, retry succeeded,
+// or a rebuild landed). Calling it on a healthy shard (tryRebuild on a
+// non-degraded shard) is a no-op beyond re-zeroing zero fields.
+func (e *Engine) heal(s *shardState) {
+	if s.degraded {
+		if m := e.metrics.Load(); m != nil {
+			m.Healed.Inc(s.idx)
+		}
+	}
+	s.degraded, s.backoff, s.retryIn = false, 0, 0
 }
 
 // retryDue ticks a degraded shard's backoff window (one tick per
@@ -556,7 +600,7 @@ func (e *Engine) degradedTick(s *shardState) {
 		return
 	}
 	if float64(s.cur.Len()) < e.growAt*float64(s.cur.Capacity()) {
-		s.degraded, s.backoff, s.retryIn = false, 0, 0
+		e.heal(s)
 		return
 	}
 	if !e.retryDue(s) {
@@ -566,7 +610,7 @@ func (e *Engine) degradedTick(s *shardState) {
 		e.enterDegraded(s)
 		return
 	}
-	s.degraded, s.backoff, s.retryIn = false, 0, 0
+	e.heal(s)
 }
 
 // growForRefusal starts a migration in response to a table refusal.
@@ -641,7 +685,7 @@ func (e *Engine) tryRebuild(s *shardState) bool {
 		e.enterDegraded(s)
 		return false
 	}
-	s.degraded, s.backoff, s.retryIn = false, 0, 0
+	e.heal(s)
 	return true
 }
 
@@ -708,9 +752,14 @@ func (e *Engine) rebuild(s *shardState) error {
 // a full shard surfaces the table's ErrFull.
 func (e *Engine) Put(key, val uint64) (bool, error) {
 	s := e.shardFor(key)
+	m, start := e.opStart(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return e.putLocked(s, key, val)
+	ins, err := e.putLocked(s, key, val)
+	s.mu.Unlock()
+	if m != nil {
+		m.Put.Record(s.idx, obs.Now()-start)
+	}
+	return ins, err
 }
 
 func (e *Engine) putLocked(s *shardState, key, val uint64) (bool, error) {
@@ -773,14 +822,19 @@ func (e *Engine) putLocked(s *shardState, key, val uint64) (bool, error) {
 // Delete removes key, reporting whether it was present.
 func (e *Engine) Delete(key uint64) bool {
 	s := e.shardFor(key)
+	m, start := e.opStart(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	// Deletes advance the migration and tick the degraded backoff too:
 	// every mutation makes progress, and a delete that frees space can
 	// heal a degraded shard outright (the pressure-receded path).
 	e.advance(s, e.chunk)
 	e.degradedTick(s)
-	return s.deleteLocked(key)
+	deleted := s.deleteLocked(key)
+	s.mu.Unlock()
+	if m != nil {
+		m.Delete.Record(s.idx, obs.Now()-start)
+	}
+	return deleted
 }
 
 func (s *shardState) deleteLocked(key uint64) bool {
@@ -812,9 +866,14 @@ func (s *shardState) deleteLocked(key uint64) bool {
 // one probe of the frozen table.
 func (e *Engine) GetOrPut(key, val uint64) (actual uint64, loaded bool, err error) {
 	s := e.shardFor(key)
+	m, start := e.opStart(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return e.getOrPutLocked(s, key, val)
+	actual, loaded, err = e.getOrPutLocked(s, key, val)
+	s.mu.Unlock()
+	if m != nil {
+		m.GetOrPut.Record(s.idx, obs.Now()-start)
+	}
+	return actual, loaded, err
 }
 
 func (e *Engine) getOrPutLocked(s *shardState, key, val uint64) (uint64, bool, error) {
@@ -882,9 +941,14 @@ func (e *Engine) getOrPutLocked(s *shardState, key, val uint64) (uint64, bool, e
 // invoked exactly once per call.
 func (e *Engine) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
 	s := e.shardFor(key)
+	m, start := e.opStart(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return e.upsertLocked(s, key, fn)
+	nv, err := e.upsertLocked(s, key, fn)
+	s.mu.Unlock()
+	if m != nil {
+		m.Upsert.Record(s.idx, obs.Now()-start)
+	}
+	return nv, err
 }
 
 func (e *Engine) upsertLocked(s *shardState, key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {

@@ -23,6 +23,12 @@ type Stats struct {
 	// MigratedEntries counts entries moved by the bounded per-mutation
 	// migration steps (eagerly migrated keys are not counted).
 	MigratedEntries uint64 `json:"migrated_entries"`
+	// MigrationChunks counts the bounded migration steps mutations (and
+	// Drain) hosted while a resize was in flight; MigrationNanos is
+	// their cumulative wall time — together the incremental-resize cost
+	// ledger (MigrationNanos/MigrationChunks is the mean step).
+	MigrationChunks uint64 `json:"migration_chunks,omitempty"`
+	MigrationNanos  uint64 `json:"migration_nanos,omitempty"`
 	// Rebuilds counts stop-the-world fallback rebuilds (see Engine docs;
 	// zero in any healthy configuration).
 	Rebuilds uint64 `json:"rebuilds,omitempty"`
@@ -44,6 +50,8 @@ func (e *Engine) Stats() Stats {
 		MigrationsStarted: e.migStarted.Load(),
 		MigrationsDone:    e.migDone.Load(),
 		MigratedEntries:   e.migMoved.Load(),
+		MigrationChunks:   e.migChunks.Load(),
+		MigrationNanos:    e.migNanos.Load(),
 		Rebuilds:          e.rebuilds.Load(),
 		AllocFailures:     e.allocFails.Load(),
 		AllocRetries:      e.allocRetries.Load(),

@@ -2,10 +2,16 @@
 // discussion sections: displacement and cluster summaries for the probing
 // schemes, chain statistics for chained hashing, Knuth's expected probe
 // lengths for linear probing, and the §7 cache-line cost model for the
-// AoS-vs-SoA layout comparison.
+// AoS-vs-SoA layout comparison. It also hosts the quantile helpers the
+// obs telemetry package builds its histogram estimates on: Quantile is
+// the exact sort-based oracle, CountsQuantile the bucketed form shared
+// with obs.Snapshot.
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Summary aggregates a sample of non-negative integers (displacements,
 // cluster lengths, chain lengths, ...).
@@ -46,8 +52,68 @@ func Summarize(xs []int) Summary {
 	return s
 }
 
+// Quantile returns the exact q-quantile of xs under the nearest-rank
+// convention: the element at index round(q*(len(xs)-1)) of the sorted
+// sample. q is clamped to [0, 1]; an empty sample yields 0. It sorts a
+// copy (O(n log n)) — this is the oracle the bucketed estimators
+// (CountsQuantile, obs.Snapshot.Quantile) are tested against, not a hot
+// path.
+func Quantile(xs []int, q float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]int, len(xs))
+	copy(sorted, xs)
+	sort.Ints(sorted)
+	return sorted[quantileRank(len(sorted), q)]
+}
+
+// quantileRank maps a quantile to its nearest-rank index in a sorted
+// sample of n elements: round(q*(n-1)), with q clamped to [0, 1]. Both
+// Quantile and CountsQuantile share it, so the exact and bucketed
+// estimators agree on which ranked element a quantile names.
+func quantileRank(n int, q float64) int {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return int(math.Round(q * float64(n-1)))
+}
+
+// CountsQuantile returns the index of the bucket holding the q-quantile
+// element of a bucketed sample (a Histogram result, or any counts-per-
+// bucket slice): the bucket containing the element of nearest rank
+// round(q*(n-1)), where n is the total count. An empty sample yields 0.
+// The caller maps the index back to a value using its own bucket bounds;
+// the estimation error is therefore the width of that bucket.
+func CountsQuantile(counts []int, q float64) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	rank := quantileRank(n, q)
+	cum := 0
+	for i, c := range counts {
+		cum += c
+		if rank < cum {
+			return i
+		}
+	}
+	return len(counts) - 1
+}
+
 // Histogram buckets xs into counts[0..max] by value, up to cap buckets;
-// values >= cap land in the last bucket. It returns the counts slice.
+// values >= cap land in the last bucket and NEGATIVE values are clamped
+// into bucket 0 — a sample of displacements or latencies should never be
+// negative, so rather than panicking or silently dropping, a negative
+// value is counted as 0 (callers that care can detect it by comparing
+// counts[0] against the non-negative zeros of their sample). It returns
+// the counts slice.
 func Histogram(xs []int, buckets int) []int {
 	if buckets <= 0 {
 		buckets = 1

@@ -136,3 +136,63 @@ func TestExpectedChainLength(t *testing.T) {
 		t.Fatal("chain length must grow with n/m")
 	}
 }
+
+func TestQuantileExact(t *testing.T) {
+	xs := []int{9, 1, 7, 3, 5} // sorted: 1 3 5 7 9
+	for _, tt := range []struct {
+		q    float64
+		want int
+	}{
+		{0, 1}, {0.25, 3}, {0.5, 5}, {0.75, 7}, {1, 9},
+		{-0.5, 1}, {1.5, 9}, // clamped
+		{0.6, 5}, // round(0.6*4)=2
+	} {
+		if got := Quantile(xs, tt.q); got != tt.want {
+			t.Errorf("Quantile(%v, %v) = %d, want %d", xs, tt.q, got, tt.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %d, want 0", got)
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 9 || xs[4] != 5 {
+		t.Errorf("Quantile sorted its input in place: %v", xs)
+	}
+}
+
+func TestCountsQuantileAgreesWithExact(t *testing.T) {
+	// With unit-width buckets (value == bucket index), the bucketed
+	// quantile must be exactly the sort-based oracle.
+	xs := []int{0, 0, 1, 2, 2, 2, 3, 7, 7, 9, 9, 9, 9}
+	counts := Histogram(xs, 10)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		if got, want := CountsQuantile(counts, q), Quantile(xs, q); got != want {
+			t.Errorf("CountsQuantile(q=%v) = %d, exact %d", q, got, want)
+		}
+	}
+	if got := CountsQuantile(nil, 0.5); got != 0 {
+		t.Errorf("CountsQuantile(nil) = %d, want 0", got)
+	}
+	if got := CountsQuantile([]int{0, 0, 0}, 0.5); got != 0 {
+		t.Errorf("CountsQuantile(zero counts) = %d, want 0", got)
+	}
+}
+
+func TestHistogramClampsNegatives(t *testing.T) {
+	// Negative values are clamped into bucket 0, not dropped: the bucket
+	// count at 0 carries both the true zeros and the clamped negatives.
+	counts := Histogram([]int{-5, -1, 0, 2, 11}, 10)
+	if counts[0] != 3 {
+		t.Fatalf("bucket 0 = %d, want 3 (one zero + two clamped negatives)", counts[0])
+	}
+	if counts[2] != 1 || counts[9] != 1 {
+		t.Fatalf("counts = %v, want value 2 in bucket 2 and overflow 11 in bucket 9", counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 5 {
+		t.Fatalf("clamping dropped samples: total %d, want 5", total)
+	}
+}

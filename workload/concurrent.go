@@ -19,6 +19,7 @@ import (
 	"repro/dist"
 	"repro/exec"
 	"repro/hashfn"
+	"repro/obs"
 	"repro/table"
 )
 
@@ -70,6 +71,11 @@ type RWConcurrentResult struct {
 	// Migrations is the number of incremental shard resizes completed
 	// during the run (pre-fill included).
 	Migrations uint64
+	// Latency is the sampled per-operation latency distribution of the
+	// timed replay, folded across all goroutines (each goroutine records
+	// into its own histogram stripe); zero-valued when sampling is
+	// disabled (see RWConfig.LatencySample).
+	Latency obs.Snapshot
 }
 
 // RunRWConcurrent replays cfg's RW workload with threads goroutines
@@ -140,14 +146,31 @@ func RunRWConcurrent(cfg RWConfig, threads int) (RWConcurrentResult, error) {
 		return res, fmt.Errorf("workload: concurrent RW prefill expected %d entries, table has %d", cfg.InitialKeys*threads, m.Len())
 	}
 
+	every := latencyEvery(cfg.LatencySample)
+	var lat *obs.Histogram
+	if every > 0 {
+		lat = obs.NewHistogram(threads)
+	}
+
 	// Timed replay: all tapes at once against the shared handle.
 	start := time.Now()
 	err = pool.ForEach(threads, func(_, g int) error {
 		tape := tapes[g]
 		var hits, misses int
 		var sink uint64
+		countdown := 0
 		for i, kind := range tape.Kinds {
 			k := tape.Keys[i]
+			var t0 int64
+			sampled := false
+			if lat != nil {
+				if countdown == 0 {
+					countdown = every
+					sampled = true
+					t0 = obs.Now()
+				}
+				countdown--
+			}
 			switch kind {
 			case OpInsert:
 				if _, err := m.Put(k, k); err != nil {
@@ -162,6 +185,9 @@ func RunRWConcurrent(cfg RWConfig, threads int) (RWConcurrentResult, error) {
 				} else {
 					misses++
 				}
+			}
+			if sampled {
+				lat.Record(g, obs.Now()-t0)
 			}
 		}
 		_ = sink
@@ -187,5 +213,8 @@ func RunRWConcurrent(cfg RWConfig, threads int) (RWConcurrentResult, error) {
 	res.MemoryBytes = m.MemoryFootprint()
 	res.FinalLen = m.Len()
 	res.Migrations = m.EngineStats().MigrationsDone
+	if lat != nil {
+		res.Latency = lat.Snapshot()
+	}
 	return res, nil
 }

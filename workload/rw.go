@@ -8,6 +8,7 @@ import (
 	"repro/dist"
 	"repro/hashfn"
 	"repro/internal/prng"
+	"repro/obs"
 	"repro/table"
 )
 
@@ -127,6 +128,28 @@ type RWConfig struct {
 	// Ctx cancels the concurrent replay between morsels; it is threaded
 	// into the exec pool (nil means context.Background()).
 	Ctx context.Context
+	// LatencySample records every Nth replayed operation's latency into
+	// the result's Latency snapshot. Zero means the default (every
+	// 32nd); negative disables latency recording entirely. Sampling
+	// keeps the recording cost (two clock reads plus two atomic adds
+	// per sample) far below the replay's own per-op work.
+	LatencySample int
+}
+
+// defaultLatencySample is the operation sampling stride when
+// RWConfig.LatencySample (or ChaosConfig.LatencySample) is zero.
+const defaultLatencySample = 32
+
+// latencyEvery resolves a config's sampling stride: n, the default for
+// zero, or 0 meaning disabled for negative values.
+func latencyEvery(n int) int {
+	if n == 0 {
+		return defaultLatencySample
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // RWResult reports one RW experiment point.
@@ -136,6 +159,10 @@ type RWResult struct {
 	Mops        float64
 	MemoryBytes uint64
 	FinalLen    int
+	// Latency is the sampled per-operation latency distribution of the
+	// timed replay (see RWConfig.LatencySample); zero-valued when
+	// sampling is disabled.
+	Latency obs.Snapshot
 }
 
 // initialCapacityFor returns a power-of-two capacity that places initial
@@ -187,11 +214,28 @@ func RunRW(cfg RWConfig) (RWResult, error) {
 		return res, fmt.Errorf("workload: RW prefill of %s expected %d entries, table has %d", res.Label, cfg.InitialKeys, m.Len())
 	}
 
+	every := latencyEvery(cfg.LatencySample)
+	var lat *obs.Histogram
+	if every > 0 {
+		lat = obs.NewHistogram(1)
+	}
+	countdown := 0
+
 	var hits, misses int
 	var sink uint64
 	start := time.Now()
 	for i, kind := range tape.Kinds {
 		k := tape.Keys[i]
+		var t0 int64
+		sampled := false
+		if lat != nil {
+			if countdown == 0 {
+				countdown = every
+				sampled = true
+				t0 = obs.Now()
+			}
+			countdown--
+		}
 		switch kind {
 		case OpInsert:
 			m.Put(k, k)
@@ -204,6 +248,9 @@ func RunRW(cfg RWConfig) (RWResult, error) {
 			} else {
 				misses++
 			}
+		}
+		if sampled {
+			lat.Record(0, obs.Now()-t0)
 		}
 	}
 	elapsed := time.Since(start)
@@ -219,5 +266,8 @@ func RunRW(cfg RWConfig) (RWResult, error) {
 	res.Mops = mops(tape.Len(), elapsed)
 	res.MemoryBytes = m.MemoryFootprint()
 	res.FinalLen = m.Len()
+	if lat != nil {
+		res.Latency = lat.Snapshot()
+	}
 	return res, nil
 }
