@@ -35,6 +35,9 @@ func TestRunExposition(t *testing.T) {
 		"# TYPE exec_tasks_total counter",
 		"# TYPE exec_task_nanos summary",
 		`shard_op_nanos{op="get",quantile="0.99"}`,
+		"# TYPE shard_read_retries_total counter",
+		"# TYPE shard_read_fallbacks_total counter",
+		"# TYPE shard_view_republish_total counter",
 		"# TYPE engine_entries gauge",
 		"engine_migrations_done",
 	} {

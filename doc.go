@@ -9,7 +9,7 @@
 //
 //	table    — the Open/Handle façade and the hashing schemes: the paper's
 //	           five (+ SoA layout variant) plus the DH probe-kernel extension
-//	shard    — the concurrent sharded engine (RWMutex shards, incremental resize)
+//	shard    — the concurrent sharded engine (wait-free seqlock reads, incremental resize)
 //	exec     — the morsel-driven parallel execution core (bounded worker
 //	           pool, morsel scheduling, the shared scatter→gather primitive)
 //	hashfn   — the four hash-function classes

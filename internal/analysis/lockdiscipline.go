@@ -20,6 +20,20 @@ import (
 //     submission under a shard lock can deadlock against a task that
 //     needs the same shard (the documented must-not-call-back-into-the-
 //     engine contract, checked from the other side).
+//  4. The shard's seqlock word (the atomic.Uint64 field named seq) is
+//     bumped only inside the window helpers lockShard/unlockShard.
+//     Wait-free readers validate that word; a bump anywhere else either
+//     tears a window open without the writer lock or leaves the
+//     sequence odd with no writer — both silently corrupt reads.
+//  5. The shard's published view pointer (the atomic.Pointer field named
+//     view) is stored only inside publish, the one epoch-publication
+//     chokepoint (which itself asserts it runs inside a writer's
+//     window).
+//
+// lockShard/unlockShard calls count as Lock/Unlock for rules 1 and 3 —
+// they ARE the shard writer lock, wrapped in the sequence bump — and
+// the helper definitions themselves are exempt from rule 1 (they split
+// an acquire and a release across two functions by design).
 //
 // The analysis is intra-procedural and syntactic about lock identity
 // (receivers are matched textually), which is exactly as strong as the
@@ -27,7 +41,7 @@ import (
 // same function, on the same expression.
 var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
-	Doc:  "shard locking rules: paired Lock/Unlock, allocTable chokepoint, no exec calls under a shard lock",
+	Doc:  "shard locking rules: paired Lock/Unlock, allocTable chokepoint, no exec calls under a shard lock, seqlock bumps and view stores only at their chokepoints",
 	Run:  runLockDiscipline,
 }
 
@@ -57,6 +71,34 @@ func (p *Pass) asMutexCall(call *ast.CallExpr) (string, string, bool) {
 	return types.ExprString(sel.X), sel.Sel.Name, true
 }
 
+// asShardLockCall decodes call as a shard lock transition: either a raw
+// mutex method (asMutexCall) or one of the seqlock window helpers. The
+// returned method is the call's own name — "Lock", "RLock", "Unlock",
+// "RUnlock", "lockShard" or "unlockShard" — so reports can quote the
+// idiom the code actually used.
+func (p *Pass) asShardLockCall(call *ast.CallExpr) (string, string, bool) {
+	if recv, method, ok := p.asMutexCall(call); ok {
+		return recv, method, ok
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "lockShard", "unlockShard":
+		return types.ExprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// isWindowHelper reports whether fd defines one of the seqlock window
+// helpers, which are exempt from lock pairing (they split the acquire
+// and release across two functions by design) and are the only
+// functions allowed to bump the sequence word.
+func isWindowHelper(fd *ast.FuncDecl) bool {
+	return fd.Name.Name == "lockShard" || fd.Name.Name == "unlockShard"
+}
+
 func runLockDiscipline(pass *Pass) error {
 	if PkgBase(pass.Pkg.Path()) != "shard" {
 		return nil
@@ -69,17 +111,27 @@ func runLockDiscipline(pass *Pass) error {
 			}
 			checkLockPairing(pass, fd)
 			checkFactoryChokepoint(pass, fd)
+			checkSeqChokepoint(pass, fd)
+			checkPublishChokepoint(pass, fd)
 			scanHeldRegions(pass, fd.Body.List, nil)
 		}
 	}
 	return nil
 }
 
-// checkLockPairing requires a matching unlock for every lock taken in fd.
+// checkLockPairing requires a matching unlock for every lock taken in
+// fd. Raw mutex calls and the seqlock window helpers pair within their
+// own idiom (a lockShard answered by a bare mu.Unlock would skip the
+// closing sequence bump, and the differing receiver texts keep the two
+// from cross-matching).
 func checkLockPairing(pass *Pass, fd *ast.FuncDecl) {
+	if isWindowHelper(fd) {
+		return
+	}
 	type site struct {
-		pos  []ast.Node
-		call lockCall
+		pos        []ast.Node
+		call       lockCall
+		verb, want string
 	}
 	var locks []site
 	unlocks := map[lockCall]bool{}
@@ -88,16 +140,18 @@ func checkLockPairing(pass *Pass, fd *ast.FuncDecl) {
 		if !ok {
 			return true
 		}
-		recv, method, ok := pass.asMutexCall(call)
+		recv, method, ok := pass.asShardLockCall(call)
 		if !ok {
 			return true
 		}
 		switch method {
 		case "Lock":
-			locks = append(locks, site{[]ast.Node{call}, lockCall{recv, false}})
+			locks = append(locks, site{[]ast.Node{call}, lockCall{recv, false}, "Lock", "Unlock"})
 		case "RLock":
-			locks = append(locks, site{[]ast.Node{call}, lockCall{recv, true}})
-		case "Unlock":
+			locks = append(locks, site{[]ast.Node{call}, lockCall{recv, true}, "RLock", "RUnlock"})
+		case "lockShard":
+			locks = append(locks, site{[]ast.Node{call}, lockCall{recv, false}, "lockShard", "unlockShard"})
+		case "Unlock", "unlockShard":
 			unlocks[lockCall{recv, false}] = true
 		case "RUnlock":
 			unlocks[lockCall{recv, true}] = true
@@ -106,12 +160,7 @@ func checkLockPairing(pass *Pass, fd *ast.FuncDecl) {
 	})
 	for _, l := range locks {
 		if !unlocks[l.call] {
-			verb := "Lock"
-			want := "Unlock"
-			if l.call.read {
-				verb, want = "RLock", "RUnlock"
-			}
-			pass.Reportf(l.pos[0].Pos(), "%s.%s() without a matching %s in this function: a shard lock must be released where it was taken (defer it)", l.call.recv, verb, want)
+			pass.Reportf(l.pos[0].Pos(), "%s.%s() without a matching %s in this function: a shard lock must be released where it was taken (defer it)", l.call.recv, l.verb, l.want)
 		}
 	}
 }
@@ -143,30 +192,100 @@ func checkFactoryChokepoint(pass *Pass, fd *ast.FuncDecl) {
 	})
 }
 
-// scanHeldRegions walks a statement list tracking which mutexes are
-// held, and flags exec-package calls made while any lock is. held maps
-// receiver text to the read/write flavor last taken; nested blocks see
-// a copy, so branch-local locks do not leak into siblings.
+// checkSeqChokepoint flags mutations of a shard's seqlock word outside
+// the window helpers: readers validate that word, so an odd/even
+// transition from anywhere else either opens a window without the
+// writer lock or strands the sequence odd — both corrupt wait-free
+// reads without any test failing deterministically.
+func checkSeqChokepoint(pass *Pass, fd *ast.FuncDecl) {
+	if isWindowHelper(fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Add", "Store", "Swap", "CompareAndSwap", "And", "Or":
+		default:
+			return true
+		}
+		field, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || field.Sel.Name != "seq" {
+			return true
+		}
+		if !typeIs(pass.typeOf(sel.X), "atomic", "Uint64") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "seqlock word mutated outside lockShard/unlockShard: readers validate this sequence, so every transition must come from the window helpers")
+		return true
+	})
+}
+
+// checkPublishChokepoint flags stores to a shard's published view
+// pointer outside publish, the one epoch-publication chokepoint (which
+// asserts it runs inside a writer's seqlock window and keeps the
+// generation counter and publication telemetry honest).
+func checkPublishChokepoint(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Name.Name == "publish" {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Store", "Swap", "CompareAndSwap":
+		default:
+			return true
+		}
+		field, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || field.Sel.Name != "view" {
+			return true
+		}
+		if !typeIs(pass.typeOf(sel.X), "atomic", "Pointer") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "shard view stored outside publish: every epoch publication must pass through the one chokepoint (seqlock-window assertion, generation counter, telemetry)")
+		return true
+	})
+}
+
+// scanHeldRegions walks a statement list tracking which shard locks are
+// held (raw mutex calls and the seqlock window helpers alike), and
+// flags exec-package calls made while any is. held maps receiver text
+// to the read/write flavor last taken; nested blocks see a copy, so
+// branch-local locks do not leak into siblings.
 func scanHeldRegions(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
 	held = copyHeld(held)
 	for _, stmt := range stmts {
 		switch s := stmt.(type) {
 		case *ast.ExprStmt:
 			if call, ok := s.X.(*ast.CallExpr); ok {
-				if recv, method, ok := pass.asMutexCall(call); ok {
+				if recv, method, ok := pass.asShardLockCall(call); ok {
 					switch method {
-					case "Lock", "RLock":
+					case "Lock", "RLock", "lockShard":
 						held[recv] = true
-					case "Unlock", "RUnlock":
+					case "Unlock", "RUnlock", "unlockShard":
 						delete(held, recv)
 					}
 					continue
 				}
 			}
 		case *ast.DeferStmt:
-			// A deferred Unlock keeps the lock held to function end by
-			// design; the region below stays "held".
-			if _, _, ok := pass.asMutexCall(&ast.CallExpr{Fun: s.Call.Fun}); ok {
+			// A deferred unlock (either idiom) keeps the lock held to
+			// function end by design; the region below stays "held".
+			if _, _, ok := pass.asShardLockCall(&ast.CallExpr{Fun: s.Call.Fun}); ok {
 				continue
 			}
 		}

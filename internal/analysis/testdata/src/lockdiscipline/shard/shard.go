@@ -134,3 +134,81 @@ func (e *Engine) badRecordLeak(i int, m *metrics) {
 	s.mu.Lock() // want `s\.mu\.Lock\(\) without a matching Unlock`
 	m.record(i, uint64(s.tab.n))
 }
+
+// seqState mirrors the real engine's wait-free-read shard: a writer
+// mutex, the seqlock word readers validate, and the published view
+// pointer.
+type seqState struct {
+	mu   sync.Mutex
+	seq  atomic.Uint64
+	view atomic.Pointer[table]
+}
+
+// lockShard/unlockShard are the seqlock window helpers: the only
+// functions allowed to touch seq, and exempt from lock pairing (the
+// acquire and release are split across them by design).
+func (s *seqState) lockShard() {
+	s.mu.Lock()
+	s.seq.Add(1)
+}
+
+func (s *seqState) unlockShard() {
+	s.seq.Add(1)
+	s.mu.Unlock()
+}
+
+// publish is the one view-publication chokepoint.
+func (e *Engine) publish(s *seqState, t *table) {
+	s.view.Store(t)
+}
+
+// goodWindow follows the window idiom end to end: helper-paired lock,
+// in-window mutation, publication through the chokepoint.
+func (e *Engine) goodWindow(s *seqState) {
+	s.lockShard()
+	defer s.unlockShard()
+	e.publish(s, e.allocTable())
+}
+
+// goodWindowSubmit releases the window before submitting to the pool.
+func (e *Engine) goodWindowSubmit(s *seqState) error {
+	s.lockShard()
+	t := s.view.Load()
+	s.unlockShard()
+	return e.pool.ForEach(t.n, func(_, _ int) error { return nil })
+}
+
+// badWindowLeak opens a window and returns without closing it: readers
+// see an odd sequence forever and every read falls back to the lock.
+func (e *Engine) badWindowLeak(s *seqState) {
+	s.lockShard() // want `s\.lockShard\(\) without a matching unlockShard`
+	e.publish(s, e.allocTable())
+}
+
+// badWindowSubmit submits to the pool while the window (and therefore
+// the writer lock) is held.
+func (e *Engine) badWindowSubmit(s *seqState) error {
+	s.lockShard()
+	defer s.unlockShard()
+	return e.pool.ForEach(1, func(_, _ int) error { return nil }) // want `call into exec while s is locked`
+}
+
+// badSeqBump mutates the seqlock word outside the window helpers: the
+// mutation is invisible to the pairing rule (seq is not a mutex) but
+// tears the reader protocol.
+func (e *Engine) badSeqBump(s *seqState) {
+	s.seq.Add(1) // want `seqlock word mutated outside lockShard/unlockShard`
+}
+
+// badSeqStore is the same violation through Store.
+func (e *Engine) badSeqStore(s *seqState) {
+	s.seq.Store(0) // want `seqlock word mutated outside lockShard/unlockShard`
+}
+
+// badPublish stores the view pointer directly, skipping the chokepoint's
+// window assertion and accounting.
+func (e *Engine) badPublish(s *seqState, t *table) {
+	s.lockShard()
+	defer s.unlockShard()
+	s.view.Store(t) // want `shard view stored outside publish`
+}

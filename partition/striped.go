@@ -95,15 +95,16 @@ func (m *Striped) Put(key, val uint64) bool {
 	return ins
 }
 
-// Get looks key up under its shard's read lock.
+// Get looks key up without locking: the engine's wait-free read path
+// (epoch-published shard views validated by a per-shard seqlock).
 func (m *Striped) Get(key uint64) (uint64, bool) { return m.eng.Get(key) }
 
-// Delete removes key under its shard's write lock.
+// Delete removes key under its shard's writer lock.
 func (m *Striped) Delete(key uint64) bool { return m.eng.Delete(key) }
 
-// Len sums shard sizes under per-shard read locks. With concurrent
-// writers the result is a per-shard-consistent sum, not a point-in-time
-// snapshot.
+// Len sums shard sizes wait-free (one atomic load per shard). With
+// concurrent writers the result is a per-shard-consistent sum, not a
+// point-in-time snapshot.
 func (m *Striped) Len() int { return m.eng.Len() }
 
 // Partitions returns the shard count.
@@ -112,8 +113,8 @@ func (m *Striped) Partitions() int { return m.eng.Shards() }
 // MemoryFootprint sums the shard footprints.
 func (m *Striped) MemoryFootprint() uint64 { return m.eng.MemoryFootprint() }
 
-// Range iterates the shards with weak consistency, holding one shard
-// read lock at a time; fn must not call back into the map.
+// Range iterates the shards with weak consistency, holding one shard's
+// writer lock at a time; fn must not call back into the map.
 func (m *Striped) Range(fn func(key, val uint64) bool) { m.eng.Range(fn) }
 
 var (

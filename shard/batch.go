@@ -3,8 +3,9 @@ package shard
 // Cross-shard batched operations: the key column is scattered per shard in
 // one stable pass (so duplicate keys — which always share a shard — keep
 // their slice order and therefore sequential semantics), each shard's
-// staged range is executed under that shard's lock exactly once, and
-// results gather back to the callers' lanes in input order.
+// staged range is executed per shard exactly once — one seqlock validation
+// for reads, one writer-lock acquisition for writes — and results gather
+// back to the callers' lanes in input order.
 //
 // Engines are meant for concurrent callers, so the staging buffers are
 // allocated per call rather than cached: two goroutines batching on the
@@ -23,13 +24,15 @@ import (
 // GetBatch looks up keys[i] into vals[i], ok[i] for every i and returns
 // the number of hits. vals and ok must be at least as long as keys.
 //
-// Batched lookups hold only READ locks, so any number of GetBatch (and
-// Get) callers proceed in parallel on the same shard. That rules out the
-// tables' own batched probe pipeline here — it mutates a per-table
-// scratch and is only safe under the exclusive lock — so each shard's
-// staged range runs migration-aware scalar probes instead; the
-// shard-major scatter still amortizes routing and locking to once per
-// shard per batch.
+// Batched lookups take no locks at all: each shard's staged range runs
+// on the wait-free read path, with ONE sequence validation covering the
+// whole range (see readRange), so any number of GetBatch (and Get)
+// callers proceed in parallel with each other — and with writers. That
+// rules out the tables' own batched probe pipeline here — it mutates a
+// per-table scratch and is only safe under the exclusive lock — so the
+// staged ranges run migration-aware scalar probes instead; the
+// shard-major scatter still amortizes routing and validation to once
+// per shard per batch.
 func (e *Engine) GetBatch(keys, vals []uint64, ok []bool) int {
 	if len(vals) < len(keys) || len(ok) < len(keys) {
 		panic("shard: GetBatch output slices shorter than keys")
@@ -44,18 +47,7 @@ func (e *Engine) GetBatch(keys, vals []uint64, ok []bool) int {
 
 func (e *Engine) getBatch(keys, vals []uint64, ok []bool) int {
 	if len(e.shards) == 1 {
-		s := &e.shards[0]
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		hits := 0
-		for i, k := range keys {
-			v, o := s.get(k)
-			vals[i], ok[i] = v, o
-			if o {
-				hits++
-			}
-		}
-		return hits
+		return e.readRange(&e.shards[0], keys, vals[:len(keys)], ok[:len(keys)])
 	}
 	st := e.scatter(keys)
 	hits := 0
@@ -64,16 +56,7 @@ func (e *Engine) getBatch(keys, vals []uint64, ok []bool) int {
 		if lo == hi {
 			continue
 		}
-		s := &e.shards[j]
-		s.mu.RLock()
-		for i := lo; i < hi; i++ {
-			v, o := s.get(st.Keys[i])
-			st.Vals[i], st.OK[i] = v, o
-			if o {
-				hits++
-			}
-		}
-		s.mu.RUnlock()
+		hits += e.readRange(&e.shards[j], st.Keys[lo:hi], st.Vals[lo:hi], st.OK[lo:hi])
 	}
 	for i, oi := range st.Orig {
 		vals[oi], ok[oi] = st.Vals[i], st.OK[i]
@@ -84,23 +67,24 @@ func (e *Engine) getBatch(keys, vals []uint64, ok []bool) int {
 // roomFor reports whether n inserts into a non-migrating shard cannot
 // cross the growth threshold, i.e. whether the table's own batched
 // pipeline may run without per-key growth checks.
-func (e *Engine) roomFor(s *shardState, n int) bool {
+func (e *Engine) roomFor(v *view, n int) bool {
 	if e.growAt <= 0 {
 		return true // growth disabled: the pipeline's ErrFull is the contract
 	}
-	return float64(s.cur.Len()+n) < e.growAt*float64(s.cur.Capacity())
+	return float64(v.cur.Len()+n) < e.growAt*float64(v.cur.Capacity())
 }
 
-// putBatchShard applies one shard's staged pairs under its write lock.
+// putBatchShard applies one shard's staged pairs inside its writer's
+// seqlock window.
 func (e *Engine) putBatchShard(s *shardState, keys, vals []uint64) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockShard()
+	defer s.unlockShard()
 	e.advance(s, e.chunk)
 	e.degradedTick(s)
 	inserted := 0
-	if !s.migrating() && e.roomFor(s, len(keys)) {
-		ins, err := s.cur.TryPutBatch(keys, vals)
-		s.live += ins
+	if v := s.view.Load(); !v.migrating() && e.roomFor(v, len(keys)) {
+		ins, err := v.cur.TryPutBatch(keys, vals)
+		s.live.Add(int64(ins))
 		if err == nil || e.growAt <= 0 {
 			return ins, err
 		}
@@ -169,14 +153,14 @@ func (e *Engine) TryPutBatch(keys, vals []uint64) (int, error) { return e.PutBat
 // getOrPutBatchShard applies one shard's staged range; out and loaded are
 // the shard-local staging views (out may alias vals).
 func (e *Engine) getOrPutBatchShard(s *shardState, keys, vals, out []uint64, loaded []bool) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockShard()
+	defer s.unlockShard()
 	e.advance(s, e.chunk)
 	e.degradedTick(s)
 	inserted := 0
-	if !s.migrating() && e.roomFor(s, len(keys)) {
-		ins, err := s.cur.GetOrPutBatch(keys, vals, out, loaded)
-		s.live += ins
+	if v := s.view.Load(); !v.migrating() && e.roomFor(v, len(keys)) {
+		ins, err := v.cur.GetOrPutBatch(keys, vals, out, loaded)
+		s.live.Add(int64(ins))
 		if err == nil || e.growAt <= 0 {
 			return ins, err
 		}
@@ -253,8 +237,8 @@ func (e *Engine) getOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, er
 // upsertBatchShard applies one shard's staged keys; orig maps staged lanes
 // back to the caller's lanes for fn.
 func (e *Engine) upsertBatchShard(s *shardState, keys []uint64, orig []int32, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockShard()
+	defer s.unlockShard()
 	e.advance(s, e.chunk)
 	e.degradedTick(s)
 	callerLane := func(i int) int {
@@ -265,7 +249,7 @@ func (e *Engine) upsertBatchShard(s *shardState, keys []uint64, orig []int32, fn
 	}
 	inserted := 0
 	resume := 0
-	if !s.migrating() && e.roomFor(s, len(keys)) {
+	if v := s.view.Load(); !v.migrating() && e.roomFor(v, len(keys)) {
 		// A half-applied UpsertBatch cannot simply be re-applied (fn
 		// would observe its own partial effects), so the wrapper records
 		// the last lane fn computed for and its value: on a refusal —
@@ -276,12 +260,12 @@ func (e *Engine) upsertBatchShard(s *shardState, keys []uint64, orig []int32, fn
 		// landed) without invoking fn again.
 		lastLane := -1
 		var lastVal uint64
-		ins, err := s.cur.UpsertBatch(keys, func(lane int, old uint64, exists bool) uint64 {
+		ins, err := v.cur.UpsertBatch(keys, func(lane int, old uint64, exists bool) uint64 {
 			v := fn(callerLane(lane), old, exists)
 			lastLane, lastVal = lane, v
 			return v
 		})
-		s.live += ins
+		s.live.Add(int64(ins))
 		if err == nil || e.growAt <= 0 {
 			return ins, err
 		}

@@ -275,3 +275,146 @@ func TestDifferentialConcurrentTapes(t *testing.T) {
 	t.Logf("final: %d entries, %d shards, %d migrations, %d entries migrated incrementally, %d rebuilds",
 		len(oracle), st.Shards, st.MigrationsDone, st.MigratedEntries, st.Rebuilds)
 }
+
+// TestDifferentialReadMonotonic is the wait-free read path's
+// linearizability-style hammer: ONE writer publishes strictly increasing
+// versions of a fixed tracked-key set (plus churn keys that keep
+// migrations — and therefore view republications and seqlock windows —
+// rolling), while reader goroutines running Get and GetBatch assert that
+//
+//   - every observed value decodes to its own key's lane (a torn read
+//     that escaped sequence validation cannot pass this),
+//   - per reader, per key, observed versions never decrease (single-key
+//     reads are linearizable: once a reader has seen version v, no later
+//     read may return an older epoch's value),
+//   - tracked keys are always present (they are never deleted, so a
+//     reader catching a shard mid-transition must still find them).
+//
+// The CI shard job runs this under -race (where reads take the locked
+// slow path — the fallback is real code too); the regular suite runs the
+// optimistic seqlock protocol itself.
+func TestDifferentialReadMonotonic(t *testing.T) {
+	const (
+		tracked   = 256
+		churn     = 2048
+		rounds    = 1200
+		readers   = 4
+		laneBits  = 20
+		laneMask  = 1<<laneBits - 1
+		churnBase = uint64(1) << 21 // disjoint generator range for churn keys
+	)
+	e := shard.MustNew(shard.Config{
+		Shards:         4,
+		Capacity:       1 << 10, // small: the churn forces repeated migrations
+		GrowAt:         0.8,
+		Seed:           29,
+		MigrationChunk: 32,
+		NewTable: func(capacity int, seed uint64) (shard.Table, error) {
+			return table.New(table.SchemeRH, table.Config{InitialCapacity: capacity, MaxLoadFactor: 0, Seed: seed})
+		},
+	})
+
+	gen := dist.New(dist.Sparse, 91)
+	keys := make([]uint64, tracked)
+	for i := range keys {
+		keys[i] = gen.Key(uint64(i))
+	}
+	// encode packs (version, lane) into a value; decode's lane check is
+	// what catches a torn read the sequence validation failed to discard.
+	encode := func(version, lane int) uint64 {
+		return uint64(version)<<laneBits | uint64(lane)
+	}
+	for i, k := range keys {
+		if _, err := e.Put(k, encode(1, i)); err != nil {
+			t.Fatalf("prefill Put(%d): %v", k, err)
+		}
+	}
+
+	done := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			floor := make([]int, tracked) // per-reader monotonic floor per key
+			vals := make([]uint64, tracked)
+			ok := make([]bool, tracked)
+			check := func(lane int, v uint64, present bool, via string) bool {
+				if !present {
+					t.Errorf("reader %d: %s lost tracked key %d (lane %d)", r, via, keys[lane], lane)
+					return false
+				}
+				if got := int(v & laneMask); got != lane {
+					t.Errorf("reader %d: %s key %d returned lane %d's value %#x — torn read escaped validation", r, via, keys[lane], got, v)
+					return false
+				}
+				version := int(v >> laneBits)
+				if version < floor[lane] {
+					t.Errorf("reader %d: %s key %d went backwards: saw version %d after %d", r, via, keys[lane], version, floor[lane])
+					return false
+				}
+				floor[lane] = version
+				return true
+			}
+			for pass := 0; ; pass++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if pass%2 == 0 {
+					for i, k := range keys {
+						v, present := e.Get(k)
+						if !check(i, v, present, "Get") {
+							return
+						}
+					}
+				} else {
+					e.GetBatch(keys, vals, ok)
+					for i := range keys {
+						if !check(i, vals[i], ok[i], "GetBatch") {
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+
+	// The single writer: bump every tracked key's version each round, and
+	// wave churn keys in and out so shards keep crossing the growth
+	// threshold (migration begin/finish republishes the views the readers
+	// are validating against).
+	for round := 2; round < rounds+2 && !t.Failed(); round++ {
+		for i, k := range keys {
+			if _, err := e.Put(k, encode(round, i)); err != nil {
+				t.Fatalf("round %d Put(%d): %v", round, k, err)
+			}
+		}
+		switch round % 8 {
+		case 0:
+			for i := 0; i < churn; i++ {
+				k := gen.Key(churnBase + uint64(i))
+				if _, err := e.Put(k, k^valTag); err != nil {
+					t.Fatalf("churn Put(%d): %v", k, err)
+				}
+			}
+		case 4:
+			for i := 0; i < churn; i++ {
+				e.Delete(gen.Key(churnBase + uint64(i)))
+			}
+		}
+	}
+	close(done)
+	readerWG.Wait()
+
+	if t.Failed() {
+		return
+	}
+	st := e.Stats()
+	if st.MigrationsStarted == 0 {
+		t.Fatal("hammer never exercised a migration (no view republications under read load)")
+	}
+	t.Logf("final: %d migrations, %d view publishes, %d read retries, %d read fallbacks",
+		st.MigrationsDone, st.ViewPublishes, st.ReadRetries, st.ReadFallbacks)
+}

@@ -41,6 +41,17 @@ type Metrics struct {
 	// counts degraded→healthy. Their difference tracks Stats().Degraded.
 	DegradedEnter *obs.Counter
 	Healed        *obs.Counter
+
+	// Wait-free read-path health. ReadRetry counts optimistic attempts
+	// discarded because a writer's seqlock window overlapped the probe;
+	// ReadFallback counts reads that exhausted the retry budget and
+	// parked on the writer lock; ViewRepublish counts epoch publications
+	// (resize begin/finish, rebuild, degraded flips — plus the birth
+	// epochs if Metrics are attached at construction). All three stay
+	// zero under read-only load.
+	ReadRetry     *obs.Counter
+	ReadFallback  *obs.Counter
+	ViewRepublish *obs.Counter
 }
 
 // NewMetrics returns a Metrics striped for the given shard count
@@ -62,6 +73,9 @@ func NewMetrics(shards int) *Metrics {
 		MigrationChunk: obs.NewHistogram(shards),
 		DegradedEnter:  obs.NewCounter(shards),
 		Healed:         obs.NewCounter(shards),
+		ReadRetry:      obs.NewCounter(shards),
+		ReadFallback:   obs.NewCounter(shards),
+		ViewRepublish:  obs.NewCounter(shards),
 	}
 }
 
@@ -80,6 +94,9 @@ func (m *Metrics) Register(r *obs.Registry, prefix string) {
 	r.RegisterHistogram(prefix+"shard_migration_chunk_nanos", "bounded migration step latency in nanoseconds", m.MigrationChunk)
 	r.RegisterCounter(prefix+`shard_degraded_total{transition="enter"}`, "degraded-state transitions by direction", m.DegradedEnter)
 	r.RegisterCounter(prefix+`shard_degraded_total{transition="heal"}`, "", m.Healed)
+	r.RegisterCounter(prefix+"shard_read_retries_total", "optimistic read attempts discarded by a writer's seqlock window", m.ReadRetry)
+	r.RegisterCounter(prefix+"shard_read_fallbacks_total", "reads that exhausted the optimistic retry budget and took the writer lock", m.ReadFallback)
+	r.RegisterCounter(prefix+"shard_view_republish_total", "shard view (epoch) publications", m.ViewRepublish)
 }
 
 // SetMetrics attaches (or, with nil, detaches) the engine's telemetry.

@@ -3,8 +3,10 @@ package shard_test
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
+	"repro/obs"
 	"repro/shard"
 	"repro/table"
 )
@@ -168,6 +170,65 @@ func TestMetricsDegradedTransitions(t *testing.T) {
 	}
 	if got := e.Stats().Degraded; got != 0 {
 		t.Fatalf("Stats.Degraded = %d after heal", got)
+	}
+}
+
+func TestMetricsReadPathCounters(t *testing.T) {
+	e := shard.MustNew(metricsConfig(2, 256, 0.8))
+	m := shard.NewMetrics(e.Shards())
+	e.SetMetrics(m)
+	// Grow past the threshold: every migration republishes the view
+	// twice (freeze, promote), each through the metrics hook.
+	keys := make([]uint64, 2048)
+	vals := make([]uint64, 2048)
+	out := make([]uint64, 2048)
+	ok := make([]bool, 2048)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+		vals[i] = uint64(i)
+	}
+	if _, err := e.PutBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	e.GetBatch(keys, out, ok)
+	st := e.Stats()
+	if st.MigrationsStarted == 0 {
+		t.Fatal("fixture never migrated; ViewRepublish has nothing to count")
+	}
+	// Birth epochs predate SetMetrics, so the counter sees exactly the
+	// post-attach publications.
+	if got, want := m.ViewRepublish.Value(), st.ViewPublishes-uint64(e.Shards()); got != want {
+		t.Fatalf("ViewRepublish = %d, want %d (Stats.ViewPublishes %d minus %d birth epochs)",
+			got, want, st.ViewPublishes, e.Shards())
+	}
+	// Single-goroutine traffic never overlaps a writer window: the
+	// retry/fallback counters must hold at zero.
+	if m.ReadRetry.Value() != 0 || m.ReadFallback.Value() != 0 {
+		t.Fatalf("uncontended run counted retries=%d fallbacks=%d, want 0/0",
+			m.ReadRetry.Value(), m.ReadFallback.Value())
+	}
+	if st.ReadRetries != 0 || st.ReadFallbacks != 0 {
+		t.Fatalf("Stats counted retries=%d fallbacks=%d uncontended", st.ReadRetries, st.ReadFallbacks)
+	}
+
+	// The exposition carries the three read-path series under their
+	// conventional names.
+	r := obs.NewRegistry()
+	m.Register(r, "")
+	var buf strings.Builder
+	r.WriteText(&buf)
+	text := buf.String()
+	for _, name := range []string{
+		"shard_read_retries_total",
+		"shard_read_fallbacks_total",
+		"shard_view_republish_total",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	if !strings.Contains(text, fmt.Sprintf("shard_view_republish_total %d", m.ViewRepublish.Value())) {
+		t.Errorf("exposition does not carry the ViewRepublish total:\n%s", text)
 	}
 }
 

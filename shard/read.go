@@ -1,0 +1,76 @@
+package shard
+
+// The wait-free read protocol, shared scaffolding. The optimistic
+// (seqlock) implementations of readGet, readRange and readSnapshot live
+// in read_optimistic.go; race-detector builds substitute the locked
+// slow paths below for every read (read_racedetector.go) because a
+// seqlock reader's probes are deliberate data races — loads of table
+// slots a writer may be storing to, made safe only retroactively by
+// sequence validation — and the detector would (correctly, by its
+// rules) report every one of them. The slow path IS the optimistic
+// path's fallback, so race builds exercise real code, not a stub.
+
+// readMaxRetries bounds the optimistic attempts a reader makes before
+// falling back to the writer lock: enough to ride out a few short
+// writer windows, small enough that a reader stuck behind a long batch
+// mutation parks on the lock (once per read, not per key) instead of
+// spinning. Progress is therefore never lost — the fallback serializes
+// behind the writer and always completes.
+const readMaxRetries = 8
+
+// readGetSlow is the locked single-key read: the optimistic path's
+// fallback and the race-build read path. It takes the writer lock (no
+// seqlock window — it mutates nothing, and other optimistic readers
+// must keep validating successfully while it holds the lock) and probes
+// the current view.
+func (e *Engine) readGetSlow(s *shardState, key uint64) (uint64, bool) {
+	s.mu.Lock()
+	v := s.view.Load()
+	val, ok := v.get(key)
+	s.mu.Unlock()
+	return val, ok
+}
+
+// readRangeSlow is the locked staged-range read behind GetBatch.
+func (e *Engine) readRangeSlow(s *shardState, keys, vals []uint64, ok []bool) int {
+	s.mu.Lock()
+	v := s.view.Load()
+	hits := 0
+	for i, k := range keys {
+		val, o := v.get(k)
+		vals[i], ok[i] = val, o
+		if o {
+			hits++
+		}
+	}
+	s.mu.Unlock()
+	return hits
+}
+
+// readSnapshotSlow runs fn against the shard's view under the writer
+// lock: the fallback for observer reads (Stats, Capacity,
+// MemoryFootprint) whose table accessors may touch writer-mutated
+// words.
+func (e *Engine) readSnapshotSlow(s *shardState, fn func(v *view)) {
+	s.mu.Lock()
+	fn(s.view.Load())
+	s.mu.Unlock()
+}
+
+// readAccount records a read that retried (and possibly fell back):
+// engine totals for Stats, striped counters for the registry. Off the
+// hot path by construction — validated first-attempt reads never call
+// it.
+func (e *Engine) readAccount(s *shardState, retries uint64, fellBack bool) {
+	e.readRetries.Add(retries)
+	m := e.metrics.Load()
+	if m != nil {
+		m.ReadRetry.Add(s.idx, retries)
+	}
+	if fellBack {
+		e.readFallbacks.Add(1)
+		if m != nil {
+			m.ReadFallback.Inc(s.idx)
+		}
+	}
+}

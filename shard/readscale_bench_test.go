@@ -1,0 +1,293 @@
+package shard_test
+
+// BenchmarkReadScale measures what the wait-free read path buys: Get and
+// GetBatch ns/key at 1, 2, 4 and 8 goroutines, on the real Engine
+// (seqlock + epoch-published views) and on an in-bench replica of the
+// engine's previous concurrency layer — per-shard sync.RWMutex around
+// the same Robin Hood tables, same router, same per-call scatter
+// staging, faithful to the pre-seqlock code down to its allocation
+// behavior. Three workloads:
+//
+//   - get: scalar Get only, the per-key lock cost at its barest. The
+//     RWMutex baseline pays two lock-word RMWs per key — a cross-core
+//     coherence miss per key once readers spread over cores; the
+//     seqlock path pays two loads of a word only writers dirty.
+//   - read: GetBatch only; locking/validation amortizes per shard range.
+//   - mixed: 95% GetBatch / 5% PutBatch (updates), the read-mostly
+//     regime the seqlock targets; writer windows force occasional
+//     retries, which the read-retry counters in Stats make visible.
+//
+// On the 4-vCPU CI runners the separation shows by 4 goroutines; a
+// single-core machine shows parity (goroutines time-slice one core, so
+// there is no coherence traffic for the seqlock to win back).
+//
+// When BENCH_SHARDREAD_JSON names a file, every sub-benchmark's ns/key
+// lands there as JSON (the CI shard job uploads it as the
+// BENCH_shardread.json artifact).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/exec"
+	"repro/hashfn"
+	"repro/shard"
+	"repro/table"
+)
+
+const (
+	readScaleKeys  = 1 << 16
+	readScaleBatch = 512
+	readScaleShard = 8
+	// mixedWritePeriod: one PutBatch per this many batches ≈ 5% writes.
+	mixedWritePeriod = 20
+)
+
+// benchOps is the engine-agnostic surface the workloads drive.
+type benchOps struct {
+	get      func(k uint64) (uint64, bool)
+	getBatch func(ks, vs []uint64, ok []bool)
+	putBatch func(ks, vs []uint64)
+}
+
+// rwEngine replicates the engine's pre-seqlock read path: per-shard
+// RWMutex, reads under RLock, the same router, and — like the real
+// engine before and after — a freshly allocated scatter per batch call
+// (concurrent callers must not share staging). It exists only as the
+// benchmark baseline.
+type rwEngine struct {
+	shards []rwShard
+	router hashfn.Function
+	shift  uint
+}
+
+type rwShard struct {
+	mu  sync.RWMutex
+	tab shard.Table
+}
+
+func newRWEngine(b *testing.B, shards, capacity int, seed uint64) *rwEngine {
+	b.Helper()
+	e := &rwEngine{
+		shards: make([]rwShard, shards),
+		router: hashfn.MultFamily{}.New(seed ^ 0x9a77_e4b0_0f00_d001),
+	}
+	shift := uint(64)
+	for p := shards; p > 1; p >>= 1 {
+		shift--
+	}
+	e.shift = shift
+	for i := range e.shards {
+		t, err := table.New(table.SchemeRH, table.Config{
+			InitialCapacity: capacity / shards,
+			MaxLoadFactor:   0,
+			Seed:            seed + uint64(i)*0x9e3779b97f4a7c15,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.shards[i].tab = t
+	}
+	return e
+}
+
+func (e *rwEngine) get(k uint64) (uint64, bool) {
+	s := &e.shards[e.router.Hash(k)>>e.shift]
+	s.mu.RLock()
+	v, ok := s.tab.Get(k)
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (e *rwEngine) getBatch(keys, vals []uint64, ok []bool) {
+	st := new(exec.Scatter)
+	st.Route(e.router, e.shift, len(e.shards), keys)
+	for j := range e.shards {
+		lo, hi := st.Starts[j], st.Starts[j+1]
+		if lo == hi {
+			continue
+		}
+		s := &e.shards[j]
+		s.mu.RLock()
+		for i := lo; i < hi; i++ {
+			st.Vals[i], st.OK[i] = s.tab.Get(st.Keys[i])
+		}
+		s.mu.RUnlock()
+	}
+	for i, oi := range st.Orig {
+		vals[oi], ok[oi] = st.Vals[i], st.OK[i]
+	}
+}
+
+func (e *rwEngine) putBatch(keys, vals []uint64) {
+	st := new(exec.Scatter)
+	st.Route(e.router, e.shift, len(e.shards), keys)
+	for i, oi := range st.Orig {
+		st.Vals[i] = vals[oi]
+	}
+	for j := range e.shards {
+		lo, hi := st.Starts[j], st.Starts[j+1]
+		if lo == hi {
+			continue
+		}
+		s := &e.shards[j]
+		s.mu.Lock()
+		for i := lo; i < hi; i++ {
+			if _, err := s.tab.TryPut(st.Keys[i], st.Vals[i]); err != nil {
+				panic(err)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// readScaleResult is one sub-benchmark's outcome for the JSON artifact.
+type readScaleResult struct {
+	Engine     string  `json:"engine"` // "seqlock" or "rwmutex"
+	Workload   string  `json:"workload"`
+	Goroutines int     `json:"goroutines"`
+	NsPerKey   float64 `json:"ns_per_key"`
+}
+
+var readScaleResults []readScaleResult
+
+// readScaleWorker runs batches rounds of the workload, walking a
+// goroutine-private window of the prefilled key space. One round is
+// readScaleBatch keys whatever the workload shape (scalar or batched).
+func readScaleWorker(w, batches int, keys []uint64, workload string, ops benchOps) {
+	ks := make([]uint64, readScaleBatch)
+	vs := make([]uint64, readScaleBatch)
+	ok := make([]bool, readScaleBatch)
+	pos := (w * 7919 * readScaleBatch) % len(keys)
+	for i := 0; i < batches; i++ {
+		for j := range ks {
+			ks[j] = keys[(pos+j)%len(keys)]
+		}
+		pos = (pos + readScaleBatch) % len(keys)
+		switch {
+		case workload == "get":
+			for _, k := range ks {
+				if _, present := ops.get(k); !present {
+					panic("prefilled key missing")
+				}
+			}
+		case workload == "mixed" && i%mixedWritePeriod == mixedWritePeriod-1:
+			for j, k := range ks {
+				vs[j] = k ^ uint64(i)
+			}
+			ops.putBatch(ks, vs)
+		default:
+			ops.getBatch(ks, vs, ok)
+		}
+	}
+}
+
+func runReadScale(b *testing.B, g int, keys []uint64, workload string, ops benchOps) float64 {
+	per := b.N/g + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			readScaleWorker(w, per, keys, workload, ops)
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	nsPerKey := float64(b.Elapsed().Nanoseconds()) / float64(per*g*readScaleBatch)
+	b.ReportMetric(nsPerKey, "ns/key")
+	return nsPerKey
+}
+
+func BenchmarkReadScale(b *testing.B) {
+	// Pre-sized well under the growth threshold: neither engine resizes
+	// mid-benchmark, so the comparison is purely the read protocols.
+	const capacity = readScaleKeys * 4
+	keys := make([]uint64, readScaleKeys)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+
+	seq := shard.MustNew(shard.Config{
+		Shards:   readScaleShard,
+		Capacity: capacity,
+		GrowAt:   0.85,
+		Seed:     1,
+		NewTable: func(capacity int, seed uint64) (shard.Table, error) {
+			return table.New(table.SchemeRH, table.Config{InitialCapacity: capacity, MaxLoadFactor: 0, Seed: seed})
+		},
+	})
+	rw := newRWEngine(b, readScaleShard, capacity, 1)
+	for _, k := range keys {
+		if _, err := seq.Put(k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	{
+		vals := make([]uint64, len(keys))
+		copy(vals, keys)
+		rw.putBatch(keys, vals)
+	}
+
+	engines := []struct {
+		name string
+		ops  benchOps
+	}{
+		{"seqlock", benchOps{
+			get:      seq.Get,
+			getBatch: func(ks, vs []uint64, ok []bool) { seq.GetBatch(ks, vs, ok) },
+			putBatch: func(ks, vs []uint64) {
+				if _, err := seq.PutBatch(ks, vs); err != nil {
+					panic(err)
+				}
+			},
+		}},
+		{"rwmutex", benchOps{get: rw.get, getBatch: rw.getBatch, putBatch: rw.putBatch}},
+	}
+
+	for _, workload := range []string{"get", "read", "mixed"} {
+		for _, g := range []int{1, 2, 4, 8} {
+			for _, eng := range engines {
+				b.Run(fmt.Sprintf("%s/%s/g%d", workload, eng.name, g), func(b *testing.B) {
+					ns := runReadScale(b, g, keys, workload, eng.ops)
+					readScaleResults = append(readScaleResults, readScaleResult{
+						Engine: eng.name, Workload: workload, Goroutines: g, NsPerKey: ns,
+					})
+				})
+			}
+		}
+	}
+
+	if path := os.Getenv("BENCH_SHARDREAD_JSON"); path != "" && len(readScaleResults) > 0 {
+		// The framework runs each sub-benchmark once to size it and again
+		// to measure; keep only the last (measured) entry per sub-bench.
+		last := make(map[readScaleResult]int)
+		for i, r := range readScaleResults {
+			last[readScaleResult{Engine: r.Engine, Workload: r.Workload, Goroutines: r.Goroutines}] = i
+		}
+		deduped := readScaleResults[:0]
+		for i, r := range readScaleResults {
+			if last[readScaleResult{Engine: r.Engine, Workload: r.Workload, Goroutines: r.Goroutines}] == i {
+				deduped = append(deduped, r)
+			}
+		}
+		readScaleResults = deduped
+		st := seq.Stats()
+		out, err := json.MarshalIndent(struct {
+			Benchmark     string            `json:"benchmark"`
+			Results       []readScaleResult `json:"results"`
+			ReadRetries   uint64            `json:"read_retries"`
+			ReadFallbacks uint64            `json:"read_fallbacks"`
+		}{"BenchmarkReadScale", readScaleResults, st.ReadRetries, st.ReadFallbacks}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+//go:build !race
+
+package shard
+
+// Deterministic tests of the optimistic read protocol's retry and
+// fallback behavior: the shard's sequence word is held odd by hand (no
+// writer — the lock stays free), so a read must burn its full retry
+// budget, park on the writer lock, and still return the right answer.
+// Build-tagged !race because race builds replace the optimistic path
+// with the locked slow path (read_racedetector.go), which neither
+// retries nor accounts.
+
+import "testing"
+
+// holdWindowOpen makes s look mid-mutation to optimistic readers while
+// leaving the writer lock free, then returns a closer. Test-only: the
+// production sequence transitions all live in lockShard/unlockShard.
+func holdWindowOpen(s *shardState) func() {
+	s.seq.Add(1)
+	return func() { s.seq.Add(1) }
+}
+
+func TestReadFallbackOnStuckWindow(t *testing.T) {
+	e := testEngine(t, 1, 64)
+	m := NewMetrics(1)
+	e.SetMetrics(m)
+	const key, val = 77, 770
+	if _, err := e.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	s := &e.shards[0]
+
+	reopen := holdWindowOpen(s)
+	v, ok := e.Get(key)
+	reopen()
+	if !ok || v != val {
+		t.Fatalf("Get through the fallback = (%d,%v), want (%d,true)", v, ok, val)
+	}
+	if got := e.readFallbacks.Load(); got != 1 {
+		t.Fatalf("readFallbacks = %d, want exactly 1", got)
+	}
+	if got := e.readRetries.Load(); got != readMaxRetries+1 {
+		t.Fatalf("readRetries = %d, want the full budget %d", got, readMaxRetries+1)
+	}
+	if got := m.ReadFallback.Value(); got != 1 {
+		t.Fatalf("ReadFallback counter = %d, want 1", got)
+	}
+	if got := m.ReadRetry.Value(); got != readMaxRetries+1 {
+		t.Fatalf("ReadRetry counter = %d, want %d", got, readMaxRetries+1)
+	}
+
+	// Window closed: the next read validates first try and accounts
+	// nothing.
+	if v, ok := e.Get(key); !ok || v != val {
+		t.Fatalf("Get after reopen = (%d,%v)", v, ok)
+	}
+	if got := e.readFallbacks.Load(); got != 1 {
+		t.Fatalf("validated read bumped readFallbacks to %d", got)
+	}
+	if got := e.readRetries.Load(); got != readMaxRetries+1 {
+		t.Fatalf("validated read bumped readRetries to %d", got)
+	}
+}
+
+func TestReadRangeFallbackOnStuckWindow(t *testing.T) {
+	e := testEngine(t, 1, 128)
+	keys := []uint64{3, 9, 27, 81}
+	for _, k := range keys {
+		if _, err := e.Put(k, k*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals := make([]uint64, len(keys))
+	ok := make([]bool, len(keys))
+
+	reopen := holdWindowOpen(&e.shards[0])
+	hits := e.GetBatch(keys, vals, ok)
+	reopen()
+	if hits != len(keys) {
+		t.Fatalf("GetBatch through the fallback hit %d of %d", hits, len(keys))
+	}
+	for i, k := range keys {
+		if !ok[i] || vals[i] != k*10 {
+			t.Fatalf("lane %d = (%d,%v), want (%d,true)", i, vals[i], ok[i], k*10)
+		}
+	}
+	if got := e.readFallbacks.Load(); got != 1 {
+		t.Fatalf("readFallbacks = %d, want 1 (one validation per shard range, not per key)", got)
+	}
+}
+
+func TestReadSnapshotFallbackOnStuckWindow(t *testing.T) {
+	e := testEngine(t, 1, 64)
+	if _, err := e.Put(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	reopen := holdWindowOpen(&e.shards[0])
+	st := e.Stats()
+	reopen()
+	if st.Len != 1 || st.Capacity == 0 {
+		t.Fatalf("Stats through the fallback: %+v", st)
+	}
+	if e.readFallbacks.Load() == 0 {
+		t.Fatal("snapshot read never fell back despite the stuck window")
+	}
+}
+
+func TestReadFallbackWithoutMetrics(t *testing.T) {
+	// No Metrics attached: the accounting path must tolerate the nil
+	// registry while still counting into the engine totals.
+	e := testEngine(t, 1, 64)
+	const key, val = 11, 1100
+	if _, err := e.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	reopen := holdWindowOpen(&e.shards[0])
+	if v, ok := e.Get(key); !ok || v != val {
+		t.Fatalf("Get with nil metrics through fallback = (%d,%v)", v, ok)
+	}
+	reopen()
+	if got := e.readFallbacks.Load(); got != 1 {
+		t.Fatalf("readFallbacks = %d, want 1", got)
+	}
+}

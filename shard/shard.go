@@ -1,20 +1,39 @@
 // Package shard implements the repo's one striping core: Engine, a
-// concurrency-safe sharded hash-table engine with incremental resize. It
-// replaces the two earlier copies of the paper's striped-locking extension
-// (§1) — table.Handle's partitioned mode and partition.Striped — both of
-// which now delegate here.
+// concurrency-safe sharded hash-table engine with incremental resize and
+// wait-free reads. It replaces the two earlier copies of the paper's
+// striped-locking extension (§1) — table.Handle's partitioned mode and
+// partition.Striped — both of which now delegate here.
 //
 // # Architecture
 //
 // An Engine routes every key to one of P shards (P a power of two) by the
 // top bits of an independent router hash, exactly like the partitioned
 // radix scheme the paper cites for parallel joins. Each shard owns one
-// single-threaded table behind a sync.RWMutex: read-only operations (Get,
-// GetBatch, Len, Stats, Range) take the read lock and run concurrently;
-// mutations take the write lock. Cross-shard batch operations scatter the
-// key column per shard in one stable pass, execute shard-major so each
-// lock is taken once per batch, and gather results back to the callers'
-// lanes in input order.
+// single-threaded table reached two ways:
+//
+//   - Writers serialize on the shard's sync.Mutex and mutate the table in
+//     place inside a seqlock window (the shard's sequence counter is odd
+//     for the duration).
+//   - Readers never lock. They load the shard's published view (an
+//     atomic.Pointer to an immutable epoch struct naming the tables),
+//     probe it with plain loads, and validate the sequence counter was
+//     even and unchanged across the probe. A torn window retries a
+//     bounded number of times, then falls back to the writer lock, so
+//     reads are wait-free in the common case and always make progress.
+//
+// The probe kernels this engine stripes are memory-bound (the paper's
+// central measurement); the old per-shard RWMutex put two lock-word RMWs
+// — and, across cores, a coherence miss — in front of every read. The
+// seqlock read path replaces them with two loads of a shard-local word
+// that only writers dirty, so read scaling is bounded by the tables, not
+// the concurrency layer. See view.go for the full reader/writer protocol
+// and the per-shard snapshot semantics; race-detector builds route reads
+// through the lock (read_racedetector.go explains why).
+//
+// Cross-shard batch operations scatter the key column per shard in one
+// stable pass, execute shard-major so each shard's sequence is validated
+// (reads) or its lock taken (writes) once per batch, and gather results
+// back to the callers' lanes in input order.
 //
 // # Incremental resize
 //
@@ -37,12 +56,15 @@
 //   - When the cursor is exhausted the successor becomes the shard's
 //     table and the frozen one is dropped wholesale.
 //
-// No operation ever pays a full-shard rehash; the worst-case mutation
-// cost is one bounded migration chunk plus the operation itself (see
-// BenchmarkResizeTail). The successor is sized so that migration always
-// completes before it can itself fill: each mutation moves at least one
-// entry, so at most capacity(old) mutations run against a successor with
-// capacity(old) spare slots beyond the threshold.
+// Each transition (freeze, promote, rebuild) republishes the shard's
+// view inside the writer's seqlock window, so readers move between
+// epochs atomically. No operation ever pays a full-shard rehash; the
+// worst-case mutation cost is one bounded migration chunk plus the
+// operation itself (see BenchmarkResizeTail). The successor is sized so
+// that migration always completes before it can itself fill: each
+// mutation moves at least one entry, so at most capacity(old) mutations
+// run against a successor with capacity(old) spare slots beyond the
+// threshold.
 //
 // # Graceful degradation
 //
@@ -62,12 +84,19 @@
 // # Concurrency contract
 //
 // Every Engine method is safe for arbitrary concurrent use. Point and
-// batched operations are linearizable per key (each key lives in exactly
-// one shard, and that shard's lock serializes its writers against its
-// readers). There is no cross-shard snapshot: Len, Stats and iteration
-// lock one shard at a time and may observe different shards at different
-// instants. Callbacks passed to Upsert/UpsertBatch/Range/All run while a
-// shard lock is held and must not call back into the engine.
+// batched operations are linearizable per key: each key lives in exactly
+// one shard, whose writers are serialized by its lock, and a validated
+// wait-free read is a point-in-time observation of that shard (see
+// view.go). Get, GetBatch and Len take no locks at all — readers never
+// block writers, and a read that keeps colliding with writer windows
+// (readMaxRetries torn attempts) parks on the writer lock instead of
+// spinning forever. There is no cross-shard snapshot: Len, Stats and
+// iteration observe one shard at a time and may observe different shards
+// at different instants. Range and ForEachTable hold the shard's writer
+// lock while they visit it (their callbacks must observe a quiescent
+// shard exactly once, which the optimistic protocol cannot promise).
+// Callbacks passed to Upsert/UpsertBatch/Range/All run while a shard
+// lock is held and must not call back into the engine.
 package shard
 
 import (
@@ -154,8 +183,9 @@ type Config struct {
 	// NewTable builds one shard's table with the given slot capacity and
 	// seed. It is called Shards times at construction and once per
 	// resize. The tables it returns must have scheme-level growth
-	// DISABLED (the engine grows shards itself) and are only ever used
-	// single-threaded under the shard lock. Required.
+	// DISABLED (the engine grows shards itself); the engine mutates them
+	// only under the shard's writer lock, and wait-free readers probe
+	// them through the seqlock protocol. Required.
 	NewTable func(capacity int, seed uint64) (Table, error)
 }
 
@@ -165,31 +195,39 @@ type Config struct {
 // rebuild can never lose it.
 type kv struct{ k, v uint64 }
 
-// shardState is one shard: a table behind a RWMutex, plus the incremental
-// migration state while a resize is in flight.
+// shardState is one shard: the published read view plus the writer-side
+// state. Structural read state (tables, dead overlay, degraded flag)
+// lives in the view — the single source of truth for readers AND
+// writers; everything else here is either atomic (seq, live) or
+// writer-private under mu (cursor, carry, backoff).
 type shardState struct {
-	mu     sync.RWMutex
-	cur    Table
-	live   int    // live entries (engine-maintained; cur+next dedup'd)
+	// mu serializes writers. Readers touch it only on the bounded-retry
+	// fallback path (and in race-detector builds).
+	mu sync.Mutex
+	// seq is the shard's seqlock word: odd while a writer is inside its
+	// mutation window, bumped on entry and exit (lockShard/unlockShard).
+	seq atomic.Uint64
+	// view is the published epoch readers probe; see view.go.
+	view atomic.Pointer[view]
+	// live counts live entries (engine-maintained; cur+next dedup'd).
+	// Atomic so Len is one wait-free load per shard.
+	live atomic.Int64
+
 	seed   uint64 // table seed, reused for every successor generation
 	idx    int    // shard index (for DegradedError)
 	jitter *prng.SplitMix64
 
-	// Migration state; all nil/zero when no resize is in flight.
-	next  Table               // successor table; all writes go here
-	dead  map[uint64]struct{} // keys whose frozen-cur entry is deleted
+	// Migration cursor state; nil when no resize is in flight. (The
+	// successor table and dead overlay live in the view.)
 	pull  func() (k, v uint64, ok bool)
 	stop  func()
 	carry []kv // cursor entries the successor refused (see advance)
 
-	// Degraded-but-serving state; zero when the allocator is healthy.
-	degraded bool
-	backoff  int // current retry window (mutations), doubles per failure
-	retryIn  int // mutations left before the next allocator retry
+	// Degraded-state retry scheduling; zero when the allocator is
+	// healthy. (The degraded flag itself lives in the view.)
+	backoff int // current retry window (mutations), doubles per failure
+	retryIn int // mutations left before the next allocator retry
 }
-
-// migrating reports whether a resize is in flight (callers hold mu).
-func (s *shardState) migrating() bool { return s.next != nil }
 
 // Engine is the sharded concurrent engine. See the package documentation
 // for the architecture and the concurrency contract. The zero value is
@@ -212,6 +250,12 @@ type Engine struct {
 
 	allocFails   atomic.Uint64
 	allocRetries atomic.Uint64
+
+	// Wait-free read-path accounting: torn-window retries, falls back to
+	// the writer lock, and view publications (see view.go).
+	readRetries   atomic.Uint64
+	readFallbacks atomic.Uint64
+	viewPublishes atomic.Uint64
 
 	// metrics is the optional telemetry attachment (SetMetrics); nil —
 	// the default — keeps every hook to one atomic pointer load.
@@ -260,9 +304,13 @@ func New(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.cur = t
+		// Even the birth epoch goes through the publication chokepoint,
+		// inside a (trivially uncontended) seqlock window.
+		s.lockShard()
+		e.publish(s, &view{cur: t})
+		s.unlockShard()
 	}
-	e.label = e.shards[0].cur.Name()
+	e.label = e.shards[0].view.Load().cur.Name()
 	return e, nil
 }
 
@@ -302,56 +350,32 @@ func (e *Engine) shardIndex(key uint64) int {
 }
 
 // ---------------------------------------------------------------------------
-// Reads (shard read lock)
+// Reads (wait-free: no shard locks; see view.go and read.go)
 // ---------------------------------------------------------------------------
 
 // Get returns the value stored under key and whether it is present.
+// Wait-free: no lock is taken unless the read keeps colliding with
+// writer windows and falls back (see the package documentation).
 func (e *Engine) Get(key uint64) (uint64, bool) {
 	s := e.shardFor(key)
 	m, start := e.opStart(key)
-	s.mu.RLock()
-	v, ok := s.get(key)
-	s.mu.RUnlock()
+	v, ok := e.readGet(s, key)
 	if m != nil {
 		m.Get.Record(s.idx, obs.Now()-start)
 	}
 	return v, ok
 }
 
-// get is the migration-aware lookup (callers hold mu, read or write).
-func (s *shardState) get(key uint64) (uint64, bool) {
-	if s.next != nil {
-		if v, ok := s.next.Get(key); ok {
-			return v, true
-		}
-		if _, dead := s.dead[key]; dead {
-			return 0, false
-		}
-	}
-	return s.cur.Get(key)
-}
-
-// curLive looks key up in the frozen table, honoring the dead overlay
-// (callers hold the write lock during a migration).
-func (s *shardState) curLive(key uint64) (uint64, bool) {
-	if _, dead := s.dead[key]; dead {
-		return 0, false
-	}
-	return s.cur.Get(key)
-}
-
-// Len returns the number of live entries across all shards. With
-// concurrent writers the result is a per-shard-consistent sum, not a
-// point-in-time snapshot.
+// Len returns the number of live entries across all shards: one atomic
+// load per shard, no locks. With concurrent writers the result is a
+// per-shard-consistent sum, not a point-in-time snapshot (see view.go's
+// snapshot semantics).
 func (e *Engine) Len() int {
-	n := 0
+	var n int64
 	for i := range e.shards {
-		s := &e.shards[i]
-		s.mu.RLock()
-		n += s.live
-		s.mu.RUnlock()
+		n += e.shards[i].live.Load()
 	}
-	return n
+	return int(n)
 }
 
 // Capacity returns the total slot capacity across shards; a migrating
@@ -359,14 +383,15 @@ func (e *Engine) Len() int {
 func (e *Engine) Capacity() int {
 	n := 0
 	for i := range e.shards {
-		s := &e.shards[i]
-		s.mu.RLock()
-		if s.next != nil {
-			n += s.next.Capacity()
-		} else {
-			n += s.cur.Capacity()
-		}
-		s.mu.RUnlock()
+		var c int
+		e.readSnapshot(&e.shards[i], func(v *view) {
+			if v.next != nil {
+				c = v.next.Capacity()
+			} else {
+				c = v.cur.Capacity()
+			}
+		})
+		n += c
 	}
 	return n
 }
@@ -381,19 +406,20 @@ func (e *Engine) LoadFactor() float64 {
 func (e *Engine) MemoryFootprint() uint64 {
 	var n uint64
 	for i := range e.shards {
-		s := &e.shards[i]
-		s.mu.RLock()
-		n += s.cur.MemoryFootprint()
-		if s.next != nil {
-			n += s.next.MemoryFootprint()
-		}
-		s.mu.RUnlock()
+		var b uint64
+		e.readSnapshot(&e.shards[i], func(v *view) {
+			b = v.cur.MemoryFootprint()
+			if v.next != nil {
+				b += v.next.MemoryFootprint()
+			}
+		})
+		n += b
 	}
 	return n
 }
 
 // ---------------------------------------------------------------------------
-// Incremental migration machinery (shard write lock held)
+// Incremental migration machinery (inside the writer's seqlock window)
 // ---------------------------------------------------------------------------
 
 // allocTable is the one chokepoint every table allocation goes through —
@@ -407,41 +433,47 @@ func (e *Engine) allocTable(capacity int, seed uint64) (Table, error) {
 	return e.create(capacity, seed)
 }
 
-// beginMigration freezes s.cur and installs the successor table and the
-// migration cursor. The successor is sized from LIVE ENTRIES with the
-// frozen capacity as a floor: at the growth threshold that is the classic
-// doubling, but a refusal-driven migration far below the threshold (a
-// failed Cuckoo kick chain, or an injected refusal) gets a same-capacity
-// successor instead of an unconditional doubling — repeated transient
-// refusals must not inflate capacity without live entries to justify it.
+// beginMigration freezes the shard's table and publishes the epoch with
+// the successor and the dead-key overlay installed. The successor is
+// sized from LIVE ENTRIES with the frozen capacity as a floor: at the
+// growth threshold that is the classic doubling, but a refusal-driven
+// migration far below the threshold (a failed Cuckoo kick chain, or an
+// injected refusal) gets a same-capacity successor instead of an
+// unconditional doubling — repeated transient refusals must not inflate
+// capacity without live entries to justify it. The overlay is pre-sized
+// for the frozen live count (the most keys that can ever be marked
+// dead), so it never grows while published.
 func (e *Engine) beginMigration(s *shardState) error {
+	v := s.view.Load()
 	ga := e.growAt
 	if ga <= 0 {
 		ga = 0.85
 	}
-	capacity := s.cur.Capacity()
-	for float64(s.cur.Len()) >= ga*float64(capacity) {
+	capacity := v.cur.Capacity()
+	frozenLive := v.cur.Len()
+	for float64(frozenLive) >= ga*float64(capacity) {
 		capacity *= 2
 	}
 	nt, err := e.allocTable(capacity, s.seed)
 	if err != nil {
 		return err
 	}
-	s.next = nt
-	s.dead = make(map[uint64]struct{})
-	cur := s.cur
+	cur := v.cur
 	s.pull, s.stop = iter.Pull2(iter.Seq2[uint64, uint64](func(yield func(uint64, uint64) bool) {
 		cur.Range(yield)
 	}))
+	e.publish(s, &view{cur: cur, next: nt, dead: newDeadSet(frozenLive), degraded: v.degraded})
 	e.migStarted.Add(1)
 	return nil
 }
 
-// finishMigration promotes the successor and drops the frozen table.
+// finishMigration publishes the epoch that promotes the successor and
+// drops the frozen table.
 func (e *Engine) finishMigration(s *shardState) {
 	s.stop()
-	s.cur = s.next
-	s.next, s.dead, s.pull, s.stop = nil, nil, nil, nil
+	v := s.view.Load()
+	e.publish(s, &view{cur: v.next, degraded: v.degraded})
+	s.pull, s.stop = nil, nil
 	e.migDone.Add(1)
 }
 
@@ -458,7 +490,7 @@ func (e *Engine) finishMigration(s *shardState) {
 // carry loop runs before any new entry is pulled — so a failed rebuild
 // can never lose an already-pulled entry.
 func (e *Engine) advance(s *shardState, n int) {
-	if s.next == nil {
+	if !s.view.Load().migrating() {
 		return
 	}
 	// Chunk accounting only runs while a resize is in flight, so the
@@ -475,20 +507,23 @@ func (e *Engine) advance(s *shardState, n int) {
 }
 
 // advanceChunk is advance's working body: the carry retry loop followed
-// by up to n cursor pulls.
+// by up to n cursor pulls. The view it loads stays current throughout:
+// the only republications it can trigger (finishMigration, tryRebuild)
+// are immediately followed by a return.
 func (e *Engine) advanceChunk(s *shardState, n int) {
 	fault.MaybeStall()
+	v := s.view.Load()
 	for len(s.carry) > 0 {
 		c := s.carry[0]
-		if _, dead := s.dead[c.k]; dead {
+		if v.dead.has(c.k) {
 			s.carry = s.carry[1:]
 			continue
 		}
-		_, loaded, err := s.next.GetOrPut(c.k, c.v)
+		_, loaded, err := v.next.GetOrPut(c.k, c.v)
 		if err != nil {
 			// Still refused: only a rebuild can place it. Honor the
 			// degraded backoff when a previous rebuild allocation failed.
-			if s.degraded && !e.retryDue(s) {
+			if v.degraded && !e.retryDue(s) {
 				return
 			}
 			e.tryRebuild(s)
@@ -500,12 +535,12 @@ func (e *Engine) advanceChunk(s *shardState, n int) {
 		s.carry = s.carry[1:]
 	}
 	for i := 0; i < n; i++ {
-		k, v, ok := s.pull()
+		k, val, ok := s.pull()
 		if !ok {
 			e.finishMigration(s)
 			return
 		}
-		if _, dead := s.dead[k]; dead {
+		if v.dead.has(k) {
 			continue
 		}
 		var (
@@ -515,7 +550,7 @@ func (e *Engine) advanceChunk(s *shardState, n int) {
 		if fault.Should(fault.Full) {
 			err = fmt.Errorf("migration step for key %#x: %w", k, fault.ErrInjected)
 		} else {
-			_, loaded, err = s.next.GetOrPut(k, v)
+			_, loaded, err = v.next.GetOrPut(k, val)
 		}
 		if err != nil {
 			// The successor refused the key (a Cuckoo kick chain can fail
@@ -524,7 +559,7 @@ func (e *Engine) advanceChunk(s *shardState, n int) {
 			// next mutation and escalates to a rebuild only if the key is
 			// refused AGAIN, so a transient injected refusal costs one
 			// deferred entry rather than a capacity-doubling rebuild.
-			s.carry = append(s.carry, kv{k, v})
+			s.carry = append(s.carry, kv{k, val})
 			return
 		}
 		if !loaded {
@@ -537,10 +572,11 @@ func (e *Engine) advanceChunk(s *shardState, n int) {
 // growth is pre-emptive, so an allocator failure here is absorbed — the
 // hosting mutation already succeeded — and the shard degrades instead.
 func (e *Engine) maybeGrow(s *shardState) {
-	if e.growAt <= 0 || s.next != nil || s.degraded {
+	v := s.view.Load()
+	if e.growAt <= 0 || v.migrating() || v.degraded {
 		return
 	}
-	if float64(s.cur.Len()) < e.growAt*float64(s.cur.Capacity()) {
+	if float64(v.cur.Len()) < e.growAt*float64(v.cur.Capacity()) {
 		return
 	}
 	if err := e.beginMigration(s); err != nil {
@@ -549,17 +585,21 @@ func (e *Engine) maybeGrow(s *shardState) {
 }
 
 // enterDegraded records an allocator failure: the shard keeps serving
-// from its current state and the next retry is scheduled with seeded
+// from its current state (the degraded flag is republished so lock-free
+// observers see it) and the next retry is scheduled with seeded
 // exponential backoff plus per-shard jitter (so shards that failed
 // together do not hammer a struggling allocator in lockstep).
 func (e *Engine) enterDegraded(s *shardState) {
 	e.allocFails.Add(1)
-	if !s.degraded {
-		s.degraded = true
+	v := s.view.Load()
+	if !v.degraded {
 		s.backoff = 1
 		if m := e.metrics.Load(); m != nil {
 			m.DegradedEnter.Inc(s.idx)
 		}
+		nv := *v
+		nv.degraded = true
+		e.publish(s, &nv)
 	} else if s.backoff < maxBackoff {
 		s.backoff *= 2
 	}
@@ -572,12 +612,16 @@ func (e *Engine) enterDegraded(s *shardState) {
 // or a rebuild landed). Calling it on a healthy shard (tryRebuild on a
 // non-degraded shard) is a no-op beyond re-zeroing zero fields.
 func (e *Engine) heal(s *shardState) {
-	if s.degraded {
+	v := s.view.Load()
+	if v.degraded {
 		if m := e.metrics.Load(); m != nil {
 			m.Healed.Inc(s.idx)
 		}
+		nv := *v
+		nv.degraded = false
+		e.publish(s, &nv)
 	}
-	s.degraded, s.backoff, s.retryIn = false, 0, 0
+	s.backoff, s.retryIn = 0, 0
 }
 
 // retryDue ticks a degraded shard's backoff window (one tick per
@@ -596,10 +640,11 @@ func (e *Engine) retryDue(s *shardState) bool {
 // shard simply heals; otherwise, once the backoff window has elapsed,
 // it retries the successor allocation and heals on success.
 func (e *Engine) degradedTick(s *shardState) {
-	if !s.degraded || s.migrating() {
+	v := s.view.Load()
+	if !v.degraded || v.migrating() {
 		return
 	}
-	if float64(s.cur.Len()) < e.growAt*float64(s.cur.Capacity()) {
+	if float64(v.cur.Len()) < e.growAt*float64(v.cur.Capacity()) {
 		e.heal(s)
 		return
 	}
@@ -619,7 +664,7 @@ func (e *Engine) degradedTick(s *shardState) {
 // refusal into a typed *DegradedError; on success the caller proceeds
 // onto the freshly installed successor.
 func (e *Engine) growForRefusal(s *shardState, refusal error) error {
-	if s.degraded {
+	if s.view.Load().degraded {
 		return &DegradedError{Shard: s.idx, Err: refusal}
 	}
 	if err := e.beginMigration(s); err != nil {
@@ -640,26 +685,33 @@ func (e *Engine) growForRefusal(s *shardState, refusal error) error {
 // out the full backoff window several times; the shard keeps serving and
 // a later Drain (or organic mutation load) will retry.
 //
-// Drain takes each shard's write lock in turn, so it may briefly block
-// concurrent mutations shard by shard, but never the whole engine.
+// Drain takes each shard's writer lock in turn, so it may briefly block
+// concurrent mutations shard by shard, but never the whole engine (and
+// never its wait-free readers).
 func (e *Engine) Drain() bool {
 	idle := true
 	for i := range e.shards {
 		s := &e.shards[i]
-		s.mu.Lock()
+		s.lockShard()
 		// Budget: the deepest backoff window (maxBackoff plus equal
 		// jitter) a few times over, plus several full migrations' worth
 		// of advances — enough for heal → grow → finish, never enough to
 		// spin forever on a permanently failing allocator.
-		budget := 16*maxBackoff + 8*(s.cur.Capacity()/e.chunk+2)
-		for iter := 0; iter < budget && (s.migrating() || s.degraded); iter++ {
+		v := s.view.Load()
+		budget := 16*maxBackoff + 8*(v.cur.Capacity()/e.chunk+2)
+		for it := 0; it < budget; it++ {
+			v = s.view.Load()
+			if !v.migrating() && !v.degraded {
+				break
+			}
 			e.advance(s, e.chunk)
 			e.degradedTick(s)
 		}
-		if s.migrating() || s.degraded {
+		v = s.view.Load()
+		if v.migrating() || v.degraded {
 			idle = false
 		}
-		s.mu.Unlock()
+		s.unlockShard()
 	}
 	return idle
 }
@@ -669,7 +721,8 @@ func (e *Engine) Drain() bool {
 // than surfaced: it starts the migration or degrades the shard, and the
 // scalar fallback loop reports per-key outcomes.
 func (e *Engine) growForBatchRefusal(s *shardState) {
-	if s.degraded || s.migrating() {
+	v := s.view.Load()
+	if v.degraded || v.migrating() {
 		return
 	}
 	if err := e.beginMigration(s); err != nil {
@@ -697,9 +750,10 @@ func (e *Engine) tryRebuild(s *shardState) bool {
 // full, which the threshold prevents) and requires a failed kick chain
 // for Cuckoo.
 func (e *Engine) rebuild(s *shardState) error {
-	capacity := s.cur.Capacity() * 2
-	if s.next != nil {
-		capacity = s.next.Capacity() * 2
+	v := s.view.Load()
+	capacity := v.cur.Capacity() * 2
+	if v.next != nil {
+		capacity = v.next.Capacity() * 2
 	}
 	for {
 		nt, err := e.allocTable(capacity, s.seed)
@@ -707,22 +761,22 @@ func (e *Engine) rebuild(s *shardState) error {
 			return err
 		}
 		ok := true
-		if s.next != nil {
-			s.next.Range(func(k, v uint64) bool {
-				if _, err = nt.TryPut(k, v); err != nil {
+		if v.next != nil {
+			v.next.Range(func(k, val uint64) bool {
+				if _, err = nt.TryPut(k, val); err != nil {
 					ok = false
 				}
 				return ok
 			})
 		}
 		if ok {
-			s.cur.Range(func(k, v uint64) bool {
-				if _, isDead := s.dead[k]; isDead {
+			v.cur.Range(func(k, val uint64) bool {
+				if v.dead.has(k) {
 					return true
 				}
 				// Keep-first: keys already copied from the successor hold
 				// the fresh value; the frozen table's copy is stale.
-				if _, _, err = nt.GetOrPut(k, v); err != nil {
+				if _, _, err = nt.GetOrPut(k, val); err != nil {
 					ok = false
 				}
 				return ok
@@ -735,8 +789,8 @@ func (e *Engine) rebuild(s *shardState) error {
 		if s.stop != nil {
 			s.stop()
 		}
-		s.cur = nt
-		s.next, s.dead, s.pull, s.stop = nil, nil, nil, nil
+		e.publish(s, &view{cur: nt, degraded: v.degraded})
+		s.pull, s.stop = nil, nil
 		s.carry = nil // every entry (carried or not) is in the rebuilt table
 		e.rebuilds.Add(1)
 		return nil
@@ -744,7 +798,7 @@ func (e *Engine) rebuild(s *shardState) error {
 }
 
 // ---------------------------------------------------------------------------
-// Mutations (shard write lock)
+// Mutations (writer lock + seqlock window)
 // ---------------------------------------------------------------------------
 
 // Put inserts or updates key -> val, reporting whether the key was newly
@@ -753,9 +807,9 @@ func (e *Engine) rebuild(s *shardState) error {
 func (e *Engine) Put(key, val uint64) (bool, error) {
 	s := e.shardFor(key)
 	m, start := e.opStart(key)
-	s.mu.Lock()
+	s.lockShard()
 	ins, err := e.putLocked(s, key, val)
-	s.mu.Unlock()
+	s.unlockShard()
 	if m != nil {
 		m.Put.Record(s.idx, obs.Now()-start)
 	}
@@ -765,7 +819,8 @@ func (e *Engine) Put(key, val uint64) (bool, error) {
 func (e *Engine) putLocked(s *shardState, key, val uint64) (bool, error) {
 	e.advance(s, e.chunk)
 	e.degradedTick(s)
-	if !s.migrating() {
+	v := s.view.Load()
+	if !v.migrating() {
 		var (
 			ins bool
 			err error
@@ -773,11 +828,11 @@ func (e *Engine) putLocked(s *shardState, key, val uint64) (bool, error) {
 		if fault.Should(fault.Full) {
 			err = fmt.Errorf("put %#x: %w", key, fault.ErrInjected)
 		} else {
-			ins, err = s.cur.TryPut(key, val)
+			ins, err = v.cur.TryPut(key, val)
 		}
 		if err == nil {
 			if ins {
-				s.live++
+				s.live.Add(1)
 				e.maybeGrow(s)
 			}
 			return ins, nil
@@ -790,14 +845,15 @@ func (e *Engine) putLocked(s *shardState, key, val uint64) (bool, error) {
 		if derr := e.growForRefusal(s, err); derr != nil {
 			return false, derr
 		}
+		v = s.view.Load() // the epoch with the successor installed
 	}
 	// Migrating: the frozen table is read-only, so the write lands in the
 	// successor; one probe sequence there decides update-vs-insert, with
 	// the frozen table consulted only on a successor miss.
 	inserted := false
-	_, err := s.next.Upsert(key, func(_ uint64, exists bool) uint64 {
+	_, err := v.next.Upsert(key, func(_ uint64, exists bool) uint64 {
 		if !exists {
-			if _, ok := s.curLive(key); !ok {
+			if _, ok := v.curLive(key); !ok {
 				inserted = true
 			}
 		}
@@ -807,14 +863,14 @@ func (e *Engine) putLocked(s *shardState, key, val uint64) (bool, error) {
 		if !e.tryRebuild(s) {
 			return false, &DegradedError{Shard: s.idx, Err: err}
 		}
-		ins, err := s.cur.TryPut(key, val)
+		ins, err := s.view.Load().cur.TryPut(key, val)
 		if ins {
-			s.live++
+			s.live.Add(1)
 		}
 		return ins, err
 	}
 	if inserted {
-		s.live++
+		s.live.Add(1)
 	}
 	return inserted, nil
 }
@@ -823,14 +879,14 @@ func (e *Engine) putLocked(s *shardState, key, val uint64) (bool, error) {
 func (e *Engine) Delete(key uint64) bool {
 	s := e.shardFor(key)
 	m, start := e.opStart(key)
-	s.mu.Lock()
+	s.lockShard()
 	// Deletes advance the migration and tick the degraded backoff too:
 	// every mutation makes progress, and a delete that frees space can
 	// heal a degraded shard outright (the pressure-receded path).
 	e.advance(s, e.chunk)
 	e.degradedTick(s)
 	deleted := s.deleteLocked(key)
-	s.mu.Unlock()
+	s.unlockShard()
 	if m != nil {
 		m.Delete.Record(s.idx, obs.Now()-start)
 	}
@@ -838,24 +894,25 @@ func (e *Engine) Delete(key uint64) bool {
 }
 
 func (s *shardState) deleteLocked(key uint64) bool {
-	if !s.migrating() {
-		if s.cur.Delete(key) {
-			s.live--
+	v := s.view.Load()
+	if !v.migrating() {
+		if v.cur.Delete(key) {
+			s.live.Add(-1)
 			return true
 		}
 		return false
 	}
-	deleted := s.next.Delete(key)
+	deleted := v.next.Delete(key)
 	// The frozen table may hold the key too (its only copy, or a stale
 	// shadow of the successor's); either way its entry is now dead.
-	if _, dead := s.dead[key]; !dead {
-		if _, ok := s.cur.Get(key); ok {
-			s.dead[key] = struct{}{}
+	if !v.dead.has(key) {
+		if _, ok := v.cur.Get(key); ok {
+			v.dead.add(key)
 			deleted = true
 		}
 	}
 	if deleted {
-		s.live--
+		s.live.Add(-1)
 	}
 	return deleted
 }
@@ -867,9 +924,9 @@ func (s *shardState) deleteLocked(key uint64) bool {
 func (e *Engine) GetOrPut(key, val uint64) (actual uint64, loaded bool, err error) {
 	s := e.shardFor(key)
 	m, start := e.opStart(key)
-	s.mu.Lock()
+	s.lockShard()
 	actual, loaded, err = e.getOrPutLocked(s, key, val)
-	s.mu.Unlock()
+	s.unlockShard()
 	if m != nil {
 		m.GetOrPut.Record(s.idx, obs.Now()-start)
 	}
@@ -879,7 +936,8 @@ func (e *Engine) GetOrPut(key, val uint64) (actual uint64, loaded bool, err erro
 func (e *Engine) getOrPutLocked(s *shardState, key, val uint64) (uint64, bool, error) {
 	e.advance(s, e.chunk)
 	e.degradedTick(s)
-	if !s.migrating() {
+	v := s.view.Load()
+	if !v.migrating() {
 		var (
 			actual uint64
 			loaded bool
@@ -888,11 +946,11 @@ func (e *Engine) getOrPutLocked(s *shardState, key, val uint64) (uint64, bool, e
 		if fault.Should(fault.Full) {
 			err = fmt.Errorf("getorput %#x: %w", key, fault.ErrInjected)
 		} else {
-			actual, loaded, err = s.cur.GetOrPut(key, val)
+			actual, loaded, err = v.cur.GetOrPut(key, val)
 		}
 		if err == nil {
 			if !loaded {
-				s.live++
+				s.live.Add(1)
 				e.maybeGrow(s)
 			}
 			return actual, loaded, nil
@@ -903,14 +961,15 @@ func (e *Engine) getOrPutLocked(s *shardState, key, val uint64) (uint64, bool, e
 		if derr := e.growForRefusal(s, err); derr != nil {
 			return 0, false, derr
 		}
+		v = s.view.Load()
 	}
 	actual, loaded := uint64(0), false
-	_, err := s.next.Upsert(key, func(old uint64, exists bool) uint64 {
+	_, err := v.next.Upsert(key, func(old uint64, exists bool) uint64 {
 		if exists {
 			actual, loaded = old, true
 			return old
 		}
-		if cv, ok := s.curLive(key); ok {
+		if cv, ok := v.curLive(key); ok {
 			// Eager migration: the key's value moves to the successor so
 			// the one probe sequence that found its slot also claims it.
 			actual, loaded = cv, true
@@ -923,28 +982,28 @@ func (e *Engine) getOrPutLocked(s *shardState, key, val uint64) (uint64, bool, e
 		if !e.tryRebuild(s) {
 			return 0, false, &DegradedError{Shard: s.idx, Err: err}
 		}
-		actual, loaded, err = s.cur.GetOrPut(key, val)
+		actual, loaded, err = s.view.Load().cur.GetOrPut(key, val)
 		if err == nil && !loaded {
-			s.live++
+			s.live.Add(1)
 		}
 		return actual, loaded, err
 	}
 	if !loaded {
-		s.live++
+		s.live.Add(1)
 	}
 	return actual, loaded, nil
 }
 
 // Upsert applies fn to the value stored under key (exists true) or to
 // (0, false) when absent, stores the result, and returns it. fn runs under
-// the shard's write lock and must not call back into the engine. fn is
+// the shard's writer lock and must not call back into the engine. fn is
 // invoked exactly once per call.
 func (e *Engine) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
 	s := e.shardFor(key)
 	m, start := e.opStart(key)
-	s.mu.Lock()
+	s.lockShard()
 	nv, err := e.upsertLocked(s, key, fn)
-	s.mu.Unlock()
+	s.unlockShard()
 	if m != nil {
 		m.Upsert.Record(s.idx, obs.Now()-start)
 	}
@@ -965,7 +1024,8 @@ func (e *Engine) upsertLocked(s *shardState, key uint64, fn func(old uint64, exi
 		}
 		return fn(old, exists)
 	}
-	if !s.migrating() {
+	v := s.view.Load()
+	if !v.migrating() {
 		var (
 			nv  uint64
 			err error
@@ -973,11 +1033,11 @@ func (e *Engine) upsertLocked(s *shardState, key uint64, fn func(old uint64, exi
 		if fault.Should(fault.Full) {
 			err = fmt.Errorf("upsert %#x: %w", key, fault.ErrInjected)
 		} else {
-			nv, err = s.cur.Upsert(key, wrap)
+			nv, err = v.cur.Upsert(key, wrap)
 		}
 		if err == nil {
 			if inserted {
-				s.live++
+				s.live.Add(1)
 				e.maybeGrow(s)
 			}
 			return nv, nil
@@ -992,13 +1052,14 @@ func (e *Engine) upsertLocked(s *shardState, key uint64, fn func(old uint64, exi
 		// path, which consults the frozen table — so fn still observes
 		// the key's current value (a refusal does not imply absence once
 		// injected refusals exist).
+		v = s.view.Load()
 	}
 	inserted = false
-	nv, err := s.next.Upsert(key, func(old uint64, exists bool) uint64 {
+	nv, err := v.next.Upsert(key, func(old uint64, exists bool) uint64 {
 		if exists {
 			return wrap(old, true)
 		}
-		if cv, ok := s.curLive(key); ok {
+		if cv, ok := v.curLive(key); ok {
 			return wrap(cv, true) // eager migration of the frozen value
 		}
 		inserted = true
@@ -1013,17 +1074,17 @@ func (e *Engine) upsertLocked(s *shardState, key uint64, fn func(old uint64, exi
 		// with correct exists semantics — a key that was still living in
 		// the frozen table is seen, not re-created from (0, false).
 		inserted = false
-		nv, err := s.cur.Upsert(key, wrap)
+		nv, err := s.view.Load().cur.Upsert(key, wrap)
 		if err != nil {
 			return 0, err
 		}
 		if inserted {
-			s.live++
+			s.live.Add(1)
 		}
 		return nv, nil
 	}
 	if inserted {
-		s.live++
+		s.live.Add(1)
 	}
 	return nv, nil
 }

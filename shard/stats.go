@@ -2,9 +2,12 @@ package shard
 
 import "iter"
 
-// Stats is an engine-level point-in-time snapshot: merged size accounting
-// plus the incremental-resize counters. Per-scheme probe diagnostics stay
-// with the tables; visit them with ForEachTable.
+// Stats is an engine-level snapshot: merged size accounting plus the
+// incremental-resize, degradation and wait-free-read counters. Each
+// shard's contribution is a validated per-shard observation (the
+// readSnapshot protocol — see view.go); there is no cross-shard
+// point-in-time consistency. Per-scheme probe diagnostics stay with the
+// tables; visit them with ForEachTable.
 type Stats struct {
 	Shards int `json:"shards"`
 	// Migrating counts shards with a resize currently in flight.
@@ -40,10 +43,25 @@ type Stats struct {
 	// degraded state; AllocRetries counts the backoff-scheduled retries.
 	AllocFailures uint64 `json:"alloc_failures,omitempty"`
 	AllocRetries  uint64 `json:"alloc_retries,omitempty"`
+
+	// ReadRetries counts optimistic read attempts discarded because a
+	// writer's seqlock window overlapped the probe; ReadFallbacks counts
+	// reads that exhausted their retry budget and parked on the writer
+	// lock. Both zero under read-only load — the wait-free read path's
+	// health ledger.
+	ReadRetries   uint64 `json:"read_retries,omitempty"`
+	ReadFallbacks uint64 `json:"read_fallbacks,omitempty"`
+	// ViewPublishes counts shard view publications (epoch transitions):
+	// the Shards birth epochs plus one per resize begin/finish, rebuild,
+	// and degraded-state flip. Reads and in-place mutations never
+	// republish.
+	ViewPublishes uint64 `json:"view_publishes,omitempty"`
 }
 
-// Stats collects the engine snapshot, locking one shard at a time (no
-// cross-shard point-in-time consistency; see the package documentation).
+// Stats collects the engine snapshot without blocking writers: engine
+// counters are atomic loads, per-shard state is read through the same
+// validated wait-free protocol as Get (one shard at a time; no
+// cross-shard snapshot — see the package documentation).
 func (e *Engine) Stats() Stats {
 	st := Stats{
 		Shards:            len(e.shards),
@@ -55,23 +73,42 @@ func (e *Engine) Stats() Stats {
 		Rebuilds:          e.rebuilds.Load(),
 		AllocFailures:     e.allocFails.Load(),
 		AllocRetries:      e.allocRetries.Load(),
+		ReadRetries:       e.readRetries.Load(),
+		ReadFallbacks:     e.readFallbacks.Load(),
+		ViewPublishes:     e.viewPublishes.Load(),
 	}
 	for i := range e.shards {
 		s := &e.shards[i]
-		s.mu.RLock()
-		st.Len += s.live
-		if s.degraded {
+		st.Len += int(s.live.Load())
+		// Shard-local snapshot scratch: readSnapshot may invoke the
+		// closure several times (each torn window re-probes), so it only
+		// assigns — the accumulation into st happens once, after the
+		// validated invocation wins.
+		var (
+			degraded  bool
+			migrating bool
+			capacity  int
+			memory    uint64
+		)
+		e.readSnapshot(s, func(v *view) {
+			degraded = v.degraded
+			migrating = v.migrating()
+			memory = v.cur.MemoryFootprint()
+			if v.next != nil {
+				capacity = v.next.Capacity()
+				memory += v.next.MemoryFootprint()
+			} else {
+				capacity = v.cur.Capacity()
+			}
+		})
+		if degraded {
 			st.Degraded++
 		}
-		st.MemoryBytes += s.cur.MemoryFootprint()
-		if s.next != nil {
+		if migrating {
 			st.Migrating++
-			st.Capacity += s.next.Capacity()
-			st.MemoryBytes += s.next.MemoryFootprint()
-		} else {
-			st.Capacity += s.cur.Capacity()
 		}
-		s.mu.RUnlock()
+		st.Capacity += capacity
+		st.MemoryBytes += memory
 	}
 	if st.Capacity > 0 {
 		st.LoadFactor = float64(st.Len) / float64(st.Capacity)
@@ -79,69 +116,77 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// ForEachTable visits every shard's table(s) under that shard's read
+// ForEachTable visits every shard's table(s) under that shard's writer
 // lock: the active table, and during a migration the frozen table too
 // (whose entries may be stale shadows of the successor's). fn must not
 // mutate the table or call back into the engine. Intended for
 // observability aggregation, e.g. table.StatsOf merges.
+//
+// The writer lock — not the wait-free protocol — because fn is a caller
+// callback that cannot be re-invoked on a torn window; mutating nothing,
+// it needs no seqlock window, so concurrent optimistic readers proceed
+// untouched.
 func (e *Engine) ForEachTable(fn func(shard int, t Table)) {
 	for i := range e.shards {
 		s := &e.shards[i]
-		s.mu.RLock()
-		if s.next != nil {
-			fn(i, s.next)
+		s.mu.Lock()
+		v := s.view.Load()
+		if v.next != nil {
+			fn(i, v.next)
 		}
-		fn(i, s.cur)
-		s.mu.RUnlock()
+		fn(i, v.cur)
+		s.mu.Unlock()
 	}
 }
 
 // Range calls fn for every entry until fn returns false.
 //
-// Iteration is WEAKLY CONSISTENT: one shard is read-locked at a time, so
-// concurrent writers proceed on other shards mid-iteration. Within one
-// shard the view is consistent and each key is yielded at most once
-// (during a migration the successor is walked first and frozen-table
-// entries shadowed by it, or marked dead, are skipped); across shards
-// there is no snapshot — an entry written concurrently may or may not be
-// observed, and Len may disagree with the visit count. fn must not call
-// back into the engine (the shard lock is held; a same-shard write would
-// deadlock).
+// Iteration is WEAKLY CONSISTENT: one shard is locked at a time, so
+// concurrent writers proceed on other shards mid-iteration (readers
+// proceed everywhere — iteration holds the writer lock without opening a
+// seqlock window, since it mutates nothing). Within one shard the view
+// is consistent and each key is yielded at most once (during a migration
+// the successor is walked first and frozen-table entries shadowed by it,
+// or marked dead, are skipped); across shards there is no snapshot — an
+// entry written concurrently may or may not be observed, and Len may
+// disagree with the visit count. fn must not call back into the engine
+// (the shard lock is held; a same-shard write would deadlock).
 func (e *Engine) Range(fn func(key, val uint64) bool) {
 	for i := range e.shards {
 		s := &e.shards[i]
-		s.mu.RLock()
+		s.mu.Lock()
+		v := s.view.Load()
 		stopped := false
-		if s.next == nil {
-			s.cur.Range(func(k, v uint64) bool {
-				if !fn(k, v) {
+		if v.next == nil {
+			v.cur.Range(func(k, val uint64) bool {
+				if !fn(k, val) {
 					stopped = true
 				}
 				return !stopped
 			})
 		} else {
-			s.next.Range(func(k, v uint64) bool {
-				if !fn(k, v) {
+			v.next.Range(func(k, val uint64) bool {
+				if !fn(k, val) {
 					stopped = true
 				}
 				return !stopped
 			})
 			if !stopped {
-				s.cur.Range(func(k, v uint64) bool {
-					if _, dead := s.dead[k]; dead {
+				v.cur.Range(func(k, val uint64) bool {
+					if v.dead.has(k) {
 						return true
 					}
-					if _, shadowed := s.next.Get(k); shadowed {
+					if _, shadowed := v.next.Get(k); shadowed {
 						return true
 					}
-					if !fn(k, v) {
+					if !fn(k, val) {
 						stopped = true
 					}
 					return !stopped
 				})
 			}
 		}
-		s.mu.RUnlock()
+		s.mu.Unlock()
 		if stopped {
 			return
 		}

@@ -1,0 +1,251 @@
+package shard
+
+// Internal tests of the epoch/view machinery: the deadSet overlay, the
+// publication chokepoint's invariants, and the birth-epoch accounting.
+// (The seqlock read protocol's behavioral tests are build-tagged in
+// seqlock_norace_test.go; the concurrent hammers live in the external
+// differential suite.)
+
+import (
+	"errors"
+	"testing"
+)
+
+// testTable is a map-backed Table for the in-package tests (the real
+// table package imports shard, so it cannot be used here). It refuses
+// inserts past its capacity like a growth-disabled scheme. Not safe for
+// the concurrent hammers — those live in the external suite on real
+// tables; these tests mutate single-threaded.
+type testTable struct {
+	m   map[uint64]uint64
+	cap int
+}
+
+var errTestFull = errors.New("testTable full")
+
+func newTestTable(capacity int, _ uint64) (Table, error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &testTable{m: make(map[uint64]uint64, capacity), cap: capacity}, nil
+}
+
+func (t *testTable) Get(key uint64) (uint64, bool) { v, ok := t.m[key]; return v, ok }
+func (t *testTable) Delete(key uint64) bool {
+	_, ok := t.m[key]
+	delete(t.m, key)
+	return ok
+}
+func (t *testTable) TryPut(key, val uint64) (bool, error) {
+	if _, ok := t.m[key]; ok {
+		t.m[key] = val
+		return false, nil
+	}
+	if len(t.m) >= t.cap {
+		return false, errTestFull
+	}
+	t.m[key] = val
+	return true, nil
+}
+func (t *testTable) GetOrPut(key, val uint64) (uint64, bool, error) {
+	if v, ok := t.m[key]; ok {
+		return v, true, nil
+	}
+	if len(t.m) >= t.cap {
+		return 0, false, errTestFull
+	}
+	t.m[key] = val
+	return val, false, nil
+}
+func (t *testTable) Upsert(key uint64, fn func(old uint64, exists bool) uint64) (uint64, error) {
+	old, ok := t.m[key]
+	if !ok && len(t.m) >= t.cap {
+		return 0, errTestFull
+	}
+	nv := fn(old, ok)
+	t.m[key] = nv
+	return nv, nil
+}
+func (t *testTable) GetBatch(keys, vals []uint64, ok []bool) int {
+	hits := 0
+	for i, k := range keys {
+		vals[i], ok[i] = t.m[k], false
+		if _, present := t.m[k]; present {
+			ok[i] = true
+			hits++
+		}
+	}
+	return hits
+}
+func (t *testTable) TryPutBatch(keys, vals []uint64) (int, error) {
+	ins := 0
+	for i, k := range keys {
+		in, err := t.TryPut(k, vals[i])
+		if err != nil {
+			return ins, err
+		}
+		if in {
+			ins++
+		}
+	}
+	return ins, nil
+}
+func (t *testTable) GetOrPutBatch(keys, vals, out []uint64, loaded []bool) (int, error) {
+	ins := 0
+	for i, k := range keys {
+		v, ld, err := t.GetOrPut(k, vals[i])
+		if err != nil {
+			return ins, err
+		}
+		out[i], loaded[i] = v, ld
+		if !ld {
+			ins++
+		}
+	}
+	return ins, nil
+}
+func (t *testTable) UpsertBatch(keys []uint64, fn func(lane int, old uint64, exists bool) uint64) (int, error) {
+	ins := 0
+	for i, k := range keys {
+		before := len(t.m)
+		if _, err := t.Upsert(k, func(old uint64, exists bool) uint64 { return fn(i, old, exists) }); err != nil {
+			return ins, err
+		}
+		if len(t.m) > before {
+			ins++
+		}
+	}
+	return ins, nil
+}
+func (t *testTable) Len() int                { return len(t.m) }
+func (t *testTable) Capacity() int           { return t.cap }
+func (t *testTable) MemoryFootprint() uint64 { return uint64(t.cap) * 16 }
+func (t *testTable) Range(fn func(k, v uint64) bool) {
+	for k, v := range t.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+func (t *testTable) Name() string { return "testTable" }
+
+func testEngine(t *testing.T, shards, capacity int) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Shards:   shards,
+		Capacity: capacity,
+		GrowAt:   0.8,
+		Seed:     7,
+		NewTable: newTestTable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDeadSet(t *testing.T) {
+	d := newDeadSet(100)
+	if got := len(d.slots); got != 256 {
+		t.Fatalf("capacity 100 sized %d slots, want 256 (next pow2 >= 200)", got)
+	}
+	keys := []uint64{0, 1, 7, ^uint64(0), 0x9e3779b97f4a7c15, 42}
+	for _, k := range keys {
+		if d.has(k) {
+			t.Fatalf("empty set claims %d dead", k)
+		}
+	}
+	for _, k := range keys {
+		d.add(k)
+		d.add(k) // idempotent
+	}
+	for _, k := range keys {
+		if !d.has(k) {
+			t.Fatalf("added key %d not found", k)
+		}
+	}
+	if d.has(2) || d.has(43) {
+		t.Fatal("false positive on absent key")
+	}
+	// key 0 lives in the dedicated word, not a slot.
+	if d.n != len(keys)-1 {
+		t.Fatalf("slot count %d, want %d (key 0 excluded)", d.n, len(keys)-1)
+	}
+	var nild *deadSet
+	if nild.has(5) {
+		t.Fatal("nil deadSet claims a key dead")
+	}
+}
+
+func TestDeadSetCapacityFloor(t *testing.T) {
+	d := newDeadSet(0)
+	if got := len(d.slots); got != 8 {
+		t.Fatalf("zero-capacity set sized %d slots, want the 8-slot floor", got)
+	}
+	d.add(3)
+	if !d.has(3) {
+		t.Fatal("floor-sized set lost its key")
+	}
+}
+
+func TestPublishOutsideWindowPanics(t *testing.T) {
+	e := testEngine(t, 1, 64)
+	s := &e.shards[0]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("publish with an even sequence did not panic")
+		}
+	}()
+	e.publish(s, &view{cur: s.view.Load().cur})
+}
+
+func TestBirthEpoch(t *testing.T) {
+	e := testEngine(t, 4, 256)
+	for i := range e.shards {
+		v := e.shards[i].view.Load()
+		if v == nil {
+			t.Fatalf("shard %d has no published view", i)
+		}
+		if v.gen != 1 {
+			t.Fatalf("shard %d birth generation %d, want 1", i, v.gen)
+		}
+		if v.migrating() || v.degraded || v.dead != nil {
+			t.Fatalf("shard %d birth view not quiescent: %+v", i, v)
+		}
+		if seq := e.shards[i].seq.Load(); seq&1 != 0 {
+			t.Fatalf("shard %d sequence left odd (%d) after construction", i, seq)
+		}
+	}
+	if got := e.viewPublishes.Load(); got != 4 {
+		t.Fatalf("viewPublishes after construction = %d, want one birth epoch per shard (4)", got)
+	}
+	if st := e.Stats(); st.ViewPublishes != 4 {
+		t.Fatalf("Stats().ViewPublishes = %d, want 4", st.ViewPublishes)
+	}
+}
+
+func TestViewGenerationAdvancesAcrossMigration(t *testing.T) {
+	e := testEngine(t, 1, 64)
+	s := &e.shards[0]
+	born := s.view.Load().gen
+	// Fill past the threshold to start a migration, then drain it.
+	for i := uint64(1); i <= 60; i++ {
+		if _, err := e.Put(i*0x9e3779b97f4a7c15, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Drain() {
+		t.Fatal("Drain did not reach idle")
+	}
+	st := e.Stats()
+	if st.MigrationsDone == 0 {
+		t.Fatal("fill never migrated")
+	}
+	// Each migration publishes twice (freeze, promote).
+	if got := s.view.Load().gen; got < born+2 {
+		t.Fatalf("generation %d after a full migration, want >= %d", got, born+2)
+	}
+	if st.ViewPublishes < uint64(1+2*st.MigrationsDone) {
+		t.Fatalf("ViewPublishes %d < birth + 2 per migration (%d migrations)", st.ViewPublishes, st.MigrationsDone)
+	}
+}

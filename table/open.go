@@ -116,7 +116,8 @@ func WithSeed(seed uint64) Option {
 // (rounded up to a power of two) — the paper's "striped locking" extension
 // for shared-memory concurrency (§1), served by a shard.Engine. Keys are
 // routed by a dedicated router hash drawn independently of the per-shard
-// table functions; reads take per-shard read locks, and growth (when a
+// table functions; reads are wait-free (epoch-published shard views
+// validated by a per-shard seqlock), and growth (when a
 // positive max load factor is configured) is the engine's incremental
 // resize instead of a stop-the-world rehash. n <= 1 keeps the handle
 // single-table and lock-free.
@@ -297,8 +298,9 @@ func (h *Handle) Put(key, val uint64) (bool, error) {
 }
 
 // Get returns the value stored under key and whether it is present. On a
-// partitioned handle this takes only the owning shard's read lock, so
-// lookups proceed concurrently with each other.
+// partitioned handle this takes no lock at all (the engine's wait-free
+// read path), so lookups proceed concurrently with each other and with
+// writers.
 func (h *Handle) Get(key uint64) (uint64, bool) {
 	if h.eng != nil {
 		return h.eng.Get(key)
