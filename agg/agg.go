@@ -14,6 +14,7 @@ package agg
 
 import (
 	"fmt"
+	"iter"
 	"math"
 
 	"repro/exec"
@@ -254,8 +255,24 @@ func (g *GroupBy) AddParallel(cfg exec.Config, groups, values []uint64) error {
 	return nil
 }
 
-// Groups returns the number of distinct groups seen.
-func (g *GroupBy) Groups() int { return len(g.states) }
+// NumGroups returns the number of distinct groups seen.
+func (g *GroupBy) NumGroups() int { return len(g.states) }
+
+// Groups returns a Go 1.23 iterator over (group key, state) pairs in
+// first-seen order — the streaming drain: a consumer (pipe.GroupBy's
+// downstream operators, a Merge loop, a renderer) pulls one group at a
+// time without a materialized result slice. The *State points into the
+// operator's live state array; it is valid until the next mutation of g,
+// and the iteration itself must not mutate g (no Add/Merge mid-drain).
+func (g *GroupBy) Groups() iter.Seq2[uint64, *State] {
+	return func(yield func(uint64, *State) bool) {
+		for i := range g.states {
+			if !yield(g.states[i].Key, &g.states[i]) {
+				return
+			}
+		}
+	}
+}
 
 // Get returns the state of one group.
 func (g *GroupBy) Get(group uint64) (*State, bool) {

@@ -14,8 +14,8 @@ func TestGroupByBasics(t *testing.T) {
 	g.Add(1, 10)
 	g.Add(1, 20)
 	g.Add(2, 5)
-	if g.Groups() != 2 {
-		t.Fatalf("Groups = %d", g.Groups())
+	if g.NumGroups() != 2 {
+		t.Fatalf("Groups = %d", g.NumGroups())
 	}
 	s, ok := g.Get(1)
 	if !ok || s.Count != 2 || s.Sum != 30 || s.Min != 10 || s.Max != 20 {
@@ -88,8 +88,8 @@ func TestGroupByMatchesOracle(t *testing.T) {
 				}
 			}
 		}
-		if g.Groups() != len(oracle) {
-			t.Fatalf("%s: %d groups, oracle %d", scheme, g.Groups(), len(oracle))
+		if g.NumGroups() != len(oracle) {
+			t.Fatalf("%s: %d groups, oracle %d", scheme, g.NumGroups(), len(oracle))
 		}
 		g.Range(func(s *State) bool {
 			want := oracle[s.Key]
@@ -139,8 +139,8 @@ func TestMergeEqualsSingle(t *testing.T) {
 	for _, p := range parts[1:] {
 		merged.Merge(p)
 	}
-	if merged.Groups() != single.Groups() {
-		t.Fatalf("merged %d groups, single %d", merged.Groups(), single.Groups())
+	if merged.NumGroups() != single.NumGroups() {
+		t.Fatalf("merged %d groups, single %d", merged.NumGroups(), single.NumGroups())
 	}
 	single.Range(func(want *State) bool {
 		got, ok := merged.Get(want.Key)

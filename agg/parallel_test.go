@@ -46,8 +46,8 @@ func TestAddParallelMatchesSerialAllSchemes(t *testing.T) {
 				if err := par.AddParallel(exec.Config{Workers: workers, MorselSize: 1 << 10}, groups, values); err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
-				if par.Groups() != serial.Groups() {
-					t.Fatalf("workers=%d: %d groups, serial has %d", workers, par.Groups(), serial.Groups())
+				if par.NumGroups() != serial.NumGroups() {
+					t.Fatalf("workers=%d: %d groups, serial has %d", workers, par.NumGroups(), serial.NumGroups())
 				}
 				serial.Range(func(want *State) bool {
 					got, ok := par.Get(want.Key)
@@ -100,8 +100,8 @@ func TestAddParallelIntoNonEmpty(t *testing.T) {
 	if err := parallel.AddParallel(exec.Config{Workers: 4, MorselSize: 512}, groups, values); err != nil {
 		t.Fatal(err)
 	}
-	if parallel.Groups() != serial.Groups() {
-		t.Fatalf("%d groups, serial has %d", parallel.Groups(), serial.Groups())
+	if parallel.NumGroups() != serial.NumGroups() {
+		t.Fatalf("%d groups, serial has %d", parallel.NumGroups(), serial.NumGroups())
 	}
 	serial.Range(func(want *State) bool {
 		got, ok := parallel.Get(want.Key)

@@ -45,8 +45,8 @@ func TestAddParallelErrFullPropagation(t *testing.T) {
 	if err := g.AddParallel(exec.Config{Workers: 4}, groups, values); err != nil {
 		t.Fatalf("AddParallel after disarm: %v", err)
 	}
-	if g.Groups() != 97 {
-		t.Fatalf("Groups = %d, want 97", g.Groups())
+	if g.NumGroups() != 97 {
+		t.Fatalf("Groups = %d, want 97", g.NumGroups())
 	}
 }
 

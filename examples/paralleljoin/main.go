@@ -157,5 +157,5 @@ func main() {
 		panic(err)
 	}
 	fmt.Printf("parallel GROUP BY over %d rows: %d segments in %v (%d workers)\n",
-		numOrders, parAgg.Groups(), time.Since(start).Round(time.Millisecond), workers)
+		numOrders, parAgg.NumGroups(), time.Since(start).Round(time.Millisecond), workers)
 }

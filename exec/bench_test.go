@@ -179,8 +179,8 @@ func BenchmarkExecAgg(b *testing.B) {
 				if err := g.AddParallel(exec.Config{Workers: workers}, groups, values); err != nil {
 					b.Fatal(err)
 				}
-				if g.Groups() != distinct {
-					b.Fatalf("%d groups, want %d", g.Groups(), distinct)
+				if g.NumGroups() != distinct {
+					b.Fatalf("%d groups, want %d", g.NumGroups(), distinct)
 				}
 			}
 			reportExecNs(b, b.N*rows)

@@ -14,8 +14,11 @@ import (
 func TestNoGoroutine(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.NoGoroutine,
 		// obs is the telemetry package's padded-counter/registry idiom:
-		// atomics and mutexes only, outside the allowlist, silent.
-		"nogoroutine/bad", "nogoroutine/exec", "nogoroutine/obs")
+		// atomics and mutexes only, outside the allowlist, silent. pipe is
+		// the streaming-operator idiom: per-worker buffers safe by the
+		// delivery contract, all scheduling delegated — also silent.
+		"nogoroutine/bad", "nogoroutine/exec", "nogoroutine/obs",
+		"nogoroutine/pipe")
 }
 
 func TestErrTaxonomy(t *testing.T) {
@@ -37,7 +40,10 @@ func TestLockDiscipline(t *testing.T) {
 
 func TestCtxPropagate(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.CtxPropagate,
-		"ctxpropagate/bad", "ctxpropagate/good")
+		// pipe mirrors the streaming runtime's construction: the good
+		// newRuntime threads cfg.Ctx into the pool, the leaky variant
+		// diagnoses.
+		"ctxpropagate/bad", "ctxpropagate/good", "ctxpropagate/pipe")
 }
 
 func TestPkgBase(t *testing.T) {

@@ -1,0 +1,38 @@
+// Package pipe stands in for the real streaming pipeline's runtime
+// construction: pipe.Config carries the caller's Ctx, and every
+// exec.Config literal the runtime builds must thread it through —
+// cancellation mid-stream only works if the pool can see the context.
+package pipe
+
+import (
+	"context"
+
+	"ctxpropagate/exec"
+)
+
+// Config parameterizes one pipeline run, like the real pipe.Config.
+type Config struct {
+	Workers    int
+	MorselSize int
+	Ctx        context.Context
+}
+
+// runtime owns the pool a terminal drives.
+type runtime struct {
+	pool *exec.Pool
+}
+
+// newRuntime is the real package's construction: the caller's Ctx lands
+// in the pool's config, so cancellation reaches every morsel boundary.
+func newRuntime(cfg Config) *runtime {
+	return &runtime{pool: exec.NewPool(exec.Config{
+		Workers: cfg.Workers,
+		Ctx:     cfg.Ctx,
+	})}
+}
+
+// leakyRuntime drops the stream's context on the floor: the terminal
+// would run to completion no matter what the caller cancelled.
+func leakyRuntime(cfg Config) *runtime {
+	return &runtime{pool: exec.NewPool(exec.Config{Workers: cfg.Workers})} // want `exec\.Config built without Ctx while cfg carries one`
+}

@@ -1,0 +1,57 @@
+// Package pipe stands in for the real streaming-operator pipeline: lazy
+// stream composition, fused per-row stage chains, and per-worker batch
+// buffers whose safety comes from the batchSink delivery contract (one
+// worker, one buffer), not from locks. Its path base is NOT in the
+// exec/shard allowlist, so it must stay silent the honest way — all
+// scheduling is delegated to the pool; the package itself owns no
+// goroutines, channels, or WaitGroups.
+package pipe
+
+// stage is one fused filter/map step.
+type stage func(k, v uint64) (uint64, uint64, bool)
+
+// stream is a lazy plan: a source column plus the fused stage chain.
+type stream struct {
+	keys   []uint64
+	stages []stage
+}
+
+// filter appends a predicate stage without running anything.
+func (s *stream) filter(pred func(k, v uint64) bool) *stream {
+	return &stream{keys: s.keys, stages: append(s.stages[:len(s.stages):len(s.stages)],
+		func(k, v uint64) (uint64, uint64, bool) { return k, v, pred(k, v) })}
+}
+
+// batch is one worker's reusable output buffer: private to that worker
+// by the delivery contract, so no lock guards it.
+type batch struct {
+	keys, vals []uint64
+}
+
+// run drives the plan serially here; the real package hands this loop to
+// exec.Pool morsel-by-morsel and the shape is identical — no primitive
+// the analyzer polices appears in either.
+func (s *stream) run(workers int, sink func(worker int, keys []uint64) error) error {
+	bufs := make([]batch, workers)
+	for w := range bufs {
+		bufs[w].keys = make([]uint64, 0, len(s.keys))
+	}
+	b := &bufs[0]
+	for _, k := range s.keys {
+		k, _, keep := s.apply(k, 0)
+		if keep {
+			b.keys = append(b.keys, k)
+		}
+	}
+	return sink(0, b.keys)
+}
+
+func (s *stream) apply(k, v uint64) (uint64, uint64, bool) {
+	for _, st := range s.stages {
+		var keep bool
+		if k, v, keep = st(k, v); !keep {
+			return k, v, false
+		}
+	}
+	return k, v, true
+}

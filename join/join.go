@@ -106,9 +106,15 @@ func (c Config) withDefaults(buildRows, probeRows int) Config {
 	return c
 }
 
-// capacityFor returns a power-of-two capacity placing n keys at the target
-// load factor.
-func capacityFor(n int, lf float64) int {
+// CapacityFor returns the power-of-two capacity that places n keys at or
+// below the target load factor lf — the build-side pre-sizing rule every
+// hash-join build in the repo uses (join's one-shot operators and pipe's
+// streaming build consume it alike, so their tables are sized
+// identically). lf outside (0, 1) is treated as the join default 0.5.
+func CapacityFor(n int, lf float64) int {
+	if lf <= 0 || lf >= 1 {
+		lf = 0.5
+	}
 	c := 8
 	for float64(n) > lf*float64(c) {
 		c *= 2
@@ -180,7 +186,7 @@ func HashJoin(build, probe Relation, cfg Config, emit Emit) (int, error) {
 	cfg = cfg.withDefaults(len(build), len(probe))
 	h, err := table.Open(
 		table.WithScheme(cfg.Scheme),
-		table.WithCapacity(capacityFor(len(build), cfg.LoadFactor)),
+		table.WithCapacity(CapacityFor(len(build), cfg.LoadFactor)),
 		table.WithMaxLoadFactor(0), // pre-sized for the build side: WORM contract
 		table.WithHashFamily(cfg.Family),
 		table.WithSeed(cfg.Seed),
@@ -208,7 +214,7 @@ func PartitionedHashJoin(build, probe Relation, partitions int, cfg Config, emit
 		Partitions: partitions,
 		Scheme:     cfg.Scheme,
 		Table: table.Config{
-			InitialCapacity: capacityFor(len(build), cfg.LoadFactor),
+			InitialCapacity: CapacityFor(len(build), cfg.LoadFactor),
 			MaxLoadFactor:   0,
 			Family:          cfg.Family,
 			Seed:            cfg.Seed,
@@ -282,7 +288,7 @@ func SharedHashJoin(build, probe Relation, workers int, cfg Config, emit Emit) (
 	}
 	h, err := table.Open(
 		table.WithScheme(cfg.Scheme),
-		table.WithCapacity(capacityFor(len(build), cfg.LoadFactor)),
+		table.WithCapacity(CapacityFor(len(build), cfg.LoadFactor)),
 		// Pre-sized for the build side like HashJoin, but growth stays
 		// enabled as a safety valve: the engine resizes incrementally, so
 		// an unlucky shard never fails the build.

@@ -1,0 +1,58 @@
+// Package pipe composes the repo's relational operators — scan, filter,
+// hash join, group-by — into lazy, morsel-streaming pipelines on one
+// exec.Pool, replacing the materialize-everything composition of one-shot
+// join.HashJoin + agg.AddBatch calls.
+//
+// The one-shot operators allocate every intermediate relation in full
+// before the next operator starts: a filtered scan copies the survivors
+// into a fresh slice, a join materializes its matches, and only then does
+// the aggregation see a row. A pipeline never does that. A Stream is a
+// lazy description of the query; nothing runs until a terminal
+// (Collect, Count, Sink, Drain, GroupBy) drives it, and then data moves
+// through the whole operator chain one MorselSize-granular batch of
+// (key, value) columns at a time, on the pool's workers:
+//
+//	seg := pipe.HashJoin(
+//		pipe.FromRelation(customers),                       // build side
+//		pipe.FromRelation(orders).Filter(bigOrder),         // probe side
+//		pipe.JoinConfig{Project: bySegment},
+//	)
+//	g, err := seg.GroupBy(pipe.Config{}, pipe.GroupConfig{})
+//
+// The optimizations are structural, not opt-in:
+//
+//   - Predicate pushdown: Filter and Map stages are fused into the scan
+//     (or the join's probe emission) that feeds them — one pass per
+//     morsel applies the whole stage chain per row, and a row failing a
+//     predicate is skipped at emission rather than copied and dropped.
+//   - Build-side pre-sizing: HashJoin sizes its build table with
+//     join.CapacityFor from the build stream's cardinality hint (known
+//     slice lengths, table.Handle.Len, or an explicit Hint from a dist
+//     tape), so the build never rehashes.
+//   - Shared scheduling: every phase of every operator runs on one
+//     exec.Pool with the established first-error, cancellation
+//     (Config.Ctx) and panic-containment conventions; per-worker column
+//     scratch is reused across morsels, so steady-state processing does
+//     not allocate.
+//   - Observability: Config.Metrics attaches per-operator rows in/out,
+//     morsel counts and morsel-latency histograms (obs primitives),
+//     registrable on an obs.Registry for the /metrics exposition —
+//     including a pull-computed selectivity per operator.
+//
+// Scans cover the in-memory shapes the repo produces: join.Relation and
+// raw columns (FromRelation, FromColumns), live tables (FromHandle —
+// sharded handles are walked shard-parallel via shard.Engine.RangeShard,
+// weakly consistent and correct mid-resize), and finished aggregations
+// (FromGroups, or GroupByStream for a mid-pipeline group-by that streams
+// its merged groups downstream via agg's Groups iterator).
+//
+// Prefer pipe over the one-shot operators when a query chains two or
+// more operators or when intermediate results are large relative to
+// cache: the one-shot path's intermediates cost allocation, copying and
+// cache misses proportional to the *unfiltered* data volume, the
+// pipeline's cost is proportional to the rows that survive. Single
+// operators over already-materialized inputs (one join, one aggregation)
+// lose nothing by staying on join.HashJoin / agg.AddBatch, and
+// partition-parallel radix joins (join.PartitionedHashJoin) remain the
+// better shape when the build side is too big for one shared table.
+package pipe

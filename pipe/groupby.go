@@ -1,0 +1,196 @@
+package pipe
+
+// The streaming GROUP BY: each worker folds the batches it receives
+// into its own agg.GroupBy local through the batched single-probe
+// pipeline (no locks — the batchSink contract delivers worker w's
+// batches on worker w's goroutine), and the locals are merged once on
+// drain. GroupByStream re-enters the pipeline: the merged result is
+// streamed downstream group-at-a-time via agg's Groups iterator, never
+// materialized into a result slice.
+
+import (
+	"fmt"
+
+	"repro/agg"
+	"repro/hashfn"
+	"repro/table"
+)
+
+// GroupConfig parameterizes a streaming group-by; it mirrors agg.Config.
+type GroupConfig struct {
+	// Scheme selects the group-index table (default agg's QP).
+	Scheme table.Scheme
+	// Family is the hash-function class (default Mult).
+	Family hashfn.Family
+	// ExpectedGroups pre-sizes each worker's group index; 0 starts small
+	// and grows.
+	ExpectedGroups int
+	Seed           uint64
+}
+
+func (c GroupConfig) aggConfig() agg.Config {
+	return agg.Config{
+		Scheme:         c.Scheme,
+		Family:         c.Family,
+		ExpectedGroups: c.ExpectedGroups,
+		Seed:           c.Seed,
+	}
+}
+
+// GroupBy is the aggregating terminal: it runs the stream, folding each
+// row (k, v) into group k, and returns the merged aggregation. With
+// cfg.Workers == 1 the result is state-for-state identical to
+// agg.AddBatch over the same rows; with more workers the per-group
+// states are identical and only the first-seen group order varies.
+func (s *Stream) GroupBy(cfg Config, gcfg GroupConfig) (*agg.GroupBy, error) {
+	rt := newRuntime(cfg)
+	defer rt.close()
+	return s.groupBy(rt, gcfg)
+}
+
+// groupBy is GroupBy on an existing runtime, shared with GroupByStream.
+func (s *Stream) groupBy(rt *runtime, gcfg GroupConfig) (*agg.GroupBy, error) {
+	locals := make([]*agg.GroupBy, rt.pool.Workers())
+	err := s.src.run(rt, s.stages, func(w int, keys, vals []uint64) error {
+		start := rt.opStart()
+		local := locals[w]
+		if local == nil {
+			c := gcfg.aggConfig()
+			// Independent per-worker seeds: the locals' group indexes
+			// are private, so their hash functions need not match.
+			c.Seed += uint64(w+1) * 0x9e3779b97f4a7c15
+			var err error
+			local, err = agg.NewGroupBy(c)
+			if err != nil {
+				return err
+			}
+			locals[w] = local
+		}
+		err := local.AddBatch(keys, vals)
+		rt.opDone(opGroupBy, w, len(keys), len(keys), start)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	result, err := agg.NewGroupBy(gcfg.aggConfig())
+	if err != nil {
+		return nil, err
+	}
+	for _, local := range locals {
+		if local == nil {
+			continue
+		}
+		if err := result.Merge(local); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+// GroupByStream is the mid-pipeline group-by: it aggregates src like
+// the GroupBy terminal, then streams the merged groups downstream as
+// (group key, f(state)) rows — COUNT, SUM, MIN or MAX (AVG is not an
+// integer and fails the run). The grouped output is emitted via agg's
+// Groups iterator, one morsel-sized batch at a time; the full result
+// slice never exists.
+func GroupByStream(src *Stream, gcfg GroupConfig, f agg.Func) *Stream {
+	hint := gcfg.ExpectedGroups
+	if hint <= 0 {
+		hint = src.size() // groups ≤ rows
+	}
+	return &Stream{src: &groupsSource{src: src, gcfg: gcfg, fn: f}, hint: hint}
+}
+
+// FromGroups streams an already-built aggregation as
+// (group key, f(state)) rows, in first-seen order.
+func FromGroups(g *agg.GroupBy, f agg.Func) *Stream {
+	return &Stream{src: &groupsSource{agg: g, fn: f}}
+}
+
+// stateValue extracts the streamed aggregate from one group state.
+func stateValue(f agg.Func, s *agg.State) (uint64, error) {
+	switch f {
+	case agg.Count:
+		return s.Count, nil
+	case agg.Sum:
+		return s.Sum, nil
+	case agg.Min:
+		return s.Min, nil
+	case agg.Max:
+		return s.Max, nil
+	}
+	return 0, fmt.Errorf("pipe: %v cannot stream as a uint64 column; aggregate with the GroupBy terminal instead", f)
+}
+
+// groupsSource streams the groups of an aggregation — either a finished
+// one (agg set) or one built on demand from src when the terminal runs.
+type groupsSource struct {
+	src  *Stream // nil when agg is pre-built
+	agg  *agg.GroupBy
+	gcfg GroupConfig
+	fn   agg.Func
+}
+
+func (s *groupsSource) rows() int {
+	if s.agg != nil {
+		return s.agg.NumGroups()
+	}
+	if s.gcfg.ExpectedGroups > 0 {
+		return s.gcfg.ExpectedGroups
+	}
+	return s.src.size()
+}
+
+func (s *groupsSource) run(rt *runtime, stages []stage, sink batchSink) error {
+	g := s.agg
+	if g == nil {
+		var err error
+		if g, err = s.src.groupBy(rt, s.gcfg); err != nil {
+			return err
+		}
+	}
+	// The drain is serial (groups live in one merged operator), wrapped
+	// as one pool task for panic containment and cancellation parity
+	// with the parallel scans.
+	return rt.pool.ForEach(1, func(w, _ int) error {
+		b := batch{
+			keys: make([]uint64, rt.pool.MorselSize()),
+			vals: make([]uint64, rt.pool.MorselSize()),
+		}
+		start := rt.opStart()
+		seen, n := 0, 0
+		var err error
+		flush := func() bool {
+			rt.opDone(opScan, w, seen, n, start)
+			if n > 0 {
+				err = sink(w, b.keys[:n], b.vals[:n])
+			}
+			if err == nil {
+				err = rt.ctxErr()
+			}
+			seen, n = 0, 0
+			start = rt.opStart()
+			return err == nil
+		}
+		for key, st := range g.Groups() {
+			seen++
+			v, verr := stateValue(s.fn, st)
+			if verr != nil {
+				return verr
+			}
+			k, v, keep := applyStages(stages, key, v)
+			if keep {
+				b.keys[n], b.vals[n] = k, v
+				n++
+				if n == len(b.keys) && !flush() {
+					break
+				}
+			}
+		}
+		if err == nil && (seen > 0 || n > 0) {
+			flush()
+		}
+		return err
+	})
+}

@@ -1,0 +1,171 @@
+package pipe
+
+// The streaming hash join: the build side is consumed into a pre-sized
+// table through the single-probe GetOrPutBatch pipeline, then the probe
+// side streams morsel-at-a-time — each probe batch is answered by one
+// GetBatch and the matches flow straight into the downstream stages
+// without an intermediate relation.
+
+import (
+	"fmt"
+
+	"repro/decision"
+	"repro/hashfn"
+	"repro/join"
+	"repro/table"
+)
+
+// JoinConfig parameterizes a streaming hash join.
+type JoinConfig struct {
+	// Scheme selects the build-side table (default RH, the paper's
+	// all-rounder for the read-heavy probe phase).
+	Scheme table.Scheme
+	// Family is the hash-function class (default Mult).
+	Family hashfn.Family
+	// LoadFactor is the build-side occupancy target (default 0.5, like
+	// join.Config: joins are memory-rich and probe-bound).
+	LoadFactor float64
+	// BuildRows overrides the build-side cardinality hint the table is
+	// pre-sized from (join.CapacityFor); 0 asks the build stream, whose
+	// sources usually know (slice lengths, Handle.Len, Hint). When no
+	// hint exists anywhere the table starts small and grows.
+	BuildRows int
+	// Project maps one match to the row the joined stream emits. The
+	// default keeps the join key and the probe payload:
+	// (key, probeVal). Group-bys over a build-side attribute supply
+	// e.g. func(k, b, p) (b, p).
+	Project func(key, buildVal, probeVal uint64) (outKey, outVal uint64)
+	Seed    uint64
+}
+
+func (c JoinConfig) withDefaults() JoinConfig {
+	if c.Scheme == "" {
+		c.Scheme = table.SchemeRH
+	}
+	if c.Family == nil {
+		c.Family = hashfn.MultFamily{}
+	}
+	if c.LoadFactor <= 0 || c.LoadFactor >= 1 {
+		c.LoadFactor = 0.5
+	}
+	if c.Project == nil {
+		c.Project = func(key, _, probeVal uint64) (uint64, uint64) { return key, probeVal }
+	}
+	return c
+}
+
+// HashJoin joins build ⋈ probe on key, streaming. Build keys are
+// expected unique (PK/FK joins); duplicates keep the first payload
+// per key — with more than one worker, which concurrent duplicate is
+// "first" is the pool's schedule, exactly join.SharedHashJoin's
+// contract. The probe side may repeat keys freely. Each match is
+// projected through cfg.Project and continues downstream; non-matching
+// probe rows are skipped at emission.
+func HashJoin(build, probe *Stream, cfg JoinConfig) *Stream {
+	return &Stream{src: &joinSource{build: build, probe: probe, cfg: cfg}}
+}
+
+type joinSource struct {
+	build, probe *Stream
+	cfg          JoinConfig
+}
+
+// rows: every probe row matches at most once (unique build keys), so the
+// probe bound is the join's bound.
+func (j *joinSource) rows() int { return j.probe.size() }
+
+// joinScratch is one worker's probe/build column scratch.
+type joinScratch struct {
+	out    []uint64
+	loaded []bool
+}
+
+// openBuild opens the build-side table: pre-sized from the cardinality
+// hint via the shared join.CapacityFor rule, single-table when the pool
+// is serial, sharded (with the engine's incremental growth as a safety
+// valve) when workers probe and build concurrently.
+func (j *joinSource) openBuild(rt *runtime, cfg JoinConfig) (*table.Handle, error) {
+	n := cfg.BuildRows
+	if n <= 0 {
+		n = j.build.size()
+	}
+	opts := []table.Option{
+		table.WithScheme(cfg.Scheme),
+		table.WithHashFamily(cfg.Family),
+		table.WithSeed(cfg.Seed),
+	}
+	if n >= 0 {
+		opts = append(opts, table.WithCapacity(join.CapacityFor(n, cfg.LoadFactor)))
+	}
+	if workers := rt.pool.Workers(); workers > 1 {
+		// Concurrent build inserts need the sharded engine; growth stays
+		// enabled so an unlucky shard resizes incrementally instead of
+		// failing the build.
+		opts = append(opts,
+			table.WithPartitions(decision.ShardsFor(workers)),
+			table.WithMaxLoadFactor(table.DefaultMaxLoadFactor))
+	} else if n >= 0 {
+		// Serial and pre-sized: the WORM contract, like join.HashJoin.
+		opts = append(opts, table.WithMaxLoadFactor(0))
+	}
+	return table.Open(opts...)
+}
+
+func (j *joinSource) run(rt *runtime, stages []stage, sink batchSink) error {
+	cfg := j.cfg.withDefaults()
+	h, err := j.openBuild(rt, cfg)
+	if err != nil {
+		return fmt.Errorf("pipe: join build table: %w", err)
+	}
+	scratch := make([]joinScratch, rt.pool.Workers())
+	for w := range scratch {
+		scratch[w].out = make([]uint64, rt.pool.MorselSize())
+		scratch[w].loaded = make([]bool, rt.pool.MorselSize())
+	}
+	// Build phase: the build stream drains into the table, one
+	// single-probe GetOrPutBatch per incoming batch.
+	err = j.build.src.run(rt, j.build.stages, func(w int, keys, vals []uint64) error {
+		start := rt.opStart()
+		sc := &scratch[w]
+		_, err := h.GetOrPutBatch(keys, vals, sc.out[:len(keys)], sc.loaded[:len(keys)])
+		rt.opDone(opJoinBuild, w, len(keys), len(keys), start)
+		if err != nil {
+			return fmt.Errorf("pipe: join build: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Probe phase: each probe batch is answered by one GetBatch; the
+	// matches are projected and pushed through the downstream stages in
+	// the same pass — no intermediate join result exists anywhere.
+	bufs := rt.newBatches()
+	ok := make([][]bool, rt.pool.Workers())
+	for w := range ok {
+		ok[w] = make([]bool, rt.pool.MorselSize())
+	}
+	return j.probe.src.run(rt, j.probe.stages, func(w int, keys, vals []uint64) error {
+		start := rt.opStart()
+		sc := &scratch[w]
+		h.GetBatch(keys, sc.out[:len(keys)], ok[w][:len(keys)])
+		b := &bufs[w]
+		n := 0
+		for i := range keys {
+			if !ok[w][i] {
+				continue
+			}
+			k, v := cfg.Project(keys[i], sc.out[i], vals[i])
+			k, v, keep := applyStages(stages, k, v)
+			if keep {
+				b.keys[n], b.vals[n] = k, v
+				n++
+			}
+		}
+		rt.opDone(opJoinProbe, w, len(keys), n, start)
+		if n == 0 {
+			return nil
+		}
+		return sink(w, b.keys[:n], b.vals[:n])
+	})
+}

@@ -1,0 +1,142 @@
+package pipe
+
+// Per-operator telemetry on the obs primitives: striped counters for
+// rows in/out and morsels (stripe hint = worker index, so recording is
+// contention-free), a log-bucketed histogram for per-morsel latency, and
+// a pull-computed selectivity per operator. Attach via Config.Metrics;
+// nil — the default — keeps every pipeline loop free of clock reads and
+// atomics (the hooks are nil-guarded on the runtime, not compiled out).
+
+import (
+	"fmt"
+
+	"repro/obs"
+)
+
+// op indexes the instrumented operators.
+type op int
+
+const (
+	opScan op = iota // scans and group-drain emission
+	opJoinBuild
+	opJoinProbe
+	opGroupBy
+	numOps
+)
+
+var opNames = [numOps]string{"scan", "join_build", "join_probe", "group_by"}
+
+// OpMetrics is one operator's instrument set.
+type OpMetrics struct {
+	// RowsIn counts rows entering the operator (scan: source rows
+	// visited; join probe: probe rows; group-by: rows folded).
+	RowsIn *obs.Counter
+	// RowsOut counts rows emitted downstream after the fused stage
+	// chain — RowsOut/RowsIn is the operator's observed selectivity, and
+	// for a scan with pushed-down predicates the gap is exactly the rows
+	// whose emission was skipped.
+	RowsOut *obs.Counter
+	// Morsels counts batches processed.
+	Morsels *obs.Counter
+	// Nanos is the per-morsel processing latency.
+	Nanos *obs.Histogram
+}
+
+// Metrics is one pipeline's (or one process's — recording is additive
+// and concurrent-safe) operator telemetry.
+type Metrics struct {
+	ops [numOps]OpMetrics
+}
+
+// NewMetrics sizes the stripes for the given worker count (as passed in
+// Config.Workers; values < 1 get one stripe per CPU worker anyway via
+// rounding — stripes only affect contention, not correctness).
+func NewMetrics(workers int) *Metrics {
+	if workers < 1 {
+		workers = 1
+	}
+	m := &Metrics{}
+	for i := range m.ops {
+		m.ops[i] = OpMetrics{
+			RowsIn:  obs.NewCounter(workers),
+			RowsOut: obs.NewCounter(workers),
+			Morsels: obs.NewCounter(workers),
+			Nanos:   obs.NewHistogram(workers),
+		}
+	}
+	return m
+}
+
+// Scan returns the scan/emission instruments.
+func (m *Metrics) Scan() *OpMetrics { return &m.ops[opScan] }
+
+// JoinBuild returns the join build-phase instruments.
+func (m *Metrics) JoinBuild() *OpMetrics { return &m.ops[opJoinBuild] }
+
+// JoinProbe returns the join probe-phase instruments.
+func (m *Metrics) JoinProbe() *OpMetrics { return &m.ops[opJoinProbe] }
+
+// GroupBy returns the group-by instruments.
+func (m *Metrics) GroupBy() *OpMetrics { return &m.ops[opGroupBy] }
+
+// Register files every instrument with the registry for the /metrics
+// exposition, labeled per operator:
+//
+//	pipe_rows_total{op="scan",dir="in"}     counter
+//	pipe_rows_total{op="scan",dir="out"}    counter
+//	pipe_morsels_total{op="scan"}           counter
+//	pipe_morsel_nanos{op="scan"}            summary (p50/p90/p99/p999)
+//	pipe_selectivity{op="scan"}             gauge, rows out / rows in
+//
+// prefix replaces the leading "pipe" when non-empty (register two
+// pipelines under distinct prefixes).
+func (m *Metrics) Register(r *obs.Registry, prefix string) {
+	if prefix == "" {
+		prefix = "pipe"
+	}
+	for i := range m.ops {
+		o, name := &m.ops[i], opNames[i]
+		r.RegisterCounter(
+			fmt.Sprintf(`%s_rows_total{op=%q,dir="in"}`, prefix, name),
+			"rows entering each pipeline operator", o.RowsIn)
+		r.RegisterCounter(
+			fmt.Sprintf(`%s_rows_total{op=%q,dir="out"}`, prefix, name),
+			"rows emitted downstream by each pipeline operator", o.RowsOut)
+		r.RegisterCounter(
+			fmt.Sprintf(`%s_morsels_total{op=%q}`, prefix, name),
+			"column batches processed by each pipeline operator", o.Morsels)
+		r.RegisterHistogram(
+			fmt.Sprintf(`%s_morsel_nanos{op=%q}`, prefix, name),
+			"per-morsel processing latency by operator", o.Nanos)
+		r.RegisterFunc(
+			fmt.Sprintf(`%s_selectivity{op=%q}`, prefix, name),
+			"rows out / rows in per operator (1 = nothing filtered)",
+			func() float64 {
+				in := o.RowsIn.Value()
+				if in == 0 {
+					return 1
+				}
+				return float64(o.RowsOut.Value()) / float64(in)
+			})
+	}
+}
+
+// opStart samples the morsel start time when instrumented; 0 otherwise.
+func (rt *runtime) opStart() int64 {
+	if rt.met == nil {
+		return 0
+	}
+	return obs.Now()
+}
+
+// opDone records one processed morsel: in rows entered, out survived.
+func (rt *runtime) opDone(o op, worker, in, out int, start int64) {
+	if rt.met == nil {
+		return
+	}
+	om := &rt.met.ops[o]
+	om.RowsIn.Add(worker, uint64(in))
+	om.RowsOut.Add(worker, uint64(out))
+	om.Morsels.Inc(worker)
+	om.Nanos.Record(worker, obs.Now()-start)
+}

@@ -1,0 +1,83 @@
+package pipe_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/join"
+	"repro/obs"
+	"repro/pipe"
+)
+
+func TestMetricsCountersAndSelectivity(t *testing.T) {
+	const n = 8_192
+	keys := bigColumn(n)
+	for _, workers := range []int{1, 4} {
+		m := pipe.NewMetrics(workers)
+		count, err := pipe.FromColumns(keys, nil).
+			Filter(func(k, _ uint64) bool { return k%4 == 0 }).
+			Count(pipe.Config{Workers: workers, MorselSize: 1024, Metrics: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := m.Scan()
+		if got := sc.RowsIn.Value(); got != n {
+			t.Fatalf("workers=%d: scan rows in = %d, want %d", workers, got, n)
+		}
+		if got := sc.RowsOut.Value(); got != uint64(count) {
+			t.Fatalf("workers=%d: scan rows out = %d, want the terminal's count %d", workers, got, count)
+		}
+		if got := sc.Morsels.Value(); got != n/1024 {
+			t.Fatalf("workers=%d: %d morsels, want %d", workers, got, n/1024)
+		}
+		if got := sc.Nanos.Snapshot().Count; got != n/1024 {
+			t.Fatalf("workers=%d: %d latency samples, want %d", workers, got, n/1024)
+		}
+	}
+}
+
+func TestMetricsJoinPhases(t *testing.T) {
+	build := join.Relation{{Key: 1, Payload: 1}, {Key: 2, Payload: 2}}
+	probe := make(join.Relation, 1_000)
+	for i := range probe {
+		probe[i] = join.Row{Key: uint64(i % 4), Payload: uint64(i)} // keys 0,3 miss
+	}
+	m := pipe.NewMetrics(1)
+	if err := pipe.HashJoin(pipe.FromRelation(build), pipe.FromRelation(probe), pipe.JoinConfig{}).
+		Drain(pipe.Config{Workers: 1, Metrics: m}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.JoinBuild().RowsIn.Value(); got != uint64(len(build)) {
+		t.Fatalf("join build rows = %d, want %d", got, len(build))
+	}
+	if got := m.JoinProbe().RowsIn.Value(); got != uint64(len(probe)) {
+		t.Fatalf("join probe rows in = %d, want %d", got, len(probe))
+	}
+	if got := m.JoinProbe().RowsOut.Value(); got != 500 {
+		t.Fatalf("join probe rows out = %d, want 500 (half the keys match)", got)
+	}
+}
+
+func TestMetricsRegisterExposition(t *testing.T) {
+	m := pipe.NewMetrics(2)
+	if _, err := pipe.FromColumns(bigColumn(100), nil).
+		Count(pipe.Config{Workers: 2, Metrics: m}); err != nil {
+		t.Fatal(err)
+	}
+	r := obs.NewRegistry()
+	m.Register(r, "")
+	var sb strings.Builder
+	r.WriteText(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		`pipe_rows_total{op="scan",dir="in"} 100`,
+		`pipe_morsels_total{op="scan"}`,
+		`pipe_morsel_nanos`,
+		`pipe_selectivity{op="scan"} 1`,
+		`pipe_rows_total{op="join_probe",dir="in"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package pipe
+
+import (
+	"context"
+
+	"repro/exec"
+)
+
+// Config sizes one pipeline run. The zero value means "one worker per
+// CPU, default morsels, no cancellation, no instrumentation".
+type Config struct {
+	// Workers bounds the pool executing the pipeline (default
+	// runtime.GOMAXPROCS via exec). With Workers == 1 every operator runs
+	// serially in input order — the deterministic oracle of the parallel
+	// schedule.
+	Workers int
+	// MorselSize is the batch granularity rows stream in (default
+	// exec.DefaultMorselSize). Every batch an operator emits holds at
+	// most MorselSize rows.
+	MorselSize int
+	// Ctx, when non-nil, cancels the run between morsels: the pool's
+	// claim cursor stops like on a first error and ctx.Err() is returned
+	// from the terminal.
+	Ctx context.Context
+	// Metrics, when non-nil, receives per-operator telemetry (rows
+	// in/out, morsels, per-morsel latency). Nil keeps the hot path free
+	// of clock reads and atomics.
+	Metrics *Metrics
+}
+
+// stage is one fused per-row transform: it maps a (key, value) row and
+// reports whether the row survives. Filter and Map both compile to
+// stages; adjacent stages are applied back-to-back in one morsel pass.
+type stage func(k, v uint64) (uint64, uint64, bool)
+
+// batchSink consumes one batch of column data. Batches from different
+// workers may arrive concurrently; batch w is always delivered on worker
+// w's goroutine, so per-worker state needs no locks. The slices are
+// owned by the producer and invalid after return.
+type batchSink func(worker int, keys, vals []uint64) error
+
+// source produces the rows of a Stream. run drives the source to
+// completion on rt's pool, applying the fused stage chain per row and
+// pushing surviving batches into sink.
+type source interface {
+	// rows returns an upper bound on the rows the source emits, or -1
+	// when unknown — the cardinality hint downstream builds pre-size
+	// from.
+	rows() int
+	run(rt *runtime, stages []stage, sink batchSink) error
+}
+
+// Stream is a lazy operator chain: a source plus the fused filter/map
+// stages applied to its rows. Streams are immutable — Filter and Map
+// return extended copies — and cheap; nothing executes until a terminal
+// (Collect, Count, Sink, Drain, GroupBy) runs the stream. A Stream may
+// be run multiple times (each terminal is an independent execution).
+type Stream struct {
+	src    source
+	stages []stage
+	hint   int // caller-supplied cardinality upper bound; 0 = ask the source
+}
+
+// Filter appends a predicate: rows failing pred are dropped. The
+// predicate is fused into the producing operator's emission loop —
+// pushdown — so dropped rows are never copied into a batch. pred must be
+// safe for concurrent calls from different workers.
+func (s *Stream) Filter(pred func(k, v uint64) bool) *Stream {
+	return s.with(func(k, v uint64) (uint64, uint64, bool) {
+		return k, v, pred(k, v)
+	})
+}
+
+// Map appends a per-row transform, fused like Filter. fn must be safe
+// for concurrent calls from different workers.
+func (s *Stream) Map(fn func(k, v uint64) (uint64, uint64)) *Stream {
+	return s.with(func(k, v uint64) (uint64, uint64, bool) {
+		k, v = fn(k, v)
+		return k, v, true
+	})
+}
+
+// Hint declares an upper bound on the rows this stream emits — the
+// cardinality hint a downstream HashJoin pre-sizes its build table from
+// when the source itself cannot know (e.g. a heavily filtered scan whose
+// caller knows the tape's distinct-key count from dist).
+func (s *Stream) Hint(rows int) *Stream {
+	ns := s.clone()
+	ns.hint = rows
+	return ns
+}
+
+// with returns a copy of s with one more fused stage.
+func (s *Stream) with(st stage) *Stream {
+	ns := s.clone()
+	ns.stages = append(ns.stages, st)
+	return ns
+}
+
+func (s *Stream) clone() *Stream {
+	ns := &Stream{src: s.src, hint: s.hint}
+	ns.stages = append([]stage(nil), s.stages...)
+	return ns
+}
+
+// size returns the stream's cardinality upper bound, or -1 when unknown.
+func (s *Stream) size() int {
+	if s.hint > 0 {
+		return s.hint
+	}
+	return s.src.rows()
+}
+
+// applyStages runs the fused stage chain over one row.
+func applyStages(stages []stage, k, v uint64) (uint64, uint64, bool) {
+	for _, st := range stages {
+		var keep bool
+		k, v, keep = st(k, v)
+		if !keep {
+			return k, v, false
+		}
+	}
+	return k, v, true
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+// runtime is one terminal's execution state: the pool every operator
+// phase schedules on, the run's context for serial segments, and the
+// optional metrics sink.
+type runtime struct {
+	pool *exec.Pool
+	ctx  context.Context
+	met  *Metrics
+}
+
+// newRuntime builds the shared pool for one terminal execution.
+func newRuntime(cfg Config) *runtime {
+	pool := exec.NewPool(exec.Config{
+		Workers:    cfg.Workers,
+		MorselSize: cfg.MorselSize,
+		Ctx:        cfg.Ctx,
+	})
+	return &runtime{pool: pool, ctx: cfg.Ctx, met: cfg.Metrics}
+}
+
+func (rt *runtime) close() { rt.pool.Close() }
+
+// ctxErr reports the run's cancellation, for serial emission loops that
+// are not paced by the pool's claim cursor.
+func (rt *runtime) ctxErr() error {
+	if rt.ctx != nil {
+		return rt.ctx.Err()
+	}
+	return nil
+}
+
+// batch is one worker's reusable output column pair.
+type batch struct {
+	keys, vals []uint64
+}
+
+// newBatches allocates one morsel-sized batch per pool worker.
+func (rt *runtime) newBatches() []batch {
+	bufs := make([]batch, rt.pool.Workers())
+	for i := range bufs {
+		bufs[i].keys = make([]uint64, rt.pool.MorselSize())
+		bufs[i].vals = make([]uint64, rt.pool.MorselSize())
+	}
+	return bufs
+}
+
+// ---------------------------------------------------------------------------
+// Terminals
+// ---------------------------------------------------------------------------
+
+// Sink runs the stream, delivering every surviving batch to fn with the
+// batchSink contract (concurrent calls from different workers; slices
+// invalid after return). It is the low-level terminal the others build
+// on.
+func (s *Stream) Sink(cfg Config, fn func(worker int, keys, vals []uint64) error) error {
+	rt := newRuntime(cfg)
+	defer rt.close()
+	return s.src.run(rt, s.stages, fn)
+}
+
+// Drain runs the stream and discards the rows — the terminal for
+// pipelines executed for their side effects or their metrics.
+func (s *Stream) Drain(cfg Config) error {
+	return s.Sink(cfg, func(int, []uint64, []uint64) error { return nil })
+}
+
+// Count runs the stream and returns the number of surviving rows.
+func (s *Stream) Count(cfg Config) (int, error) {
+	rt := newRuntime(cfg)
+	defer rt.close()
+	counts := make([]int, rt.pool.Workers())
+	err := s.src.run(rt, s.stages, func(w int, keys, _ []uint64) error {
+		counts[w] += len(keys)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, nil
+}
+
+// Collect runs the stream and materializes the surviving rows as column
+// slices. With Workers == 1 rows appear in input order; with more
+// workers the order across morsels is the pool's schedule and therefore
+// unspecified (rows within one morsel stay contiguous and ordered).
+func (s *Stream) Collect(cfg Config) (keys, vals []uint64, err error) {
+	rt := newRuntime(cfg)
+	defer rt.close()
+	type cols struct{ keys, vals []uint64 }
+	parts := make([]cols, rt.pool.Workers())
+	err = s.src.run(rt, s.stages, func(w int, k, v []uint64) error {
+		parts[w].keys = append(parts[w].keys, k...)
+		parts[w].vals = append(parts[w].vals, v...)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range parts {
+		keys = append(keys, p.keys...)
+		vals = append(vals, p.vals...)
+	}
+	return keys, vals, nil
+}

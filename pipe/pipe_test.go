@@ -1,0 +1,252 @@
+package pipe_test
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/agg"
+	"repro/join"
+	"repro/pipe"
+	"repro/table"
+)
+
+// sortedPairs normalizes a collected column pair for order-insensitive
+// comparison.
+func sortedPairs(keys, vals []uint64) [][2]uint64 {
+	out := make([][2]uint64, len(keys))
+	for i := range keys {
+		out[i] = [2]uint64{keys[i], vals[i]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func pairsEqual(a, b [][2]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCollectSerialOrder(t *testing.T) {
+	keys := []uint64{5, 1, 9, 3}
+	vals := []uint64{50, 10, 90, 30}
+	gotK, gotV, err := pipe.FromColumns(keys, vals).Collect(pipe.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if gotK[i] != keys[i] || gotV[i] != vals[i] {
+			t.Fatalf("row %d: got (%d,%d), want (%d,%d)", i, gotK[i], gotV[i], keys[i], vals[i])
+		}
+	}
+}
+
+func TestFilterMapFusion(t *testing.T) {
+	const n = 10_000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	for _, workers := range []int{1, 4} {
+		// keep even keys, double them, then drop multiples of 10: three
+		// fused stages in one pass.
+		s := pipe.FromColumns(keys, nil).
+			Filter(func(k, _ uint64) bool { return k%2 == 0 }).
+			Map(func(k, v uint64) (uint64, uint64) { return k * 2, v }).
+			Filter(func(k, _ uint64) bool { return k%10 != 0 })
+		count, err := s.Count(pipe.Config{Workers: workers, MorselSize: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, k := range keys {
+			if k%2 == 0 && (k*2)%10 != 0 {
+				want++
+			}
+		}
+		if count != want {
+			t.Fatalf("workers=%d: count %d, want %d", workers, count, want)
+		}
+	}
+}
+
+func TestStreamImmutable(t *testing.T) {
+	base := pipe.FromColumns([]uint64{1, 2, 3, 4}, nil)
+	odd := base.Filter(func(k, _ uint64) bool { return k%2 == 1 })
+	even := base.Filter(func(k, _ uint64) bool { return k%2 == 0 })
+	no, err := odd.Count(pipe.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := even.Count(pipe.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := base.Count(pipe.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if no != 2 || ne != 2 || nb != 4 {
+		t.Fatalf("odd=%d even=%d base=%d, want 2/2/4", no, ne, nb)
+	}
+}
+
+func TestHashJoinBasic(t *testing.T) {
+	build := join.Relation{{Key: 1, Payload: 100}, {Key: 2, Payload: 200}, {Key: 3, Payload: 300}}
+	probe := join.Relation{{Key: 2, Payload: 7}, {Key: 3, Payload: 8}, {Key: 9, Payload: 9}, {Key: 2, Payload: 10}}
+	for _, workers := range []int{1, 4} {
+		j := pipe.HashJoin(pipe.FromRelation(build), pipe.FromRelation(probe), pipe.JoinConfig{
+			Project: func(k, b, p uint64) (uint64, uint64) { return k, b + p },
+		})
+		keys, vals, err := j.Collect(pipe.Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := [][2]uint64{{2, 207}, {2, 210}, {3, 308}}
+		if got := sortedPairs(keys, vals); !pairsEqual(got, want) {
+			t.Fatalf("workers=%d: joined %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestHashJoinDefaultProject(t *testing.T) {
+	build := join.Relation{{Key: 4, Payload: 40}}
+	probe := join.Relation{{Key: 4, Payload: 44}}
+	keys, vals, err := pipe.HashJoin(pipe.FromRelation(build), pipe.FromRelation(probe), pipe.JoinConfig{}).
+		Collect(pipe.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != 4 || vals[0] != 44 {
+		t.Fatalf("default Project emitted (%v, %v), want key + probe payload (4, 44)", keys, vals)
+	}
+}
+
+func TestGroupByTerminal(t *testing.T) {
+	groups := []uint64{1, 2, 1, 3, 2, 1}
+	values := []uint64{10, 20, 30, 40, 50, 60}
+	g, err := pipe.FromColumns(groups, values).GroupBy(pipe.Config{Workers: 1}, pipe.GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := agg.MustNewGroupBy(agg.Config{})
+	if err := oracle.AddBatch(groups, values); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGroups() != oracle.NumGroups() {
+		t.Fatalf("%d groups, oracle %d", g.NumGroups(), oracle.NumGroups())
+	}
+	for key, want := range oracle.Groups() {
+		got, ok := g.Get(key)
+		if !ok {
+			t.Fatalf("group %d missing", key)
+		}
+		if *got != *want {
+			t.Fatalf("group %d: %+v, want %+v", key, got, want)
+		}
+	}
+}
+
+func TestGroupByStreamChains(t *testing.T) {
+	// count per group, then keep the groups seen more than once.
+	groups := []uint64{1, 2, 1, 3, 2, 1, 4}
+	s := pipe.GroupByStream(pipe.FromColumns(groups, nil), pipe.GroupConfig{}, agg.Count).
+		Filter(func(_, count uint64) bool { return count > 1 })
+	keys, vals, err := s.Collect(pipe.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]uint64{{1, 3}, {2, 2}}
+	if got := sortedPairs(keys, vals); !pairsEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestFromGroups(t *testing.T) {
+	g := agg.MustNewGroupBy(agg.Config{})
+	if err := g.AddBatch([]uint64{7, 8, 7}, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	keys, vals, err := pipe.FromGroups(g, agg.Sum).Collect(pipe.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]uint64{{7, 4}, {8, 2}}
+	if got := sortedPairs(keys, vals); !pairsEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestFromGroupsAvgRejected(t *testing.T) {
+	g := agg.MustNewGroupBy(agg.Config{})
+	if err := g.Add(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.FromGroups(g, agg.Avg).Drain(pipe.Config{Workers: 1}); err == nil {
+		t.Fatal("AVG streamed as uint64 without error")
+	}
+}
+
+func TestFromHandle(t *testing.T) {
+	for _, partitions := range []int{1, 8} {
+		h := table.MustOpen(table.WithPartitions(partitions), table.WithSeed(7))
+		const n = 5000
+		want := make(map[uint64]uint64, n)
+		for i := uint64(1); i <= n; i++ {
+			if _, err := h.Put(i, i*3); err != nil {
+				t.Fatal(err)
+			}
+			want[i] = i * 3
+		}
+		for _, workers := range []int{1, 4} {
+			keys, vals, err := pipe.FromHandle(h).
+				Filter(func(k, _ uint64) bool { return k%2 == 0 }).
+				Collect(pipe.Config{Workers: workers, MorselSize: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != n/2 {
+				t.Fatalf("partitions=%d workers=%d: %d rows, want %d", partitions, workers, len(keys), n/2)
+			}
+			for i := range keys {
+				if keys[i]%2 != 0 {
+					t.Fatalf("odd key %d leaked through the pushed-down filter", keys[i])
+				}
+				if want[keys[i]] != vals[i] {
+					t.Fatalf("key %d: val %d, want %d", keys[i], vals[i], want[keys[i]])
+				}
+			}
+		}
+	}
+}
+
+func TestHintPreSizesSerialBuild(t *testing.T) {
+	// A serial pre-sized build keeps join.HashJoin's WORM contract: an
+	// understated Hint surfaces as a typed ErrFull from the build phase
+	// instead of silent growth.
+	build := make(join.Relation, 1000)
+	for i := range build {
+		build[i] = join.Row{Key: uint64(i) + 1, Payload: 1}
+	}
+	probe := join.Relation{{Key: 1, Payload: 1}}
+	err := pipe.HashJoin(pipe.FromRelation(build).Hint(8), pipe.FromRelation(probe), pipe.JoinConfig{}).
+		Drain(pipe.Config{Workers: 1})
+	if err == nil {
+		t.Fatal("understated hint did not fail the WORM build")
+	}
+	if !errors.Is(err, table.ErrFull) {
+		t.Fatalf("build error %v does not wrap table.ErrFull", err)
+	}
+}

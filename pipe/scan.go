@@ -1,0 +1,172 @@
+package pipe
+
+// The scan operators: every pipeline starts at one. A scan owns the
+// pushdown loop — the fused stage chain runs while the source batch is
+// being filled, so a row failing a predicate is skipped at emission
+// instead of copied and then dropped downstream.
+
+import (
+	"fmt"
+
+	"repro/join"
+	"repro/table"
+)
+
+// FromColumns scans parallel key/value columns. vals may be nil, in
+// which case every row's value is 0 (key-only streams). The slices are
+// read, not copied: they must stay unmodified for the duration of each
+// terminal run.
+func FromColumns(keys, vals []uint64) *Stream {
+	if vals != nil && len(vals) != len(keys) {
+		panic(fmt.Sprintf("pipe: FromColumns length mismatch: %d keys, %d vals", len(keys), len(vals)))
+	}
+	return &Stream{src: &columnsSource{keys: keys, vals: vals}}
+}
+
+// FromRelation scans an in-memory join.Relation as (Key, Payload) rows.
+func FromRelation(rel join.Relation) *Stream {
+	return &Stream{src: &relationSource{rel: rel}}
+}
+
+// FromHandle scans a live table.Handle. A sharded handle (opened
+// WithPartitions) is walked shard-parallel — one pool task per shard via
+// shard.Engine.RangeShard, weakly consistent and correct mid-resize
+// (the migration-aware successor-then-frozen walk yields each key at
+// most once). A single-partition handle is walked serially as one task.
+// The stage chain and downstream operators run while a shard lock is
+// held, so the pipeline must not write back into the same handle.
+func FromHandle(h *table.Handle) *Stream {
+	return &Stream{src: &handleSource{h: h}}
+}
+
+// ---------------------------------------------------------------------------
+// Columns / relation scans: morsel-parallel over an index range.
+// ---------------------------------------------------------------------------
+
+type columnsSource struct {
+	keys, vals []uint64
+}
+
+func (s *columnsSource) rows() int { return len(s.keys) }
+
+func (s *columnsSource) run(rt *runtime, stages []stage, sink batchSink) error {
+	bufs := rt.newBatches()
+	return rt.pool.ForMorsels(len(s.keys), func(w, lo, hi int) error {
+		start := rt.opStart()
+		b := &bufs[w]
+		n := 0
+		for i := lo; i < hi; i++ {
+			var v uint64
+			if s.vals != nil {
+				v = s.vals[i]
+			}
+			k, v, keep := applyStages(stages, s.keys[i], v)
+			if keep {
+				b.keys[n], b.vals[n] = k, v
+				n++
+			}
+		}
+		rt.opDone(opScan, w, hi-lo, n, start)
+		if n == 0 {
+			return nil
+		}
+		return sink(w, b.keys[:n], b.vals[:n])
+	})
+}
+
+type relationSource struct {
+	rel join.Relation
+}
+
+func (s *relationSource) rows() int { return len(s.rel) }
+
+func (s *relationSource) run(rt *runtime, stages []stage, sink batchSink) error {
+	bufs := rt.newBatches()
+	return rt.pool.ForMorsels(len(s.rel), func(w, lo, hi int) error {
+		start := rt.opStart()
+		b := &bufs[w]
+		n := 0
+		for i := lo; i < hi; i++ {
+			k, v, keep := applyStages(stages, s.rel[i].Key, s.rel[i].Payload)
+			if keep {
+				b.keys[n], b.vals[n] = k, v
+				n++
+			}
+		}
+		rt.opDone(opScan, w, hi-lo, n, start)
+		if n == 0 {
+			return nil
+		}
+		return sink(w, b.keys[:n], b.vals[:n])
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Handle scan: shard-parallel over a sharded engine, serial otherwise.
+// ---------------------------------------------------------------------------
+
+type handleSource struct {
+	h *table.Handle
+}
+
+func (s *handleSource) rows() int { return s.h.Len() }
+
+func (s *handleSource) run(rt *runtime, stages []stage, sink batchSink) error {
+	eng := s.h.Engine()
+	if eng == nil {
+		// Single-partition handle: a serial walk, wrapped as one pool
+		// task so a panicking stage is contained and cancellation is
+		// checked like everywhere else.
+		return rt.pool.ForEach(1, func(w, _ int) error {
+			b := batch{
+				keys: make([]uint64, rt.pool.MorselSize()),
+				vals: make([]uint64, rt.pool.MorselSize()),
+			}
+			return s.walk(rt, stages, sink, w, &b, s.h.Range)
+		})
+	}
+	bufs := rt.newBatches()
+	return rt.pool.ForEach(eng.Shards(), func(w, shard int) error {
+		return s.walk(rt, stages, sink, w, &bufs[w], func(fn func(k, v uint64) bool) {
+			eng.RangeShard(shard, fn)
+		})
+	})
+}
+
+// walk streams one range callback into morsel-sized batches through the
+// fused stages, flushing to sink as each batch fills and once at the
+// end. Cancellation is checked at every flush — the same granularity
+// the pool's claim cursor gives morsel-parallel scans.
+func (s *handleSource) walk(rt *runtime, stages []stage, sink batchSink, w int, b *batch, rangeFn func(func(k, v uint64) bool)) error {
+	start := rt.opStart()
+	seen, n := 0, 0
+	var err error
+	flush := func() bool {
+		rt.opDone(opScan, w, seen, n, start)
+		if n > 0 {
+			err = sink(w, b.keys[:n], b.vals[:n])
+		}
+		if err == nil {
+			err = rt.ctxErr()
+		}
+		seen, n = 0, 0
+		start = rt.opStart()
+		return err == nil
+	}
+	rangeFn(func(k, v uint64) bool {
+		seen++
+		k, v, keep := applyStages(stages, k, v)
+		if keep {
+			b.keys[n], b.vals[n] = k, v
+			n++
+			if n == len(b.keys) {
+				return flush()
+			}
+		}
+		return true
+	})
+	if err == nil && (seen > 0 || n > 0) {
+		flush()
+	}
+	return err
+}

@@ -153,44 +153,56 @@ func (e *Engine) ForEachTable(fn func(shard int, t Table)) {
 // (the shard lock is held; a same-shard write would deadlock).
 func (e *Engine) Range(fn func(key, val uint64) bool) {
 	for i := range e.shards {
-		s := &e.shards[i]
-		s.mu.Lock()
-		v := s.view.Load()
-		stopped := false
-		if v.next == nil {
-			v.cur.Range(func(k, val uint64) bool {
-				if !fn(k, val) {
-					stopped = true
-				}
-				return !stopped
-			})
-		} else {
-			v.next.Range(func(k, val uint64) bool {
-				if !fn(k, val) {
-					stopped = true
-				}
-				return !stopped
-			})
-			if !stopped {
-				v.cur.Range(func(k, val uint64) bool {
-					if v.dead.has(k) {
-						return true
-					}
-					if _, shadowed := v.next.Get(k); shadowed {
-						return true
-					}
-					if !fn(k, val) {
-						stopped = true
-					}
-					return !stopped
-				})
-			}
-		}
-		s.mu.Unlock()
-		if stopped {
+		if !e.RangeShard(i, fn) {
 			return
 		}
 	}
+}
+
+// RangeShard calls fn for every entry of one shard (in [0, Shards()))
+// until fn returns false, reporting whether the walk ran to completion.
+// It is Range restricted to a single shard — same weak-consistency and
+// no-reentrancy contract, including the mid-migration walk (successor
+// first, then the frozen table with dead or shadowed keys skipped) — and
+// exists so parallel scans (pipe's sharded Scan) can walk different
+// shards from different workers concurrently: each call locks only its
+// own shard.
+func (e *Engine) RangeShard(shard int, fn func(key, val uint64) bool) bool {
+	s := &e.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.view.Load()
+	stopped := false
+	if v.next == nil {
+		v.cur.Range(func(k, val uint64) bool {
+			if !fn(k, val) {
+				stopped = true
+			}
+			return !stopped
+		})
+		return !stopped
+	}
+	v.next.Range(func(k, val uint64) bool {
+		if !fn(k, val) {
+			stopped = true
+		}
+		return !stopped
+	})
+	if !stopped {
+		v.cur.Range(func(k, val uint64) bool {
+			if v.dead.has(k) {
+				return true
+			}
+			if _, shadowed := v.next.Get(k); shadowed {
+				return true
+			}
+			if !fn(k, val) {
+				stopped = true
+			}
+			return !stopped
+		})
+	}
+	return !stopped
 }
 
 // All returns a Go 1.23 range-over-func iterator over the entries, with
